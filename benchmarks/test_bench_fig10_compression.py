@@ -1,0 +1,133 @@
+"""Figure 10 + Table 2 — compression performance of the representations.
+
+For DBLP, IMDB and the two synthetic condensed datasets, build every
+in-memory representation (C-DUP, DEDUP-1, DEDUP-2, BITMAP-1, BITMAP-2, EXP)
+plus the VMiner baseline, and record the node / edge counts the figure plots.
+
+Shape assertions:
+
+* EXP stores the most edges on the dense datasets (IMDB, Synthetic_2);
+* the condensed representations never store more edges than EXP on those;
+* VMiner (which must first expand the graph) does not beat the condensed
+  representation GraphGen gets for free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression import compress as vminer_compress
+from repro.datasets import SMALL_SPECS, generate_from_spec
+from repro.dedup import deduplicate_dedup1, deduplicate_dedup2, preprocess_bitmap
+from repro.dedup.expand import expand
+from repro.graph import CDupGraph, representation_stats
+
+from benchmarks.conftest import once, record_rows
+
+_ROWS: list[dict[str, object]] = []
+
+
+@pytest.fixture(scope="module")
+def figure10_datasets(small_condensed_graphs):
+    """name -> condensed graph for the four Figure 10 datasets."""
+    datasets = {
+        "DBLP": small_condensed_graphs["DBLP"],
+        "IMDB": small_condensed_graphs["IMDB"],
+        "Synthetic_1": generate_from_spec(SMALL_SPECS["synthetic_1"]),
+        "Synthetic_2": generate_from_spec(SMALL_SPECS["synthetic_2"]),
+    }
+    return datasets
+
+
+def _record(dataset: str, graph) -> None:
+    stats = representation_stats(graph)
+    _ROWS.append(
+        {
+            "dataset": dataset,
+            "representation": stats.representation if stats.representation != "BITMAP" else graph._bench_label,  # type: ignore[attr-defined]
+            "total_nodes": stats.total_nodes,
+            "virtual_nodes": stats.virtual_nodes,
+            "edges": stats.edges,
+            "bitmaps": stats.bitmaps,
+        }
+    )
+
+
+DATASET_NAMES = ("DBLP", "IMDB", "Synthetic_1", "Synthetic_2")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_cdup(benchmark, figure10_datasets, dataset):
+    graph = once(benchmark, lambda: CDupGraph(figure10_datasets[dataset]))
+    _record(dataset, graph)
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_exp(benchmark, figure10_datasets, dataset):
+    graph = once(benchmark, expand, figure10_datasets[dataset])
+    _record(dataset, graph)
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_dedup1(benchmark, figure10_datasets, dataset):
+    graph = once(
+        benchmark,
+        deduplicate_dedup1,
+        figure10_datasets[dataset],
+        algorithm="greedy_virtual_first",
+        ordering="random",
+    )
+    _record(dataset, graph)
+
+
+@pytest.mark.parametrize("dataset", ("DBLP", "IMDB", "Synthetic_1", "Synthetic_2"))
+def test_dedup2(benchmark, figure10_datasets, dataset):
+    condensed = figure10_datasets[dataset]
+    if not condensed.is_symmetric():
+        pytest.skip("DEDUP-2 requires a symmetric condensed graph")
+    graph = once(benchmark, deduplicate_dedup2, condensed)
+    _record(dataset, graph)
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+@pytest.mark.parametrize("algorithm", ("bitmap1", "bitmap2"))
+def test_bitmap(benchmark, figure10_datasets, dataset, algorithm):
+    graph = once(benchmark, preprocess_bitmap, figure10_datasets[dataset], algorithm=algorithm)
+    graph._bench_label = algorithm.upper()  # type: ignore[attr-defined]
+    _record(dataset, graph)
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_vminer(benchmark, figure10_datasets, dataset):
+    expanded = expand(figure10_datasets[dataset])
+    result = once(benchmark, vminer_compress, expanded, passes=4)
+    _ROWS.append(
+        {
+            "dataset": dataset,
+            "representation": "VMiner",
+            "total_nodes": result.condensed.num_nodes,
+            "virtual_nodes": result.virtual_nodes,
+            "edges": result.output_edges,
+            "bitmaps": 0,
+        }
+    )
+
+
+def test_figure10_summary(benchmark):
+    def collect():
+        table: dict[tuple[str, str], int] = {}
+        for row in _ROWS:
+            table[(str(row["dataset"]), str(row["representation"]))] = int(row["edges"])
+        return table
+
+    table = once(benchmark, collect)
+    record_rows("fig10_compression", "Figure 10 / Table 2: representation sizes", _ROWS)
+
+    for dataset in ("IMDB", "Synthetic_2"):
+        exp_edges = table[(dataset, "EXP")]
+        assert table[(dataset, "C-DUP")] < exp_edges
+        assert table[(dataset, "BITMAP1")] < exp_edges
+        assert table[(dataset, "BITMAP2")] <= table[(dataset, "BITMAP1")]
+        # VMiner works from the expanded graph and should not beat the native
+        # condensed representation on these clique-rich datasets
+        assert table[(dataset, "VMiner")] >= table[(dataset, "C-DUP")]

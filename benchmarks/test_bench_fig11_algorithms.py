@@ -1,0 +1,130 @@
+"""Figure 11 — graph-algorithm performance on each representation.
+
+Runs Degree (vertex-centric), BFS (50 fixed random sources, Graph API) and
+PageRank (vertex-centric, 10 iterations) on every in-memory representation of
+the DBLP and Synthetic_1 datasets, normalising against EXP exactly like the
+figure.  The representations must all return identical results; EXP is
+expected to be the fastest for whole-graph algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import bfs_distances
+from repro.datasets import SMALL_SPECS, generate_from_spec
+from repro.dedup import deduplicate_dedup1, deduplicate_dedup2, preprocess_bitmap
+from repro.dedup.expand import expand
+from repro.graph import CDupGraph
+from repro.utils.rand import SeededRandom
+from repro.vertexcentric import run_degree, run_pagerank
+
+from benchmarks.conftest import once, record_rows
+
+_ROWS: list[dict[str, object]] = []
+REPRESENTATIONS = ("EXP", "C-DUP", "DEDUP-1", "DEDUP-2", "BITMAP")
+DATASETS = ("DBLP", "Synthetic_1")
+
+
+@pytest.fixture(scope="module")
+def algorithm_graphs(small_condensed_graphs):
+    """dataset -> {representation -> graph} for the Figure 11 datasets."""
+    datasets = {
+        "DBLP": small_condensed_graphs["DBLP"],
+        "Synthetic_1": generate_from_spec(SMALL_SPECS["synthetic_1"]),
+    }
+    graphs: dict[str, dict[str, object]] = {}
+    for name, condensed in datasets.items():
+        graphs[name] = {
+            "EXP": expand(condensed),
+            "C-DUP": CDupGraph(condensed),
+            "DEDUP-1": deduplicate_dedup1(condensed, algorithm="greedy_virtual_first"),
+            "BITMAP": preprocess_bitmap(condensed, algorithm="bitmap2"),
+        }
+        if condensed.is_symmetric():
+            graphs[name]["DEDUP-2"] = deduplicate_dedup2(condensed)
+    return graphs
+
+
+def _sources(graph, count: int = 50) -> list:
+    rng = SeededRandom(99)
+    vertices = sorted(graph.get_vertices(), key=repr)
+    return rng.sample(vertices, min(count, len(vertices)))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_degree(benchmark, algorithm_graphs, dataset, representation):
+    graph = algorithm_graphs[dataset].get(representation)
+    if graph is None:
+        pytest.skip(f"{representation} not available for {dataset}")
+    values, _ = once(benchmark, run_degree, graph)
+    _ROWS.append(
+        {"dataset": dataset, "algorithm": "Degree", "representation": representation,
+         "seconds": round(benchmark.stats.stats.mean, 5)}
+    )
+    assert sum(values.values()) > 0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_bfs(benchmark, algorithm_graphs, dataset, representation):
+    graph = algorithm_graphs[dataset].get(representation)
+    if graph is None:
+        pytest.skip(f"{representation} not available for {dataset}")
+    sources = _sources(graph)
+
+    def run_bfs():
+        return sum(len(bfs_distances(graph, source)) for source in sources)
+
+    reached = once(benchmark, run_bfs)
+    _ROWS.append(
+        {"dataset": dataset, "algorithm": "BFS", "representation": representation,
+         "seconds": round(benchmark.stats.stats.mean, 5)}
+    )
+    assert reached >= len(sources)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_pagerank(benchmark, algorithm_graphs, dataset, representation):
+    graph = algorithm_graphs[dataset].get(representation)
+    if graph is None:
+        pytest.skip(f"{representation} not available for {dataset}")
+    values, _ = once(benchmark, run_pagerank, graph, 10)
+    _ROWS.append(
+        {"dataset": dataset, "algorithm": "PageRank", "representation": representation,
+         "seconds": round(benchmark.stats.stats.mean, 5)}
+    )
+    assert abs(sum(values.values())) > 0
+
+
+def test_figure11_summary(benchmark, algorithm_graphs):
+    """Results must agree across representations; record normalised times."""
+
+    def verify():
+        mismatches = 0
+        for dataset, graphs in algorithm_graphs.items():
+            reference_graph = graphs["EXP"]
+            reference, _ = run_degree(reference_graph)
+            for name, graph in graphs.items():
+                if name in ("EXP", "DEDUP-2"):
+                    continue
+                values, _ = run_degree(graph)
+                if values != reference:
+                    mismatches += 1
+        return mismatches
+
+    mismatches = once(benchmark, verify)
+    assert mismatches == 0
+
+    # normalise against EXP per (dataset, algorithm), as the figure does
+    baseline: dict[tuple[str, str], float] = {}
+    for row in _ROWS:
+        if row["representation"] == "EXP":
+            baseline[(str(row["dataset"]), str(row["algorithm"]))] = float(row["seconds"])
+    for row in _ROWS:
+        key = (str(row["dataset"]), str(row["algorithm"]))
+        base = baseline.get(key)
+        row["normalized_to_exp"] = round(float(row["seconds"]) / base, 2) if base else "n/a"
+    record_rows("fig11_algorithms", "Figure 11: algorithm time per representation", _ROWS)

@@ -1,0 +1,149 @@
+"""Tables 4 and 5 — the (simulated) Apache Giraph port.
+
+Table 4 of the paper runs Degree, Connected Components and PageRank on three
+representations (EXP, DEDUP-1, BITMAP) ported to Apache Giraph, over the
+synthetic datasets S1/S2 (growing virtual-node size), N1/N2 (growing node
+counts) and the IMDB co-actor graph; Table 5 lists the per-representation
+dataset sizes (nodes, virtual nodes, edges).
+
+This benchmark reproduces both tables on the simulated BSP engine
+(:mod:`repro.giraph`): for every (dataset, representation, algorithm) cell it
+records the running time, the analytic memory estimate and the message volume,
+and a summary reproduces Table 5's size columns.
+
+Shape assertions:
+
+* all representations compute identical results per algorithm;
+* on the dense synthetic datasets the BITMAP representation stores far fewer
+  physical edges than EXP (Table 5) and therefore pays less memory;
+* virtual-node message aggregation keeps BITMAP's PageRank message volume at
+  most ~2x the number of condensed edges per superstep, which on dense
+  datasets is far below EXP's one-message-per-expanded-edge volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dedup import deduplicate_dedup1, preprocess_bitmap
+from repro.dedup.expand import expand
+from repro.datasets import generate_giraph_dataset
+from repro.giraph import run_giraph
+from repro.graph import representation_stats
+
+from benchmarks.conftest import once, record_rows
+
+_TABLE4_ROWS: list[dict[str, object]] = []
+_TABLE5_ROWS: list[dict[str, object]] = []
+
+DATASET_NAMES = ("S1", "S2", "N1", "N2", "IMDB")
+REPRESENTATIONS = ("EXP", "DEDUP-1", "BITMAP")
+ALGORITHMS = ("degree", "connected_components", "pagerank")
+
+
+@pytest.fixture(scope="module")
+def giraph_graphs(small_condensed_graphs):
+    """dataset -> {representation -> graph} for the Table 4/5 datasets."""
+    condensed_by_name = {
+        name: generate_giraph_dataset(name) for name in ("S1", "S2", "N1", "N2")
+    }
+    condensed_by_name["IMDB"] = small_condensed_graphs["IMDB"]
+    graphs: dict[str, dict[str, object]] = {}
+    for name, condensed in condensed_by_name.items():
+        graphs[name] = {
+            "EXP": expand(condensed),
+            "DEDUP-1": deduplicate_dedup1(condensed.copy(), algorithm="greedy_virtual_first"),
+            "BITMAP": preprocess_bitmap(condensed, algorithm="bitmap2"),
+        }
+    return graphs
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_giraph_cell(benchmark, giraph_graphs, dataset, representation, algorithm):
+    graph = giraph_graphs[dataset][representation]
+    result = once(benchmark, run_giraph, graph, algorithm, 10)
+    _TABLE4_ROWS.append(
+        {
+            "dataset": dataset,
+            "representation": representation,
+            "algorithm": algorithm,
+            "seconds": round(result.seconds, 4),
+            "estimated_memory_bytes": result.estimated_memory_bytes,
+            "supersteps": result.metrics.supersteps,
+            "total_messages": result.metrics.total_messages,
+        }
+    )
+    assert len(result.values) == graph.num_vertices()
+
+
+def test_table5_sizes(benchmark, giraph_graphs):
+    """Table 5: per-representation dataset sizes."""
+
+    def collect():
+        for dataset, reps in giraph_graphs.items():
+            for representation, graph in reps.items():
+                stats = representation_stats(graph)
+                _TABLE5_ROWS.append(
+                    {
+                        "dataset": dataset,
+                        "representation": representation,
+                        "all_nodes": stats.total_nodes,
+                        "virtual_nodes": stats.virtual_nodes,
+                        "edges": stats.edges,
+                    }
+                )
+        return len(_TABLE5_ROWS)
+
+    count = once(benchmark, collect)
+    assert count == len(DATASET_NAMES) * len(REPRESENTATIONS)
+
+
+def test_table4_summary(benchmark, giraph_graphs):
+    def index_rows():
+        table: dict[tuple[str, str, str], dict[str, object]] = {}
+        for row in _TABLE4_ROWS:
+            key = (str(row["dataset"]), str(row["representation"]), str(row["algorithm"]))
+            table[key] = row
+        sizes: dict[tuple[str, str], dict[str, object]] = {}
+        for row in _TABLE5_ROWS:
+            sizes[(str(row["dataset"]), str(row["representation"]))] = row
+        return table, sizes
+
+    table, sizes = once(benchmark, index_rows)
+    record_rows("table4_giraph", "Table 4: Giraph time / memory / messages", _TABLE4_ROWS)
+    record_rows("table4_giraph", "Table 5: Giraph dataset sizes", _TABLE5_ROWS)
+
+    # Table 5 shape: on the dense synthetic datasets BITMAP keeps far fewer
+    # physical edges than EXP (that is the whole point of the representation)
+    for dataset in ("S1", "S2", "N1", "N2"):
+        exp_edges = int(sizes[(dataset, "EXP")]["edges"])
+        bmp_edges = int(sizes[(dataset, "BITMAP")]["edges"])
+        assert bmp_edges * 2 < exp_edges, f"{dataset}: BITMAP should store far fewer edges"
+
+    # message-volume shape: BITMAP (virtual-node aggregation) sends fewer
+    # PageRank messages than EXP on the dense datasets
+    for dataset in ("S2", "N2"):
+        exp_messages = int(table[(dataset, "EXP", "pagerank")]["total_messages"])
+        bmp_messages = int(table[(dataset, "BITMAP", "pagerank")]["total_messages"])
+        assert bmp_messages < exp_messages, (
+            f"{dataset}: BITMAP PageRank should send fewer messages than EXP"
+        )
+
+    # correctness: every representation must agree on every algorithm
+    for dataset, reps in giraph_graphs.items():
+        for algorithm in ALGORITHMS:
+            reference = run_giraph(reps["EXP"], algorithm, 10).values
+            for representation in ("DEDUP-1", "BITMAP"):
+                values = run_giraph(reps[representation], algorithm, 10).values
+                if algorithm == "pagerank":
+                    assert set(values) == set(reference)
+                    for vertex, score in values.items():
+                        assert abs(score - reference[vertex]) < 1e-6, (
+                            f"{dataset}/{representation}: PageRank mismatch at {vertex!r}"
+                        )
+                else:
+                    assert values == reference, (
+                        f"{dataset}/{representation}: {algorithm} mismatch vs EXP"
+                    )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Strong collaborations: aggregation constructs in the extraction DSL.
+
+The paper's introduction motivates graphs whose edges need an aggregate to
+define — e.g. connect two authors only "if they co-authored multiple papers
+together".  This example extracts three variants of the co-author graph from
+the same DBLP-shaped database:
+
+1. the plain co-author graph (one shared paper is enough),
+2. a *weighted* co-author graph where every edge carries ``count(PubID)``,
+   the number of shared papers, and
+3. the *strong collaboration* graph keeping only pairs with at least two
+   shared papers (a HAVING-style aggregate constraint).
+
+Run with:  python examples/strong_collaborations.py
+"""
+
+from __future__ import annotations
+
+from repro import GraphGen
+from repro.algorithms import average_degree, num_components
+from repro.datasets import COAUTHOR_QUERY, generate_dblp
+
+WEIGHTED_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2, count(PubID)) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+"""
+
+STRONG_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID), count(PubID) >= 2.
+"""
+
+
+def main() -> None:
+    db = generate_dblp(num_authors=300, num_publications=700,
+                       mean_authors_per_pub=3.5, seed=7)
+    gg = GraphGen(db)
+
+    # 1. the plain co-author graph ---------------------------------------- #
+    plain = gg.extract(COAUTHOR_QUERY, representation="exp")
+    print("plain co-author graph")
+    print(f"  vertices: {plain.num_vertices()}  edges: {plain.num_edges()}")
+    print(f"  average degree: {average_degree(plain):.2f}")
+    print(f"  connected components: {num_components(plain)}")
+
+    # 2. the weighted co-author graph ------------------------------------- #
+    weighted = gg.extract(WEIGHTED_QUERY, representation="exp")
+    pair_weights = [
+        (u, v, weighted.get_edge_property(u, v, "count_PubID", 0))
+        for u, v in weighted.edges()
+        if u != v
+    ]
+    pair_weights.sort(key=lambda item: -item[2])
+    print("\nweighted co-author graph (count of shared papers per edge)")
+    print("  strongest collaborations:")
+    for u, v, weight in pair_weights[:5]:
+        name_u = weighted.get_property(u, "Name")
+        name_v = weighted.get_property(v, "Name")
+        print(f"    {name_u} -- {name_v}: {weight} shared papers")
+
+    # 3. the strong-collaboration graph (HAVING count >= 2) ---------------- #
+    strong = gg.extract(STRONG_QUERY, representation="exp")
+    print("\nstrong collaboration graph (>= 2 shared papers)")
+    print(f"  vertices: {strong.num_vertices()}  edges: {strong.num_edges()}")
+    kept = strong.num_edges() / max(1, plain.num_edges())
+    print(f"  kept {kept:.1%} of the plain graph's edges")
+    print(f"  connected components: {num_components(strong)} "
+          f"(vs {num_components(plain)} in the plain graph)")
+
+    # the plan shows how GraphGen executes the aggregation (Case 2)
+    print("\nextraction plan for the strong-collaboration graph:")
+    print(gg.explain(STRONG_QUERY))
+
+
+if __name__ == "__main__":
+    main()

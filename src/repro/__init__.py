@@ -1,0 +1,58 @@
+"""GraphGen reproduction: extracting and analyzing hidden graphs from
+relational databases (Xirogiannopoulos & Deshpande, SIGMOD 2017).
+
+Quickstart::
+
+    from repro import Database, GraphGen
+    from repro.algorithms import pagerank
+
+    db = Database("dblp")
+    db.create_table("Author", [("id", "int"), ("name", "str")], primary_key="id")
+    db.create_table("AuthorPub", [("aid", "int"), ("pid", "int")])
+    ...
+    gg = GraphGen(db)
+    graph = gg.extract('''
+        Nodes(ID, Name) :- Author(ID, Name).
+        Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+    ''', representation="bitmap")
+    scores = pagerank(graph)
+"""
+
+from repro.core import ExtractionOptions, ExtractionResult, GraphGen
+from repro.relational import Database
+from repro.dsl import parse as parse_query
+from repro.graph import (
+    BitmapGraph,
+    CDupGraph,
+    CondensedGraph,
+    Dedup1Graph,
+    Dedup2Graph,
+    ExpandedGraph,
+    Graph,
+)
+from repro.graphgenpy import GraphGenPy, extract_to_networkx, load_networkx
+from repro.temporal import extract_snapshots, snapshot_diff, temporal_metrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExtractionOptions",
+    "ExtractionResult",
+    "GraphGen",
+    "Database",
+    "parse_query",
+    "BitmapGraph",
+    "CDupGraph",
+    "CondensedGraph",
+    "Dedup1Graph",
+    "Dedup2Graph",
+    "ExpandedGraph",
+    "Graph",
+    "GraphGenPy",
+    "extract_to_networkx",
+    "load_networkx",
+    "extract_snapshots",
+    "snapshot_diff",
+    "temporal_metrics",
+    "__version__",
+]

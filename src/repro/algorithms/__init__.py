@@ -1,0 +1,99 @@
+"""Graph algorithms written against the Graph API.
+
+Every algorithm works on any representation (EXP, C-DUP, DEDUP-1, DEDUP-2,
+BITMAP) because it only uses ``get_vertices`` / ``get_neighbors`` /
+``exists_edge``.
+"""
+
+from repro.algorithms.degree import average_degree, degree_of, degrees, max_degree_vertex
+from repro.algorithms.bfs import (
+    bfs_distances,
+    bfs_order,
+    bfs_tree,
+    reachable_set,
+    shortest_path,
+)
+from repro.algorithms.pagerank import pagerank, top_k_pagerank
+from repro.algorithms.connected_components import (
+    component_sizes,
+    connected_components,
+    largest_component,
+    num_components,
+)
+from repro.algorithms.label_propagation import communities, label_propagation
+from repro.algorithms.triangles import (
+    average_clustering,
+    clustering_coefficient,
+    count_triangles,
+    triangles_per_vertex,
+)
+from repro.algorithms.shortest_paths import (
+    approximate_diameter,
+    average_path_length,
+    eccentricity,
+    single_source_shortest_paths,
+)
+from repro.algorithms.kcore import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    densest_core,
+    k_core,
+)
+from repro.algorithms.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    top_k_central,
+)
+from repro.algorithms.similarity import (
+    adamic_adar,
+    common_neighbors,
+    jaccard_coefficient,
+    link_predictions,
+    preferential_attachment,
+    similarity_matrix,
+)
+
+__all__ = [
+    "average_degree",
+    "degree_of",
+    "degrees",
+    "max_degree_vertex",
+    "bfs_distances",
+    "bfs_order",
+    "bfs_tree",
+    "reachable_set",
+    "shortest_path",
+    "pagerank",
+    "top_k_pagerank",
+    "component_sizes",
+    "connected_components",
+    "largest_component",
+    "num_components",
+    "communities",
+    "label_propagation",
+    "average_clustering",
+    "clustering_coefficient",
+    "count_triangles",
+    "triangles_per_vertex",
+    "approximate_diameter",
+    "average_path_length",
+    "eccentricity",
+    "single_source_shortest_paths",
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_ordering",
+    "densest_core",
+    "k_core",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "degree_centrality",
+    "top_k_central",
+    "adamic_adar",
+    "common_neighbors",
+    "jaccard_coefficient",
+    "link_predictions",
+    "preferential_attachment",
+    "similarity_matrix",
+]

@@ -1,0 +1,80 @@
+"""Breadth-first search over the Graph API.
+
+BFS is one of the paper's three benchmark algorithms; it is also
+duplicate-insensitive, i.e. it returns correct results even when run directly
+on C-DUP without deduplication (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import RepresentationError
+from repro.graph.api import Graph, VertexId
+
+
+def bfs_distances(graph: Graph, source: VertexId, max_depth: int | None = None) -> dict[VertexId, int]:
+    """Hop distance from ``source`` to every reachable vertex (including itself)."""
+    if not graph.has_vertex(source):
+        raise RepresentationError(f"BFS source {source!r} is not in the graph")
+    distances: dict[VertexId, int] = {source: 0}
+    queue: deque[VertexId] = deque([source])
+    while queue:
+        current = queue.popleft()
+        depth = distances[current]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in graph.get_neighbors(current):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_order(graph: Graph, source: VertexId) -> list[VertexId]:
+    """Vertices in BFS visit order starting from ``source``."""
+    if not graph.has_vertex(source):
+        raise RepresentationError(f"BFS source {source!r} is not in the graph")
+    visited: set[VertexId] = {source}
+    order: list[VertexId] = [source]
+    queue: deque[VertexId] = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.get_neighbors(current):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def bfs_tree(graph: Graph, source: VertexId) -> dict[VertexId, VertexId | None]:
+    """Parent pointers of a BFS tree rooted at ``source`` (root maps to None)."""
+    if not graph.has_vertex(source):
+        raise RepresentationError(f"BFS source {source!r} is not in the graph")
+    parents: dict[VertexId, VertexId | None] = {source: None}
+    queue: deque[VertexId] = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.get_neighbors(current):
+            if neighbor not in parents:
+                parents[neighbor] = current
+                queue.append(neighbor)
+    return parents
+
+
+def reachable_set(graph: Graph, source: VertexId) -> set[VertexId]:
+    """All vertices reachable from ``source`` (including itself)."""
+    return set(bfs_distances(graph, source))
+
+
+def shortest_path(graph: Graph, source: VertexId, target: VertexId) -> list[VertexId] | None:
+    """A shortest (unweighted) path from ``source`` to ``target``; None if unreachable."""
+    parents = bfs_tree(graph, source)
+    if target not in parents:
+        return None
+    path: list[VertexId] = [target]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+    return path

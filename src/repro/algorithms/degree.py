@@ -1,0 +1,40 @@
+"""Degree computation.
+
+Trivial on EXP; on condensed representations it exercises the neighbor
+iterator, which is exactly why the paper uses it as one of its three
+benchmark algorithms (Figures 11 and 13, Table 3, Table 4).
+"""
+
+from __future__ import annotations
+
+from repro.graph.api import Graph, VertexId
+
+
+def degrees(graph: Graph) -> dict[VertexId, int]:
+    """Out-degree of every vertex (logical, duplicates removed)."""
+    return {vertex: graph.degree(vertex) for vertex in graph.get_vertices()}
+
+
+def degree_of(graph: Graph, vertex: VertexId) -> int:
+    """Out-degree of a single vertex."""
+    return graph.degree(vertex)
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean out-degree (0.0 for an empty graph)."""
+    total = 0
+    count = 0
+    for vertex in graph.get_vertices():
+        total += graph.degree(vertex)
+        count += 1
+    return total / count if count else 0.0
+
+
+def max_degree_vertex(graph: Graph) -> tuple[VertexId, int] | None:
+    """The vertex with the largest out-degree, or ``None`` for an empty graph."""
+    best: tuple[VertexId, int] | None = None
+    for vertex in graph.get_vertices():
+        degree = graph.degree(vertex)
+        if best is None or degree > best[1]:
+            best = (vertex, degree)
+    return best

@@ -1,0 +1,57 @@
+"""Community detection by (semi-synchronous) label propagation.
+
+The paper motivates GraphGen with "complex analysis tasks like community
+detection ... which require random and arbitrary access to the graph"; label
+propagation is the classic lightweight community-detection algorithm and runs
+against the plain Graph API, so it works on every representation.
+"""
+
+from __future__ import annotations
+
+from repro.graph.api import Graph, VertexId
+from repro.utils.rand import SeededRandom
+
+
+def label_propagation(
+    graph: Graph,
+    max_iterations: int = 20,
+    seed: int = 0,
+) -> dict[VertexId, VertexId]:
+    """Assign a community label to every vertex.
+
+    Every vertex starts in its own community; in each round the vertices (in a
+    shuffled order) adopt the most frequent label among their out-neighbors,
+    with deterministic tie-breaking.  Stops when no label changes or after
+    ``max_iterations`` rounds.
+    """
+    rng = SeededRandom(seed)
+    vertices = list(graph.get_vertices())
+    labels: dict[VertexId, VertexId] = {v: v for v in vertices}
+    neighbors: dict[VertexId, list[VertexId]] = {v: list(graph.get_neighbors(v)) for v in vertices}
+
+    for _ in range(max_iterations):
+        changed = 0
+        for vertex in rng.shuffle(list(vertices)):
+            adjacent = neighbors[vertex]
+            if not adjacent:
+                continue
+            counts: dict[VertexId, int] = {}
+            for neighbor in adjacent:
+                label = labels.get(neighbor, neighbor)
+                counts[label] = counts.get(label, 0) + 1
+            best = sorted(counts.items(), key=lambda item: (-item[1], repr(item[0])))[0][0]
+            if best != labels[vertex]:
+                labels[vertex] = best
+                changed += 1
+        if changed == 0:
+            break
+    return labels
+
+
+def communities(graph: Graph, max_iterations: int = 20, seed: int = 0) -> list[set[VertexId]]:
+    """Group vertices by their propagated label, largest community first."""
+    labels = label_propagation(graph, max_iterations=max_iterations, seed=seed)
+    groups: dict[VertexId, set[VertexId]] = {}
+    for vertex, label in labels.items():
+        groups.setdefault(label, set()).add(vertex)
+    return sorted(groups.values(), key=len, reverse=True)

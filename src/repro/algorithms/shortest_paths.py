@@ -1,0 +1,50 @@
+"""Single-source shortest paths (unweighted and weighted by hop count helpers).
+
+These are thin wrappers around BFS plus an eccentricity / diameter estimate
+used by the examples; graph algorithms here only use the Graph API so they run
+on every representation.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.bfs import bfs_distances
+from repro.graph.api import Graph, VertexId
+from repro.utils.rand import SeededRandom
+
+
+def single_source_shortest_paths(graph: Graph, source: VertexId) -> dict[VertexId, int]:
+    """Hop distances from ``source`` (alias of :func:`bfs_distances`)."""
+    return bfs_distances(graph, source)
+
+
+def eccentricity(graph: Graph, vertex: VertexId) -> int:
+    """Largest hop distance from ``vertex`` to any reachable vertex."""
+    distances = bfs_distances(graph, vertex)
+    return max(distances.values()) if distances else 0
+
+
+def approximate_diameter(graph: Graph, samples: int = 10, seed: int = 0) -> int:
+    """Lower bound on the diameter from BFS at ``samples`` random vertices."""
+    vertices = list(graph.get_vertices())
+    if not vertices:
+        return 0
+    rng = SeededRandom(seed)
+    chosen = rng.sample(vertices, min(samples, len(vertices)))
+    return max(eccentricity(graph, vertex) for vertex in chosen)
+
+
+def average_path_length(graph: Graph, samples: int = 10, seed: int = 0) -> float:
+    """Average hop distance over BFS trees rooted at sampled vertices."""
+    vertices = list(graph.get_vertices())
+    if not vertices:
+        return 0.0
+    rng = SeededRandom(seed)
+    chosen = rng.sample(vertices, min(samples, len(vertices)))
+    total = 0.0
+    count = 0
+    for vertex in chosen:
+        distances = bfs_distances(graph, vertex)
+        reachable = [d for node, d in distances.items() if node != vertex]
+        total += sum(reachable)
+        count += len(reachable)
+    return total / count if count else 0.0

@@ -1,0 +1,89 @@
+"""Triangle counting and clustering coefficients.
+
+Edges are treated as undirected (the out-adjacency is symmetrised first) and
+self-loops are ignored.  Triangle counting is a representative "dense
+subgraph" style workload that exercises neighbor-set intersection rather than
+plain iteration, complementing PageRank and BFS in the example applications.
+"""
+
+from __future__ import annotations
+
+from repro.graph.api import Graph, VertexId
+
+
+def _undirected_adjacency(graph: Graph) -> dict[VertexId, set[VertexId]]:
+    """Symmetrised adjacency with self-loops dropped."""
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in graph.get_vertices()}
+    for u in list(adjacency):
+        for v in graph.get_neighbors(u):
+            if v == u:
+                continue
+            adjacency.setdefault(v, set())
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+    return adjacency
+
+
+def count_triangles(graph: Graph) -> int:
+    """Number of distinct triangles (each counted once)."""
+    adjacency = _undirected_adjacency(graph)
+    order = {vertex: index for index, vertex in enumerate(adjacency)}
+    total = 0
+    for u, rank_u in order.items():
+        higher_u = {v for v in adjacency[u] if order[v] > rank_u}
+        for v in higher_u:
+            higher_v = {w for w in adjacency[v] if order[w] > order[v]}
+            total += len(higher_u & higher_v)
+    return total
+
+
+def triangles_per_vertex(graph: Graph) -> dict[VertexId, int]:
+    """Number of triangles each vertex participates in."""
+    adjacency = _undirected_adjacency(graph)
+    order = {vertex: index for index, vertex in enumerate(adjacency)}
+    counts: dict[VertexId, int] = {v: 0 for v in adjacency}
+    for u, rank_u in order.items():
+        higher_u = {v for v in adjacency[u] if order[v] > rank_u}
+        for v in higher_u:
+            higher_v = {w for w in adjacency[v] if order[w] > order[v]}
+            for w in higher_u & higher_v:
+                counts[u] += 1
+                counts[v] += 1
+                counts[w] += 1
+    return counts
+
+
+def clustering_coefficient(graph: Graph, vertex: VertexId) -> float:
+    """Local clustering coefficient of ``vertex`` (0.0 when degree < 2)."""
+    adjacency = _undirected_adjacency(graph)
+    neighbors = adjacency.get(vertex, set())
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    links = 0
+    neighbor_list = sorted(neighbors, key=repr)
+    for i, a in enumerate(neighbor_list):
+        for b in neighbor_list[i + 1 :]:
+            if b in adjacency[a]:
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean local clustering coefficient over all vertices."""
+    adjacency = _undirected_adjacency(graph)
+    if not adjacency:
+        return 0.0
+    total = 0.0
+    for vertex, neighbors in adjacency.items():
+        degree = len(neighbors)
+        if degree < 2:
+            continue
+        links = 0
+        neighbor_list = sorted(neighbors, key=repr)
+        for i, a in enumerate(neighbor_list):
+            for b in neighbor_list[i + 1 :]:
+                if b in adjacency[a]:
+                    links += 1
+        total += 2.0 * links / (degree * (degree - 1))
+    return total / len(adjacency)

@@ -1,0 +1,275 @@
+"""Command-line interface for GraphGen.
+
+The paper's system is used through a web front-end and a Python wrapper; this
+CLI gives the reproduction an equivalent batch entry point so that graphs can
+be extracted, inspected and analyzed without writing a script::
+
+    python -m repro.cli datasets
+    python -m repro.cli extract --dataset dblp --output coauthors.tsv
+    python -m repro.cli explain --data ./my_csv_db --query-file coauthors.dl
+    python -m repro.cli analyze --dataset tpch --algorithm pagerank --top 5
+
+Databases come either from a directory of CSV files (see
+:mod:`repro.relational.csv_io`) or from one of the built-in synthetic dataset
+generators; queries come from a file, a literal string, or the dataset's
+default extraction query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.algorithms import (
+    bfs_distances,
+    connected_components,
+    degrees,
+    pagerank,
+)
+from repro.core.graphgen import GraphGen, REPRESENTATIONS
+from repro.datasets import (
+    COACTOR_QUERY,
+    COAUTHOR_QUERY,
+    COENROLLMENT_QUERY,
+    COPURCHASE_QUERY,
+    generate_dblp,
+    generate_imdb,
+    generate_tpch,
+    generate_univ,
+)
+from repro.exceptions import GraphGenError
+from repro.graphgenpy import FORMATS, GraphGenPy
+from repro.relational.csv_io import read_database
+from repro.relational.database import Database
+
+#: name -> (generator(scale, seed) -> Database, default extraction query)
+BUILTIN_DATASETS: dict[str, tuple[Callable[[float, int], Database], str]] = {
+    "dblp": (
+        lambda scale, seed: generate_dblp(
+            num_authors=int(300 * scale),
+            num_publications=int(500 * scale),
+            mean_authors_per_pub=4.0,
+            seed=seed,
+        ),
+        COAUTHOR_QUERY,
+    ),
+    "imdb": (
+        lambda scale, seed: generate_imdb(
+            num_people=int(250 * scale), num_movies=int(40 * scale), mean_cast_size=10.0, seed=seed
+        ),
+        COACTOR_QUERY,
+    ),
+    "tpch": (
+        lambda scale, seed: generate_tpch(
+            num_customers=int(200 * scale),
+            num_parts=int(60 * scale),
+            orders_per_customer=3.0,
+            lineitems_per_order=4.0,
+            part_skew=1.0,
+            seed=seed,
+        ),
+        COPURCHASE_QUERY,
+    ),
+    "univ": (
+        lambda scale, seed: generate_univ(
+            num_students=int(250 * scale),
+            num_instructors=int(20 * scale),
+            num_courses=int(40 * scale),
+            seed=seed,
+        ),
+        COENROLLMENT_QUERY,
+    ),
+}
+
+ALGORITHMS = ("degree", "pagerank", "components", "bfs")
+
+
+# --------------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="graphgen",
+        description="Extract and analyze hidden graphs from relational data.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
+
+    for name, help_text in (
+        ("extract", "extract a graph and serialize it to a file"),
+        ("explain", "show the extraction plan and generated SQL"),
+        ("analyze", "extract a graph and run a graph algorithm on it"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_source_arguments(sub)
+        _add_query_arguments(sub)
+        sub.add_argument(
+            "--representation",
+            choices=REPRESENTATIONS,
+            default="cdup",
+            help="in-memory representation to build (default: cdup)",
+        )
+        if name == "extract":
+            sub.add_argument("--output", required=True, help="output file path")
+            sub.add_argument(
+                "--format", choices=FORMATS, default="edgelist", help="serialization format"
+            )
+        if name == "analyze":
+            sub.add_argument("--algorithm", choices=ALGORITHMS, default="degree")
+            sub.add_argument("--top", type=int, default=10, help="number of result rows to print")
+            sub.add_argument("--source", help="source vertex for BFS (as text)")
+
+    return parser
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--data", help="directory of CSV files to load as the database")
+    group.add_argument(
+        "--dataset", choices=sorted(BUILTIN_DATASETS), help="built-in synthetic dataset"
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="size multiplier for --dataset")
+    parser.add_argument("--seed", type=int, default=0, help="random seed for --dataset")
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--query", help="extraction query as a literal DSL string")
+    group.add_argument("--query-file", help="file containing the extraction query")
+
+
+# --------------------------------------------------------------------------- #
+# shared resolution helpers
+# --------------------------------------------------------------------------- #
+def _resolve_database(args: argparse.Namespace) -> Database:
+    if args.data:
+        return read_database(args.data)
+    generator, _ = BUILTIN_DATASETS[args.dataset]
+    return generator(args.scale, args.seed)
+
+
+def _resolve_query(args: argparse.Namespace) -> str:
+    if args.query:
+        return args.query
+    if args.query_file:
+        return Path(args.query_file).read_text(encoding="utf-8")
+    if args.dataset:
+        return BUILTIN_DATASETS[args.dataset][1]
+    raise GraphGenError(
+        "no query given: pass --query / --query-file, or use --dataset for its default query"
+    )
+
+
+def _print_rows(rows: Sequence[tuple[Any, Any]], header: tuple[str, str], out) -> None:
+    width = max(len(header[0]), *(len(str(key)) for key, _ in rows)) if rows else len(header[0])
+    print(f"{header[0].ljust(width)}  {header[1]}", file=out)
+    for key, value in rows:
+        print(f"{str(key).ljust(width)}  {value}", file=out)
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_datasets(_: argparse.Namespace, out) -> int:
+    for name in sorted(BUILTIN_DATASETS):
+        _, query = BUILTIN_DATASETS[name]
+        first_edges_line = next(
+            line.strip() for line in query.strip().splitlines() if line.strip().startswith("Edges")
+        )
+        print(f"{name}: {first_edges_line}", file=out)
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace, out) -> int:
+    db = _resolve_database(args)
+    query = _resolve_query(args)
+    result = GraphGenPy(db).execute_query(
+        query, args.output, fmt=args.format, representation=args.representation
+    )
+    for key, value in result.as_dict().items():
+        print(f"{key}: {value}", file=out)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    db = _resolve_database(args)
+    query = _resolve_query(args)
+    print(GraphGen(db).explain(query), file=out)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    db = _resolve_database(args)
+    query = _resolve_query(args)
+    graph = GraphGen(db).extract(query, representation=args.representation)
+
+    if args.algorithm == "degree":
+        scores = degrees(graph)
+        rows = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
+        _print_rows(rows, ("vertex", "degree"), out)
+    elif args.algorithm == "pagerank":
+        scores = pagerank(graph)
+        rows = [
+            (vertex, f"{score:.6f}")
+            for vertex, score in sorted(
+                scores.items(), key=lambda item: (-item[1], repr(item[0]))
+            )[: args.top]
+        ]
+        _print_rows(rows, ("vertex", "pagerank"), out)
+    elif args.algorithm == "components":
+        labels = connected_components(graph)
+        sizes: dict[int, int] = {}
+        for label in labels.values():
+            sizes[label] = sizes.get(label, 0) + 1
+        rows = sorted(sizes.items(), key=lambda item: -item[1])[: args.top]
+        print(f"components: {len(sizes)}", file=out)
+        _print_rows(rows, ("component", "size"), out)
+    else:  # bfs
+        if args.source is None:
+            raise GraphGenError("--source is required for the bfs algorithm")
+        source = _parse_vertex(graph, args.source)
+        distances = bfs_distances(graph, source)
+        rows = sorted(distances.items(), key=lambda item: (item[1], repr(item[0])))[: args.top]
+        print(f"reachable vertices: {len(distances)}", file=out)
+        _print_rows(rows, ("vertex", "distance"), out)
+    return 0
+
+
+def _parse_vertex(graph, text: str):
+    """Interpret a --source string as an existing vertex ID (int if possible)."""
+    if graph.has_vertex(text):
+        return text
+    try:
+        candidate = int(text)
+    except ValueError:
+        candidate = None
+    if candidate is not None and graph.has_vertex(candidate):
+        return candidate
+    raise GraphGenError(f"vertex {text!r} is not in the extracted graph")
+
+
+COMMANDS = {
+    "datasets": _cmd_datasets,
+    "extract": _cmd_extract,
+    "explain": _cmd_explain,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args, out)
+    except GraphGenError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

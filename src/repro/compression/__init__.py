@@ -1,0 +1,5 @@
+"""External compression baselines (VMiner)."""
+
+from repro.compression.vminer import VMinerResult, compress
+
+__all__ = ["VMinerResult", "compress"]

@@ -1,0 +1,131 @@
+"""VMiner (Virtual Node Miner) — the graph-compression baseline of Figure 10.
+
+Buehrer & Chellapilla's algorithm compresses a web graph by repeatedly mining
+bi-cliques: groups of nodes ``A`` and ``B`` such that every ``u in A`` links to
+every ``v in B``.  Each bi-clique is replaced by a virtual node ``C`` with
+edges ``u -> C`` and ``C -> v``, saving ``|A|*|B| - (|A|+|B|)`` edges.  The
+original uses frequent-pattern mining over clustered adjacency lists; this
+reproduction uses the same structure with a simpler clustering step (min-hash
+bucketing of out-neighbor lists) and a greedy common-neighbor extraction per
+bucket, run for several passes.
+
+The crucial point the paper makes is preserved by construction: **VMiner needs
+the expanded graph as input** — it cannot start from the implicit relational
+representation — and in practice it finds worse bi-cliques than the ones the
+relational structure hands GraphGen for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.api import Graph
+from repro.graph.condensed import CondensedGraph
+from repro.utils.rand import SeededRandom
+
+
+@dataclass
+class VMinerResult:
+    """Outcome of a VMiner compression run."""
+
+    condensed: CondensedGraph
+    passes: int
+    bicliques_found: int
+    input_edges: int
+    output_edges: int
+    virtual_nodes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Output edges / input edges (smaller is better)."""
+        if self.input_edges == 0:
+            return 1.0
+        return self.output_edges / self.input_edges
+
+
+def _minhash_signature(neighbors: list, hashes: list[int], universe: int) -> tuple[int, ...]:
+    """Cheap min-hash signature of a neighbor list (one value per hash seed)."""
+    signature = []
+    for seed in hashes:
+        best = None
+        for neighbor in neighbors:
+            value = (hash(neighbor) * 31 + seed) % universe
+            if best is None or value < best:
+                best = value
+        signature.append(best if best is not None else -1)
+    return tuple(signature)
+
+
+def compress(
+    graph: Graph,
+    passes: int = 4,
+    num_hashes: int = 2,
+    min_group: int = 2,
+    min_common: int = 2,
+    seed: int = 0,
+) -> VMinerResult:
+    """Compress the expanded ``graph`` into a condensed representation.
+
+    Parameters mirror the knobs the paper says it swept ("VMiner has several
+    parameters which we exhaustively tried out combinations of"): the number
+    of passes, the min-hash width used for clustering, and the minimum
+    bi-clique dimensions worth extracting.
+    """
+    rng = SeededRandom(seed)
+
+    # working adjacency (deduplicated out-neighbor sets of real nodes)
+    adjacency: dict = {v: set(graph.get_neighbors(v)) for v in graph.get_vertices()}
+    input_edges = sum(len(n) for n in adjacency.values())
+
+    result = CondensedGraph()
+    for vertex in adjacency:
+        result.add_real_node(vertex)
+
+    bicliques = 0
+    universe = max(1024, 4 * len(adjacency))
+    for _ in range(passes):
+        hashes = [rng.randint(1, universe) for _ in range(num_hashes)]
+        buckets: dict[tuple[int, ...], list] = {}
+        for vertex, neighbors in adjacency.items():
+            if len(neighbors) < min_common:
+                continue
+            signature = _minhash_signature(sorted(neighbors, key=repr), hashes, universe)
+            buckets.setdefault(signature, []).append(vertex)
+
+        progress = False
+        for members in buckets.values():
+            if len(members) < min_group:
+                continue
+            common = set.intersection(*(adjacency[m] for m in members))
+            if len(common) < min_common:
+                continue
+            group_size, common_size = len(members), len(common)
+            saving = group_size * common_size - (group_size + common_size)
+            if saving <= 0:
+                continue
+            # replace the bi-clique with a virtual node
+            virtual = result.add_virtual_node(("vminer", bicliques))
+            for member in members:
+                result.add_edge(result.internal(member), virtual)
+                adjacency[member] -= common
+            for target in sorted(common, key=repr):
+                result.add_edge(virtual, result.internal(target))
+            bicliques += 1
+            progress = True
+        if not progress:
+            break
+
+    # whatever edges remain stay as direct edges
+    for vertex, neighbors in adjacency.items():
+        for target in sorted(neighbors, key=repr):
+            result.add_edge(result.internal(vertex), result.internal(target))
+
+    output_edges = result.num_condensed_edges
+    return VMinerResult(
+        condensed=result,
+        passes=passes,
+        bicliques_found=bicliques,
+        input_edges=input_edges,
+        output_edges=output_edges,
+        virtual_nodes=result.num_virtual_nodes,
+    )

@@ -1,0 +1,30 @@
+"""GraphGen's core: planning, extraction and the user-facing facade."""
+
+from repro.core.config import ExtractionOptions
+from repro.core.planner import (
+    EdgePlan,
+    ExtractionPlan,
+    JoinDecision,
+    NodePlan,
+    Planner,
+    SegmentPlan,
+)
+from repro.core.extractor import ExtractionReport, Extractor, QueryExecutor, maybe_auto_expand
+from repro.core.graphgen import ExtractionResult, GraphGen, REPRESENTATIONS
+
+__all__ = [
+    "ExtractionOptions",
+    "EdgePlan",
+    "ExtractionPlan",
+    "JoinDecision",
+    "NodePlan",
+    "Planner",
+    "SegmentPlan",
+    "ExtractionReport",
+    "Extractor",
+    "QueryExecutor",
+    "maybe_auto_expand",
+    "ExtractionResult",
+    "GraphGen",
+    "REPRESENTATIONS",
+]

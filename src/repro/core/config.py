@@ -1,0 +1,60 @@
+"""Configuration options for the extraction pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: planner estimators for join output size
+ESTIMATOR_DISTINCT = "distinct"
+ESTIMATOR_EXACT = "exact"
+
+#: execution backends
+BACKEND_PYTHON = "python"
+BACKEND_SQLITE = "sqlite"
+
+
+@dataclass
+class ExtractionOptions:
+    """Tunable knobs of the GraphGen pipeline.
+
+    Parameters
+    ----------
+    threshold_factor:
+        The constant in the large-output-join test
+        ``|Ri| * |Rj| / d > factor * (|Ri| + |Rj|)`` (paper uses 2).
+    estimator:
+        ``"distinct"`` — the paper's uniform-distribution estimate based on
+        the catalog's distinct counts; ``"exact"`` — compute the true join
+        output size from the per-value counts (more work, never misses a
+        large-output join).
+    backend:
+        ``"python"`` executes the generated conjunctive queries with the
+        built-in hash-join executor; ``"sqlite"`` generates SQL and runs it
+        on an in-memory SQLite database.
+    preprocess:
+        Apply Step 6 of Section 4.2: expand every virtual node ``V`` with
+        ``in(V) * out(V) <= in(V) + out(V) + 1``.
+    auto_expand_growth:
+        After extraction, fully expand the graph if the expanded edge count
+        is at most ``(1 + auto_expand_growth)`` times the condensed edge
+        count (the paper suggests 20%, i.e. 0.2).  ``None`` disables the
+        check.
+    skip_unknown_endpoints:
+        Edge tuples whose endpoints were not produced by any Nodes statement
+        are skipped (and counted) rather than silently adding vertices.
+    """
+
+    threshold_factor: float = 2.0
+    estimator: str = ESTIMATOR_DISTINCT
+    backend: str = BACKEND_PYTHON
+    preprocess: bool = True
+    auto_expand_growth: float | None = None
+    skip_unknown_endpoints: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold_factor <= 0:
+            raise ValueError("threshold_factor must be positive")
+        if self.estimator not in (ESTIMATOR_DISTINCT, ESTIMATOR_EXACT):
+            raise ValueError(f"unknown estimator {self.estimator!r}")
+        if self.backend not in (BACKEND_PYTHON, BACKEND_SQLITE):
+            raise ValueError(f"unknown backend {self.backend!r}")

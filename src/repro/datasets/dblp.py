@@ -1,0 +1,115 @@
+"""Synthetic DBLP-like dataset (Figure 15a schema).
+
+The real DBLP dump the paper uses (1.6M authors, 3M publications, 8.6M
+author–publication rows) is not redistributable, so this generator produces a
+scaled-down database with the same schema and the same structural knobs that
+drive the space-explosion phenomenon: the number of authors, the number of
+publications, and the distribution of authors per publication (DBLP's
+real-world average is small, which the paper calls the "best-case scenario").
+
+Tables
+------
+``Author(id, name)``, ``Publication(pid, title, year, cid)``,
+``AuthorPub(aid, pid)``, ``Conference(cid, name)``.
+
+Extraction queries provided as constants: co-authors (Table 1 / Q1), recent
+co-authors (temporal variant), authors at the same conference (the 1.8B-edge
+example from the introduction), and the bipartite author–publication graph.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.utils.rand import SeededRandom
+
+COAUTHOR_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+"""
+
+RECENT_COAUTHOR_QUERY_TEMPLATE = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID),
+                   Publication(PubID, Title, Year, CID), Year >= {year}.
+"""
+
+SAME_CONFERENCE_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, P1), Publication(P1, T1, Y1, CID),
+                   AuthorPub(ID2, P2), Publication(P2, T2, Y2, CID).
+"""
+
+AUTHOR_PUBLICATION_BIPARTITE_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Nodes(ID, Title) :- Publication(ID, Title, Year, CID).
+Edges(ID1, ID2) :- AuthorPub(ID1, ID2).
+"""
+
+
+def generate_dblp(
+    num_authors: int = 500,
+    num_publications: int = 800,
+    mean_authors_per_pub: float = 3.0,
+    std_authors_per_pub: float = 1.5,
+    num_conferences: int = 20,
+    year_range: tuple[int, int] = (1990, 2016),
+    seed: int = 0,
+) -> Database:
+    """Build a DBLP-shaped database.
+
+    Authors are attached to publications with a mild preferential-attachment
+    skew so that prolific authors exist (as in the real data).
+    """
+    rng = SeededRandom(seed)
+    db = Database("dblp")
+    db.create_table("Author", [("id", "int"), ("name", "str")], primary_key="id")
+    db.create_table(
+        "Publication",
+        [("pid", "int"), ("title", "str"), ("year", "int"), ("cid", "int")],
+        primary_key="pid",
+        foreign_keys=[("cid", "Conference", "cid")],
+    )
+    db.create_table(
+        "AuthorPub",
+        [("aid", "int"), ("pid", "int")],
+        foreign_keys=[("aid", "Author", "id"), ("pid", "Publication", "pid")],
+    )
+    db.create_table("Conference", [("cid", "int"), ("name", "str")], primary_key="cid")
+
+    db.insert("Conference", [(c, f"conf_{c}") for c in range(num_conferences)])
+    db.insert("Author", [(a, f"author_{a}") for a in range(num_authors)])
+
+    publications = []
+    author_pub: set[tuple[int, int]] = set()
+    # weights implement preferential attachment: every time an author is
+    # picked their weight grows, giving the familiar skewed productivity
+    weights = [1.0] * num_authors
+    low_year, high_year = year_range
+    for pid in range(num_publications):
+        year = rng.randint(low_year, high_year)
+        conference = rng.randint(0, num_conferences - 1)
+        publications.append((pid, f"paper_{pid}", year, conference))
+        count = rng.gauss_int(mean_authors_per_pub, std_authors_per_pub, minimum=1)
+        chosen: set[int] = set()
+        while len(chosen) < min(count, num_authors):
+            author = _weighted_pick(rng, weights)
+            chosen.add(author)
+        for author in chosen:
+            weights[author] += 1.0
+            author_pub.add((author, pid))
+
+    db.insert("Publication", publications)
+    db.insert("AuthorPub", sorted(author_pub))
+    return db
+
+
+def _weighted_pick(rng: SeededRandom, weights: list[float]) -> int:
+    """Pick an index proportionally to its weight (linear scan, small n)."""
+    total = sum(weights)
+    threshold = rng.random() * total
+    running = 0.0
+    for index, weight in enumerate(weights):
+        running += weight
+        if running >= threshold:
+            return index
+    return len(weights) - 1

@@ -1,0 +1,167 @@
+"""Synthetic condensed-graph generator (Appendix C.1).
+
+The paper needs random graphs *in condensed form* — existing random graph
+generators produce expanded graphs — so it builds one based on the
+Barabási–Albert preferential-attachment model.  This module reproduces that
+generator: it takes the number of real nodes, the number of virtual nodes,
+and the mean / standard deviation of the virtual-node sizes, and produces a
+single-layer symmetric :class:`~repro.graph.condensed.CondensedGraph`
+(every virtual node is a clique over its member set).
+
+Algorithm (following the paper's sketch):
+
+1. create all real nodes and draw every virtual node's size from the normal
+   distribution;
+2. *initial splits* — each virtual node may be split in two with probability
+   proportional to its size;
+3. *initial batch* — 15% of the virtual nodes get members assigned uniformly
+   at random;
+4. *random or preferential attachment* — the rest either get random members
+   (35% chance, for nodes that came from a split) or attach around a "seed"
+   real node with degree-skewed selection of its neighborhood;
+5. *cleanup* — the split halves are merged back into one virtual node.
+
+The result has a preferential-attachment-like degree distribution while
+preserving the local densities (overlapping cliques) seen in real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.condensed import CondensedGraph
+from repro.utils.rand import SeededRandom
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic condensed graph."""
+
+    name: str
+    num_real: int
+    num_virtual: int
+    mean_size: float
+    std_size: float
+    seed: int = 0
+
+
+#: scaled-down versions of the paper's Table 2 small datasets
+SMALL_SPECS: dict[str, SyntheticSpec] = {
+    # Synthetic_1: many small virtual nodes over few real nodes
+    "synthetic_1": SyntheticSpec("synthetic_1", num_real=400, num_virtual=2000, mean_size=7, std_size=2),
+    # Synthetic_2: few, very large overlapping cliques
+    "synthetic_2": SyntheticSpec("synthetic_2", num_real=1500, num_virtual=15, mean_size=90, std_size=20),
+}
+
+
+def generate_condensed(
+    num_real: int,
+    num_virtual: int,
+    mean_size: float,
+    std_size: float,
+    seed: int = 0,
+) -> CondensedGraph:
+    """Generate a symmetric single-layer condensed graph (Appendix C.1)."""
+    rng = SeededRandom(seed)
+    graph = CondensedGraph()
+    for real in range(num_real):
+        graph.add_real_node(real)
+
+    # step 1: draw sizes
+    sizes = [rng.gauss_int(mean_size, std_size, minimum=2) for _ in range(num_virtual)]
+    max_size = max(sizes) if sizes else 0
+
+    # step 2: initial splits — larger virtual nodes are more likely to split
+    pieces: list[tuple[int, bool]] = []  # (size, came_from_split)
+    for size in sizes:
+        if size >= 4 and rng.random() < size / (2.0 * max_size):
+            half = size // 2
+            pieces.append((half, True))
+            pieces.append((size - half, True))
+        else:
+            pieces.append((size, False))
+
+    # step 3: initial batch — 15% of the pieces get uniformly random members
+    batch = max(1, int(0.15 * len(pieces)))
+    memberships: list[list[int]] = []
+    degrees = [0] * num_real
+    for size, _ in pieces[:batch]:
+        members = rng.sample(range(num_real), min(size, num_real))
+        memberships.append(members)
+        for member in members:
+            degrees[member] += 1
+
+    # step 4: random or preferential attachment for the remaining pieces
+    for size, from_split in pieces[batch:]:
+        size = min(size, num_real)
+        if from_split and rng.random() < 0.35:
+            members = rng.sample(range(num_real), size)
+        else:
+            members = _preferential_members(rng, degrees, size)
+        memberships.append(members)
+        for member in members:
+            degrees[member] += 1
+
+    # step 5: cleanup — merge split halves back together (pairs of split
+    # pieces were appended adjacently, so merge consecutive split entries)
+    merged: list[list[int]] = []
+    index = 0
+    flags = [from_split for _, from_split in pieces]
+    while index < len(memberships):
+        if index + 1 < len(memberships) and flags[index] and flags[index + 1]:
+            merged.append(sorted(set(memberships[index]) | set(memberships[index + 1])))
+            index += 2
+        else:
+            merged.append(memberships[index])
+            index += 1
+
+    for label, members in enumerate(merged):
+        virtual = graph.add_virtual_node(("clique", label))
+        for member in members:
+            internal = graph.internal(member)
+            graph.add_edge(internal, virtual)
+            graph.add_edge(virtual, internal)
+    return graph
+
+
+def _preferential_members(rng: SeededRandom, degrees: list[int], size: int) -> list[int]:
+    """Pick a seed real node and grow a member set biased towards its
+    high-degree 'neighborhood' (degree-squared weighting, as in the paper)."""
+    num_real = len(degrees)
+    seed_node = max(
+        rng.sample(range(num_real), min(16, num_real)), key=lambda n: degrees[n]
+    )
+    members = {seed_node}
+    # candidate pool: a random slice of nodes, weighted by degree^2, so that
+    # hubs keep accumulating memberships (preferential attachment)
+    pool = rng.sample(range(num_real), min(max(size * 4, 8), num_real))
+    weights = [(degrees[n] + 1) ** 2 for n in pool]
+    while len(members) < size and pool:
+        pick = _weighted_index(rng, weights)
+        members.add(pool[pick])
+        weights[pick] = 0
+        if not any(weights):
+            break
+    # top up uniformly if the pool ran dry
+    while len(members) < size:
+        members.add(rng.randint(0, num_real - 1))
+    return sorted(members)
+
+
+def _weighted_index(rng: SeededRandom, weights: list[float]) -> int:
+    total = sum(weights)
+    if total <= 0:
+        return 0
+    threshold = rng.random() * total
+    running = 0.0
+    for index, weight in enumerate(weights):
+        running += weight
+        if running >= threshold:
+            return index
+    return len(weights) - 1
+
+
+def generate_from_spec(spec: SyntheticSpec) -> CondensedGraph:
+    return generate_condensed(
+        spec.num_real, spec.num_virtual, spec.mean_size, spec.std_size, seed=spec.seed
+    )

@@ -1,0 +1,91 @@
+"""Synthetic TPC-H-like dataset (Figure 15c schema).
+
+The paper's TPC-H experiment connects customers who bought the same part
+([Q2]); even though the base tables are small (765K rows), the extracted
+graph has ~100M edges because many customers share popular parts — "datasets
+don't necessarily have to be large in order to hide some very dense graphs".
+The generator keeps that property by drawing part keys from a Zipf-like
+distribution so a few parts are extremely popular.
+
+Tables
+------
+``Customer(custkey, name)``, ``Orders(orderkey, custkey)``,
+``LineItem(orderkey, partkey, suppkey)``, ``Part(partkey, name)``,
+``Supplier(suppkey, name)``.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.utils.rand import SeededRandom
+
+COPURCHASE_QUERY = """
+Nodes(ID, Name) :- Customer(ID, Name).
+Edges(ID1, ID2) :- Orders(OK1, ID1), LineItem(OK1, PK, SK1),
+                   Orders(OK2, ID2), LineItem(OK2, PK, SK2).
+"""
+
+SHARED_SUPPLIER_QUERY = """
+Nodes(ID, Name) :- Customer(ID, Name).
+Edges(ID1, ID2) :- Orders(OK1, ID1), LineItem(OK1, PK1, SK),
+                   Orders(OK2, ID2), LineItem(OK2, PK2, SK).
+"""
+
+CUSTOMER_PART_BIPARTITE_QUERY = """
+Nodes(ID, Name) :- Customer(ID, Name).
+Nodes(ID, Name) :- Part(ID, Name).
+Edges(ID1, ID2) :- Orders(OK, ID1), LineItem(OK, ID2, SK).
+"""
+
+
+def generate_tpch(
+    num_customers: int = 200,
+    num_parts: int = 100,
+    num_suppliers: int = 30,
+    orders_per_customer: float = 3.0,
+    lineitems_per_order: float = 4.0,
+    part_skew: float = 1.0,
+    seed: int = 0,
+) -> Database:
+    """Build a TPC-H-shaped database with skewed part popularity."""
+    rng = SeededRandom(seed)
+    db = Database("tpch")
+    db.create_table("Customer", [("custkey", "int"), ("name", "str")], primary_key="custkey")
+    db.create_table(
+        "Orders",
+        [("orderkey", "int"), ("custkey", "int")],
+        primary_key="orderkey",
+        foreign_keys=[("custkey", "Customer", "custkey")],
+    )
+    db.create_table(
+        "LineItem",
+        [("orderkey", "int"), ("partkey", "int"), ("suppkey", "int")],
+        foreign_keys=[
+            ("orderkey", "Orders", "orderkey"),
+            ("partkey", "Part", "partkey"),
+            ("suppkey", "Supplier", "suppkey"),
+        ],
+    )
+    db.create_table("Part", [("partkey", "int"), ("name", "str")], primary_key="partkey")
+    db.create_table("Supplier", [("suppkey", "int"), ("name", "str")], primary_key="suppkey")
+
+    db.insert("Customer", [(c, f"customer_{c}") for c in range(num_customers)])
+    db.insert("Part", [(p, f"part_{p}") for p in range(num_parts)])
+    db.insert("Supplier", [(s, f"supplier_{s}") for s in range(num_suppliers)])
+
+    orders = []
+    lineitems: set[tuple[int, int, int]] = set()
+    order_key = 0
+    for customer in range(num_customers):
+        order_count = rng.gauss_int(orders_per_customer, 1.0, minimum=1)
+        for _ in range(order_count):
+            orders.append((order_key, customer))
+            item_count = rng.gauss_int(lineitems_per_order, 1.5, minimum=1)
+            for _ in range(item_count):
+                part = rng.zipf_int(part_skew, num_parts) - 1
+                supplier = rng.randint(0, num_suppliers - 1)
+                lineitems.add((order_key, part, supplier))
+            order_key += 1
+    db.insert("Orders", orders)
+    db.insert("LineItem", sorted(lineitems))
+    return db

@@ -1,0 +1,85 @@
+"""Synthetic university dataset (the db-book.com schema used for UNIV in Table 1
+and for the [Q3] heterogeneous bipartite example in Figure 4/5b).
+
+Tables
+------
+``Student(id, name)``, ``Instructor(id, name)``, ``Course(course_id, title)``,
+``TookCourse(student_id, course_id)``, ``TaughtCourse(instructor_id, course_id)``.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.utils.rand import SeededRandom
+
+COENROLLMENT_QUERY = """
+Nodes(ID, Name) :- Student(ID, Name).
+Edges(ID1, ID2) :- TookCourse(ID1, CourseID), TookCourse(ID2, CourseID).
+"""
+
+INSTRUCTOR_STUDENT_BIPARTITE_QUERY = """
+Nodes(ID, Name) :- Instructor(ID, Name).
+Nodes(ID, Name) :- Student(ID, Name).
+Edges(ID1, ID2) :- TaughtCourse(ID1, CourseID), TookCourse(ID2, CourseID).
+"""
+
+CO_TEACHING_QUERY = """
+Nodes(ID, Name) :- Instructor(ID, Name).
+Edges(ID1, ID2) :- TaughtCourse(ID1, CourseID), TaughtCourse(ID2, CourseID).
+"""
+
+
+def generate_univ(
+    num_students: int = 300,
+    num_instructors: int = 40,
+    num_courses: int = 50,
+    mean_courses_per_student: float = 4.0,
+    mean_courses_per_instructor: float = 2.0,
+    seed: int = 0,
+) -> Database:
+    """Build a university-shaped database.
+
+    Student IDs and instructor IDs live in disjoint ranges so the
+    heterogeneous bipartite graph of [Q3] has no identifier collisions.
+    """
+    rng = SeededRandom(seed)
+    db = Database("univ")
+    db.create_table("Student", [("id", "int"), ("name", "str")], primary_key="id")
+    db.create_table("Instructor", [("id", "int"), ("name", "str")], primary_key="id")
+    db.create_table("Course", [("course_id", "int"), ("title", "str")], primary_key="course_id")
+    db.create_table(
+        "TookCourse",
+        [("student_id", "int"), ("course_id", "int")],
+        foreign_keys=[("student_id", "Student", "id"), ("course_id", "Course", "course_id")],
+    )
+    db.create_table(
+        "TaughtCourse",
+        [("instructor_id", "int"), ("course_id", "int")],
+        foreign_keys=[
+            ("instructor_id", "Instructor", "id"),
+            ("course_id", "Course", "course_id"),
+        ],
+    )
+
+    instructor_base = 1_000_000  # keep instructor IDs disjoint from student IDs
+    db.insert("Student", [(s, f"student_{s}") for s in range(num_students)])
+    db.insert(
+        "Instructor",
+        [(instructor_base + i, f"instructor_{i}") for i in range(num_instructors)],
+    )
+    db.insert("Course", [(c, f"course_{c}") for c in range(num_courses)])
+
+    took: set[tuple[int, int]] = set()
+    for student in range(num_students):
+        count = rng.gauss_int(mean_courses_per_student, 1.5, minimum=1)
+        for course in rng.sample(range(num_courses), min(count, num_courses)):
+            took.add((student, course))
+    taught: set[tuple[int, int]] = set()
+    for index in range(num_instructors):
+        count = rng.gauss_int(mean_courses_per_instructor, 1.0, minimum=1)
+        for course in rng.sample(range(num_courses), min(count, num_courses)):
+            taught.add((instructor_base + index, course))
+
+    db.insert("TookCourse", sorted(took))
+    db.insert("TaughtCourse", sorted(taught))
+    return db

@@ -1,0 +1,302 @@
+"""Shared machinery for the deduplication algorithms.
+
+All DEDUP-1 algorithms in Section 5.2 operate on a *single-layer* condensed
+graph and repeatedly perform the same two primitive rewrites:
+
+* remove an out-edge ``V -> w`` of a virtual node, adding compensating direct
+  edges ``u -> w`` for every in-node ``u`` of ``V`` that would otherwise lose
+  the logical edge;
+* remove an in-edge ``u -> V``, adding compensating direct edges ``u -> w``
+  for every out-node ``w`` of ``V`` that ``u`` would otherwise lose.
+
+:class:`DedupState` wraps a condensed graph together with an incrementally
+maintained *coverage map* ``cover[u][w]`` = number of distinct paths from
+``u_s`` to ``w_t``, so the primitives can decide in O(1) whether a
+compensating direct edge is required, and the algorithms can detect remaining
+duplication cheaply.  The coverage map is proportional to the expanded edge
+set, which is why (as the paper observes) the DEDUP-1 algorithms do not scale
+to the Table-3-sized datasets — they are meant for the small/medium graphs of
+Section 6.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.exceptions import DeduplicationError
+from repro.graph.condensed import CondensedGraph
+from repro.utils.rand import SeededRandom
+
+#: name -> ordering function over (state, node ids) used by Figure 12b
+OrderingFn = Callable[["DedupState", list[int]], list[int]]
+
+
+def ordering_random(state: "DedupState", nodes: list[int], seed: int = 0) -> list[int]:
+    """RAND ordering from the paper (recommended default)."""
+    rng = SeededRandom(seed)
+    return rng.shuffle(list(nodes))
+
+
+def ordering_by_degree(state: "DedupState", nodes: list[int]) -> list[int]:
+    """Process high-degree nodes first."""
+    return sorted(nodes, key=lambda n: -len(state.cg.out(n)))
+
+
+def ordering_by_degree_asc(state: "DedupState", nodes: list[int]) -> list[int]:
+    """Process low-degree nodes first."""
+    return sorted(nodes, key=lambda n: len(state.cg.out(n)))
+
+
+ORDERINGS: dict[str, OrderingFn] = {
+    "random": ordering_random,
+    "degree_desc": ordering_by_degree,
+    "degree_asc": ordering_by_degree_asc,
+}
+
+
+def resolve_ordering(ordering: str | OrderingFn) -> OrderingFn:
+    if callable(ordering):
+        return ordering
+    try:
+        return ORDERINGS[ordering]
+    except KeyError:
+        raise DeduplicationError(
+            f"unknown ordering {ordering!r}; expected one of {sorted(ORDERINGS)}"
+        ) from None
+
+
+class DedupState:
+    """A condensed graph plus its per-source coverage counters."""
+
+    def __init__(self, condensed: CondensedGraph, require_single_layer: bool = True) -> None:
+        if require_single_layer and not condensed.is_single_layer():
+            raise DeduplicationError(
+                "this deduplication algorithm only supports single-layer "
+                "condensed graphs; flatten the graph first "
+                "(repro.dedup.flatten_to_single_layer) or use BITMAP-2"
+            )
+        self.cg = condensed
+        #: cover[u][w] = number of condensed paths from u_s to w_t
+        self.cover: dict[int, dict[int, int]] = {}
+        self._build_cover()
+
+    # ------------------------------------------------------------------ #
+    # coverage map maintenance
+    # ------------------------------------------------------------------ #
+    def _build_cover(self) -> None:
+        for u in self.cg.real_nodes():
+            counts: dict[int, int] = {}
+            for target in self.cg.reachable_real_targets(u):
+                counts[target] = counts.get(target, 0) + 1
+            self.cover[u] = counts
+
+    def _inc(self, u: int, w: int, delta: int = 1) -> int:
+        counts = self.cover.setdefault(u, {})
+        counts[w] = counts.get(w, 0) + delta
+        if counts[w] <= 0:
+            counts.pop(w, None)
+            return 0
+        return counts[w]
+
+    def count(self, u: int, w: int) -> int:
+        return self.cover.get(u, {}).get(w, 0)
+
+    # ------------------------------------------------------------------ #
+    # virtual-node views
+    # ------------------------------------------------------------------ #
+    def in_real(self, virtual: int) -> list[int]:
+        """I(V): real in-nodes of ``virtual``."""
+        return self.cg.virtual_in_real(virtual)
+
+    def out_real(self, virtual: int) -> list[int]:
+        """O(V): real out-nodes of ``virtual``."""
+        return self.cg.virtual_out_real(virtual)
+
+    def out_overlap(self, first: int, second: int) -> set[int]:
+        return set(self.out_real(first)) & set(self.out_real(second))
+
+    def in_overlap(self, first: int, second: int) -> set[int]:
+        return set(self.in_real(first)) & set(self.in_real(second))
+
+    def has_duplication_between(self, first: int, second: int) -> bool:
+        """True if some pair (u, w) is covered through both virtual nodes."""
+        return bool(self.in_overlap(first, second)) and bool(self.out_overlap(first, second))
+
+    # ------------------------------------------------------------------ #
+    # primitive rewrites (all equivalence-preserving)
+    # ------------------------------------------------------------------ #
+    def remove_virtual_out_edge(self, virtual: int, target: int) -> int:
+        """Remove ``virtual -> target``; compensate in-nodes that relied on it.
+
+        Returns the number of compensating direct edges added.
+        """
+        if not self.cg.has_edge(virtual, target):
+            raise DeduplicationError(f"edge {virtual}->{target} not present")
+        compensations = 0
+        for u in self.in_real(virtual):
+            remaining = self._inc(u, target, -1)
+            if remaining == 0:
+                self.cg.add_edge(u, target)
+                self._inc(u, target, +1)
+                compensations += 1
+        self.cg.remove_edge(virtual, target)
+        return compensations
+
+    def remove_real_to_virtual_edge(self, source: int, virtual: int) -> int:
+        """Remove ``source -> virtual``; compensate ``source`` for lost targets.
+
+        Returns the number of compensating direct edges added.
+        """
+        if not self.cg.has_edge(source, virtual):
+            raise DeduplicationError(f"edge {source}->{virtual} not present")
+        compensations = 0
+        for target in self.out_real(virtual):
+            remaining = self._inc(source, target, -1)
+            if remaining == 0:
+                self.cg.add_edge(source, target)
+                self._inc(source, target, +1)
+                compensations += 1
+        self.cg.remove_edge(source, virtual)
+        return compensations
+
+    def remove_direct_edge(self, source: int, target: int) -> None:
+        """Remove a redundant direct edge (only legal when another path exists)."""
+        if self.count(source, target) <= 1:
+            raise DeduplicationError(
+                f"direct edge {source}->{target} is the only path; removing it "
+                f"would change the graph"
+            )
+        self.cg.remove_edge(source, target)
+        self._inc(source, target, -1)
+
+    def compensation_cost(self, virtual: int, target: int) -> int:
+        """Number of direct edges :meth:`remove_virtual_out_edge` would add."""
+        return sum(1 for u in self.in_real(virtual) if self.count(u, target) == 1)
+
+    # ------------------------------------------------------------------ #
+    # normalisation / cleanup passes shared by all algorithms
+    # ------------------------------------------------------------------ #
+    def normalize(self) -> None:
+        """Remove parallel condensed edges and redundant direct edges.
+
+        * duplicate entries in any adjacency list are pure duplication;
+        * a direct real→real edge whose pair is also covered through a virtual
+          node is redundant.
+        """
+        # parallel edges out of any node
+        for node in list(self.cg.succ):
+            targets = self.cg.out(node)
+            seen: set[int] = set()
+            for target in list(targets):
+                if target in seen:
+                    self.cg.remove_edge(node, target)
+                    if self.cg.is_real(node) and self.cg.is_real(target):
+                        self._inc(node, target, -1)
+                    elif self.cg.is_virtual(node) and self.cg.is_real(target):
+                        for u in self.in_real(node):
+                            self._inc(u, target, -1)
+                    # parallel real->virtual edges: decrement for all targets
+                    elif self.cg.is_real(node) and self.cg.is_virtual(target):
+                        for w in self.out_real(target):
+                            self._inc(node, w, -1)
+                else:
+                    seen.add(target)
+        # redundant direct edges
+        for u in list(self.cg.real_nodes()):
+            for target in [t for t in self.cg.out(u) if self.cg.is_real(t)]:
+                if self.count(u, target) > 1:
+                    self.remove_direct_edge(u, target)
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+    def is_fully_deduplicated(self) -> bool:
+        return all(
+            count <= 1 for counts in self.cover.values() for count in counts.values()
+        )
+
+    def remaining_duplicates(self) -> int:
+        return sum(
+            count - 1 for counts in self.cover.values() for count in counts.values() if count > 1
+        )
+
+
+def remove_parallel_direct_edges(condensed: CondensedGraph) -> int:
+    """Remove duplicate occurrences of the same direct real→real edge.
+
+    Extraction never produces them (its SQL uses DISTINCT) but hand-built
+    condensed graphs may contain them; they are pure duplication.  Returns the
+    number of parallel edges removed.
+    """
+    removed = 0
+    for node in list(condensed.real_nodes()):
+        seen: set[int] = set()
+        for target in list(condensed.out(node)):
+            if not condensed.is_real(target):
+                continue
+            if target in seen:
+                condensed.remove_edge(node, target)
+                removed += 1
+            else:
+                seen.add(target)
+    return removed
+
+
+def single_layer_virtual_nodes(condensed: CondensedGraph) -> list[int]:
+    """All virtual nodes of a single-layer condensed graph (stable order)."""
+    return sorted(condensed.virtual_nodes(), reverse=True)
+
+
+def flatten_to_single_layer(condensed: CondensedGraph) -> CondensedGraph:
+    """Convert a multi-layer condensed graph into an equivalent single-layer one.
+
+    Every *penultimate* virtual node ``V`` (one with at least one real
+    out-neighbor) becomes a virtual node of the flattened graph with
+    ``I'(V) = {real u : V reachable from u_s}`` and ``O'(V)`` equal to ``V``'s
+    real out-neighbors; direct real→real edges are copied verbatim.  This is
+    the "expand all but one layer" strategy Section 5.2.2 suggests before
+    running a single-layer deduplication algorithm.
+    """
+    flat = CondensedGraph()
+    for node in condensed.real_nodes():
+        flat.add_real_node(condensed.external(node), **condensed.node_properties.get(node, {}))
+
+    penultimate = [
+        v
+        for v in condensed.virtual_nodes()
+        if any(condensed.is_real(t) for t in condensed.out(v))
+    ]
+    reachers: dict[int, list[int]] = {v: [] for v in penultimate}
+    for u in condensed.real_nodes():
+        for virtual in condensed.virtual_nodes_reachable(u):
+            if virtual in reachers:
+                reachers[virtual].append(u)
+
+    for virtual in penultimate:
+        label = condensed.virtual_labels.get(virtual)
+        new_virtual = flat.add_virtual_node(label)
+        for u in reachers[virtual]:
+            flat.add_edge(flat.internal(condensed.external(u)), new_virtual)
+        for target in condensed.out(virtual):
+            if condensed.is_real(target):
+                flat.add_edge(new_virtual, flat.internal(condensed.external(target)))
+
+    for u in condensed.real_nodes():
+        for target in condensed.out(u):
+            if condensed.is_real(target):
+                flat.add_edge(
+                    flat.internal(condensed.external(u)),
+                    flat.internal(condensed.external(target)),
+                )
+    return flat
+
+
+def apply_ordering(
+    state: DedupState, nodes: Iterable[int], ordering: str | OrderingFn, seed: int = 0
+) -> list[int]:
+    """Order ``nodes`` according to an ordering name or custom function."""
+    fn = resolve_ordering(ordering)
+    nodes = list(nodes)
+    if fn is ordering_random:
+        return ordering_random(state, nodes, seed=seed)
+    return fn(state, nodes)

@@ -1,0 +1,71 @@
+"""Expansion of condensed graphs (the EXP endpoint of the spectrum).
+
+Expanding is conceptually trivial — materialise every reachable pair — but it
+is the operation the whole paper tries to avoid; it is provided both as the
+baseline representation for the experiments and for the "expand if the
+increase is small" decision in the extraction pipeline (Section 4.2, Step 6).
+"""
+
+from __future__ import annotations
+
+from repro.graph.condensed import CondensedGraph
+from repro.graph.expanded import ExpandedGraph
+
+
+def count_expanded_edges(condensed: CondensedGraph) -> int:
+    """Number of edges the expanded graph would have (no materialisation of
+    the adjacency lists, but the per-source neighbor sets are computed)."""
+    return condensed.expanded_edge_count()
+
+
+def expand(condensed: CondensedGraph) -> ExpandedGraph:
+    """Materialise the expanded (EXP) graph for a condensed graph.
+
+    Node properties and edge annotations (aggregate weights of direct edges)
+    carry over to the expanded graph.
+    """
+    graph = ExpandedGraph()
+    for node in condensed.real_nodes():
+        graph.add_vertex(
+            condensed.external(node), **condensed.node_properties.get(node, {})
+        )
+    for node in condensed.real_nodes():
+        source = condensed.external(node)
+        for target in condensed.neighbor_set(node):
+            graph.add_edge(source, condensed.external(target))
+    for (source, target), properties in condensed.edge_annotations.items():
+        external_source = condensed.external(source)
+        external_target = condensed.external(target)
+        for key, value in properties.items():
+            graph.set_edge_property(external_source, external_target, key, value)
+    return graph
+
+
+def expansion_ratio(condensed: CondensedGraph) -> float:
+    """``expanded edges / condensed edges`` — how much larger EXP would be."""
+    condensed_edges = condensed.num_condensed_edges
+    if condensed_edges == 0:
+        return 1.0
+    return count_expanded_edges(condensed) / condensed_edges
+
+
+def expand_virtual_node(condensed: CondensedGraph, virtual: int) -> int:
+    """Expand a single virtual node in place (Step 6 preprocessing).
+
+    The virtual node is removed and direct edges are added from each of its
+    in-neighbors to each of its out-neighbors (skipping edges that already
+    exist, which would otherwise introduce duplication).  Returns the number
+    of direct edges added.
+    """
+    in_nodes = list(condensed.inn(virtual))
+    out_nodes = list(condensed.out(virtual))
+    added = 0
+    for source in in_nodes:
+        existing = set(condensed.out(source))
+        for target in out_nodes:
+            if target not in existing:
+                condensed.add_edge(source, target)
+                existing.add(target)
+                added += 1
+    condensed.remove_virtual_node(virtual)
+    return added

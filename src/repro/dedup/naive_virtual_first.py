@@ -1,0 +1,50 @@
+"""Naive Virtual Nodes First deduplication (Section 5.2.1).
+
+Virtual nodes are (re)admitted into the partial graph one at a time; before a
+virtual node ``V`` is accepted, any duplication between ``V`` and an already
+processed virtual node ``Ri`` is resolved by removing the overlapping
+out-edges from whichever of the two virtual nodes has the *smaller in-degree*
+(fewer compensating direct edges are then needed) and adding the compensating
+direct edges.
+
+Complexity: O(n_v * d^4) in the worst case (paper's bound).
+"""
+
+from __future__ import annotations
+
+from repro.dedup.base import DedupState, OrderingFn, apply_ordering, single_layer_virtual_nodes
+from repro.graph.condensed import CondensedGraph
+from repro.graph.dedup1 import Dedup1Graph
+
+
+def _resolve_pair(state: DedupState, new: int, processed: int) -> None:
+    """Remove all duplication between two virtual nodes by dropping the shared
+    out-edges from the lower-in-degree node."""
+    while state.has_duplication_between(new, processed):
+        overlap = state.out_overlap(new, processed)
+        target = min(overlap)  # deterministic choice
+        victim = new if len(state.in_real(new)) <= len(state.in_real(processed)) else processed
+        if not state.cg.has_edge(victim, target):
+            victim = processed if victim == new else new
+        state.remove_virtual_out_edge(victim, target)
+
+
+def deduplicate(
+    condensed: CondensedGraph,
+    ordering: str | OrderingFn = "random",
+    seed: int = 0,
+    in_place: bool = False,
+) -> Dedup1Graph:
+    """Run the Naive Virtual Nodes First algorithm and return a DEDUP-1 graph."""
+    working = condensed if in_place else condensed.copy()
+    state = DedupState(working)
+    state.normalize()
+
+    virtuals = apply_ordering(state, single_layer_virtual_nodes(working), ordering, seed=seed)
+    processed: list[int] = []
+    for virtual in virtuals:
+        for other in processed:
+            _resolve_pair(state, virtual, other)
+        processed.append(virtual)
+
+    return Dedup1Graph(working, trusted=True)

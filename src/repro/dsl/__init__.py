@@ -1,0 +1,63 @@
+"""The Datalog-based domain-specific language for specifying graph extraction.
+
+Typical usage::
+
+    from repro.dsl import parse, validate
+
+    spec = parse('''
+        Nodes(ID, Name) :- Author(ID, Name).
+        Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+    ''')
+    report = validate(spec, db)
+"""
+
+from repro.dsl.ast import (
+    AGGREGATE_FUNCTION_NAMES,
+    AggregateConstraint,
+    AggregateTerm,
+    Anonymous,
+    Atom,
+    ComparisonPredicate,
+    Constant,
+    GraphSpec,
+    Rule,
+    Term,
+    Variable,
+    make_variables,
+)
+from repro.dsl.lexer import Lexer, Token, tokenize
+from repro.dsl.parser import Parser, parse
+from repro.dsl.validator import (
+    ChainLink,
+    EdgeChain,
+    ValidationReport,
+    derive_chain,
+    is_acyclic,
+    validate,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTION_NAMES",
+    "AggregateConstraint",
+    "AggregateTerm",
+    "Anonymous",
+    "Atom",
+    "ComparisonPredicate",
+    "Constant",
+    "GraphSpec",
+    "Rule",
+    "Term",
+    "Variable",
+    "make_variables",
+    "Lexer",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse",
+    "ChainLink",
+    "EdgeChain",
+    "ValidationReport",
+    "derive_chain",
+    "is_acyclic",
+    "validate",
+]

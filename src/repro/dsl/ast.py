@@ -1,0 +1,281 @@
+"""Abstract syntax tree for the GraphGen extraction DSL.
+
+A parsed extraction query is a :class:`GraphSpec`: one or more ``Nodes``
+rules and one or more ``Edges`` rules, each rule a head atom defined by a
+conjunction of body atoms over database tables plus optional comparison
+predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.exceptions import DSLValidationError
+
+NODES_PREDICATE = "Nodes"
+EDGES_PREDICATE = "Edges"
+
+
+# --------------------------------------------------------------------------- #
+# terms
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Variable:
+    """A named logical variable, e.g. ``ID1`` or ``PubID``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal constant (number or string)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Anonymous:
+    """The anonymous variable ``_`` (don't-care position)."""
+
+    def __str__(self) -> str:
+        return "_"
+
+
+#: aggregate functions accepted by the DSL (lower-case); mirrors
+#: :data:`repro.relational.aggregates.AGGREGATE_FUNCTIONS`
+AGGREGATE_FUNCTION_NAMES = ("count", "count_distinct", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateTerm:
+    """An aggregate expression ``function(variable)``.
+
+    Allowed in two places (Section 3.2's "aggregation constructs"):
+
+    * as an extra term of an ``Edges`` head, where it becomes an edge
+      property of the extracted graph (e.g. ``Edges(ID1, ID2, count(PubID))``
+      produces co-author edges weighted by the number of shared papers);
+    * inside an :class:`AggregateConstraint` in a rule body, where it filters
+      edges by the aggregate's value (e.g. ``count(PubID) >= 2``).
+    """
+
+    function: str
+    variable: Variable
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATE_FUNCTION_NAMES:
+            raise DSLValidationError(
+                f"unknown aggregate function {self.function!r}; "
+                f"expected one of {AGGREGATE_FUNCTION_NAMES}"
+            )
+
+    @property
+    def output_name(self) -> str:
+        return f"{self.function}_{self.variable.name}"
+
+    def __str__(self) -> str:
+        return f"{self.function}({self.variable})"
+
+
+Term = Variable | Constant | Anonymous | AggregateTerm
+
+
+# --------------------------------------------------------------------------- #
+# atoms and rules
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Atom:
+    """``Predicate(t1, ..., tn)`` — predicate is a table name in rule bodies
+    and ``Nodes``/``Edges`` in rule heads."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> list[Variable]:
+        return [t for t in self.terms if isinstance(t, Variable)]
+
+    def variable_names(self) -> list[str]:
+        return [t.name for t in self.terms if isinstance(t, Variable)]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate:
+    """A built-in comparison in a rule body, e.g. ``Year > 2010``."""
+
+    variable: Variable
+    op: str
+    value: Any
+
+    def __str__(self) -> str:
+        return f"{self.variable} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class AggregateConstraint:
+    """A HAVING-style filter in a rule body, e.g. ``count(PubID) >= 2``."""
+
+    aggregate: AggregateTerm
+    op: str
+    value: Any
+
+    def __str__(self) -> str:
+        return f"{self.aggregate} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body_atoms, comparisons, aggregate_constraints.``"""
+
+    head: Atom
+    body: tuple[Atom, ...]
+    comparisons: tuple[ComparisonPredicate, ...] = ()
+    aggregate_constraints: tuple[AggregateConstraint, ...] = ()
+
+    @property
+    def is_nodes_rule(self) -> bool:
+        return self.head.predicate == NODES_PREDICATE
+
+    @property
+    def is_edges_rule(self) -> bool:
+        return self.head.predicate == EDGES_PREDICATE
+
+    def body_variables(self) -> set[str]:
+        names: set[str] = set()
+        for atom in self.body:
+            names.update(atom.variable_names())
+        return names
+
+    def head_aggregates(self) -> list[AggregateTerm]:
+        """Aggregate terms appearing in the rule head (edge properties)."""
+        return [t for t in self.head.terms if isinstance(t, AggregateTerm)]
+
+    @property
+    def has_aggregates(self) -> bool:
+        """True if the rule uses any aggregation construct (forces Case 2)."""
+        return bool(self.head_aggregates()) or bool(self.aggregate_constraints)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        if self.comparisons:
+            body += ", " + ", ".join(str(c) for c in self.comparisons)
+        if self.aggregate_constraints:
+            body += ", " + ", ".join(str(c) for c in self.aggregate_constraints)
+        return f"{self.head} :- {body}."
+
+
+# --------------------------------------------------------------------------- #
+# graph specification
+# --------------------------------------------------------------------------- #
+@dataclass
+class GraphSpec:
+    """A full extraction query: at least one Nodes rule, at least one Edges rule."""
+
+    node_rules: list[Rule] = field(default_factory=list)
+    edge_rules: list[Rule] = field(default_factory=list)
+
+    def all_rules(self) -> Iterator[Rule]:
+        yield from self.node_rules
+        yield from self.edge_rules
+
+    def referenced_tables(self) -> list[str]:
+        """Names of all database tables appearing in rule bodies (sorted, unique)."""
+        tables: set[str] = set()
+        for rule in self.all_rules():
+            for atom in rule.body:
+                tables.add(atom.predicate)
+        return sorted(tables)
+
+    def node_property_names(self) -> list[str]:
+        """Property names attached to nodes — attributes beyond the ID in the
+        first Nodes head (e.g. ``Name`` in ``Nodes(ID, Name)``)."""
+        if not self.node_rules:
+            return []
+        head = self.node_rules[0].head
+        return [t.name for t in head.terms[1:] if isinstance(t, Variable)]
+
+    def validate_shape(self) -> None:
+        """Check the structural constraints of Section 3.2:
+
+        * at least one Nodes and one Edges statement,
+        * Nodes heads have >= 1 term, the first being the node ID,
+        * Edges heads have >= 2 terms, the first two being endpoint IDs,
+        * every head variable appears in the rule body (safety).
+        """
+        if not self.node_rules:
+            raise DSLValidationError("a graph specification needs at least one Nodes statement")
+        if not self.edge_rules:
+            raise DSLValidationError("a graph specification needs at least one Edges statement")
+        for rule in self.node_rules:
+            if rule.head.arity < 1:
+                raise DSLValidationError(f"Nodes head must have at least an ID term: {rule}")
+        for rule in self.edge_rules:
+            if rule.head.arity < 2:
+                raise DSLValidationError(
+                    f"Edges head must have at least two ID terms: {rule}"
+                )
+        for rule in self.all_rules():
+            body_vars = rule.body_variables()
+            for term in rule.head.terms:
+                if isinstance(term, Variable) and term.name not in body_vars:
+                    raise DSLValidationError(
+                        f"unsafe rule: head variable {term.name!r} does not occur "
+                        f"in the body of {rule}"
+                    )
+                if isinstance(term, AggregateTerm) and term.variable.name not in body_vars:
+                    raise DSLValidationError(
+                        f"unsafe rule: aggregated variable {term.variable.name!r} does "
+                        f"not occur in the body of {rule}"
+                    )
+            for constraint in rule.aggregate_constraints:
+                if constraint.aggregate.variable.name not in body_vars:
+                    raise DSLValidationError(
+                        f"unsafe rule: aggregated variable "
+                        f"{constraint.aggregate.variable.name!r} does not occur in the "
+                        f"body of {rule}"
+                    )
+        # aggregate terms may only appear as *extra* terms of Edges heads
+        for rule in self.node_rules:
+            if rule.has_aggregates:
+                raise DSLValidationError(
+                    f"aggregation is only supported in Edges statements: {rule}"
+                )
+        for rule in self.edge_rules:
+            for position, term in enumerate(rule.head.terms):
+                if isinstance(term, AggregateTerm) and position < 2:
+                    raise DSLValidationError(
+                        f"the first two Edges head terms must be plain ID variables: {rule}"
+                    )
+            for atom in rule.body:
+                if any(isinstance(t, AggregateTerm) for t in atom.terms):
+                    raise DSLValidationError(
+                        f"aggregate terms cannot appear inside body atoms: {rule}"
+                    )
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.all_rules())
+
+
+def make_variables(names: Sequence[str]) -> tuple[Term, ...]:
+    """Helper for building atoms programmatically: ``'_'`` becomes Anonymous."""
+    terms: list[Term] = []
+    for name in names:
+        if name == "_":
+            terms.append(Anonymous())
+        else:
+            terms.append(Variable(name))
+    return tuple(terms)

@@ -1,0 +1,177 @@
+"""Tokenizer for the GraphGen Datalog-based DSL.
+
+The DSL is a small non-recursive Datalog dialect (Section 3.2 of the paper):
+
+.. code-block:: none
+
+    Nodes(ID, Name) :- Author(ID, Name).
+    Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+
+Token kinds produced: ``IDENT``, ``NUMBER``, ``STRING``, ``LPAREN``,
+``RPAREN``, ``COMMA``, ``IMPLIES`` (``:-``), ``DOT``, ``UNDERSCORE``,
+``OP`` (comparison operators) and ``EOF``.  ``%`` and ``#`` start a comment
+that runs to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import DSLSyntaxError
+
+TOKEN_KINDS = (
+    "IDENT",
+    "NUMBER",
+    "STRING",
+    "LPAREN",
+    "RPAREN",
+    "COMMA",
+    "IMPLIES",
+    "DOT",
+    "UNDERSCORE",
+    "OP",
+    "EOF",
+)
+
+_OPERATORS = ("<=", ">=", "!=", "==", "<", ">", "=")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Convert DSL source text into a stream of :class:`Token` objects."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ #
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input eagerly."""
+        return list(self._iter_tokens())
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            token = self._next_token()
+            yield token
+            if token.kind == "EOF":
+                return
+
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch in "%#":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self.line, self.column
+        if self.pos >= len(self.source):
+            return Token("EOF", "", line, column)
+
+        ch = self._peek()
+
+        if ch == "(":
+            self._advance()
+            return Token("LPAREN", "(", line, column)
+        if ch == ")":
+            self._advance()
+            return Token("RPAREN", ")", line, column)
+        if ch == ",":
+            self._advance()
+            return Token("COMMA", ",", line, column)
+        if ch == ".":
+            self._advance()
+            return Token("DOT", ".", line, column)
+        if ch == ":" and self._peek(1) == "-":
+            self._advance(2)
+            return Token("IMPLIES", ":-", line, column)
+
+        for op in _OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("OP", op, line, column)
+
+        if ch == "_" and not (self._peek(1).isalnum() or self._peek(1) == "_"):
+            self._advance()
+            return Token("UNDERSCORE", "_", line, column)
+
+        if ch in "\"'":
+            return self._string(ch, line, column)
+
+        if ch.isdigit() or (ch == "-" and self._peek(1).isdigit()):
+            return self._number(line, column)
+
+        if ch.isalpha() or ch == "_":
+            return self._identifier(line, column)
+
+        raise DSLSyntaxError(f"unexpected character {ch!r}", line, column)
+
+    def _string(self, quote: str, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise DSLSyntaxError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == quote:
+                break
+            if ch == "\\" and self._peek() in ("\\", quote):
+                ch = self._advance()
+            chars.append(ch)
+        return Token("STRING", "".join(chars), line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        chars = [self._advance()]
+        has_dot = False
+        while self._peek().isdigit() or (self._peek() == "." and self._peek(1).isdigit() and not has_dot):
+            if self._peek() == ".":
+                has_dot = True
+            chars.append(self._advance())
+        return Token("NUMBER", "".join(chars), line, column)
+
+    def _identifier(self, line: int, column: int) -> Token:
+        chars = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        return Token("IDENT", "".join(chars), line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` into a list of tokens."""
+    return Lexer(source).tokens()

@@ -1,0 +1,222 @@
+"""Recursive-descent parser for the GraphGen extraction DSL.
+
+Grammar (informal)::
+
+    spec        := rule+
+    rule        := head ":-" body "."
+    head        := ("Nodes" | "Edges") "(" termlist ")"
+    body        := bodyitem ("," bodyitem)*
+    bodyitem    := atom | comparison
+    atom        := IDENT "(" termlist ")"
+    termlist    := term ("," term)*
+    term        := IDENT | "_" | NUMBER | STRING
+    comparison  := IDENT OP (NUMBER | STRING | IDENT)
+
+Identifiers in term position are variables; identifiers in predicate position
+are table names (or the special ``Nodes`` / ``Edges`` head predicates).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dsl.ast import (
+    AGGREGATE_FUNCTION_NAMES,
+    AggregateConstraint,
+    AggregateTerm,
+    Anonymous,
+    Atom,
+    ComparisonPredicate,
+    Constant,
+    EDGES_PREDICATE,
+    GraphSpec,
+    NODES_PREDICATE,
+    Rule,
+    Term,
+    Variable,
+)
+from repro.dsl.lexer import Token, tokenize
+from repro.exceptions import DSLSyntaxError
+
+
+def _number_value(text: str) -> Any:
+    return float(text) if "." in text else int(text)
+
+
+class Parser:
+    """Parse a token stream into a :class:`GraphSpec`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value if value is not None else kind
+            raise DSLSyntaxError(
+                f"expected {expected!r} but found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------ #
+    # grammar productions
+    # ------------------------------------------------------------------ #
+    def parse(self) -> GraphSpec:
+        spec = GraphSpec()
+        while self._peek().kind != "EOF":
+            rule = self._rule()
+            if rule.is_nodes_rule:
+                spec.node_rules.append(rule)
+            elif rule.is_edges_rule:
+                spec.edge_rules.append(rule)
+            else:
+                raise DSLSyntaxError(
+                    f"rule head must be {NODES_PREDICATE!r} or {EDGES_PREDICATE!r}, "
+                    f"got {rule.head.predicate!r}"
+                )
+        spec.validate_shape()
+        return spec
+
+    def _rule(self) -> Rule:
+        head = self._atom()
+        self._expect("IMPLIES")
+        atoms: list[Atom] = []
+        comparisons: list[ComparisonPredicate] = []
+        aggregate_constraints: list[AggregateConstraint] = []
+        while True:
+            item = self._body_item()
+            if isinstance(item, Atom):
+                atoms.append(item)
+            elif isinstance(item, AggregateConstraint):
+                aggregate_constraints.append(item)
+            else:
+                comparisons.append(item)
+            token = self._peek()
+            if token.kind == "COMMA":
+                self._advance()
+                continue
+            break
+        self._expect("DOT")
+        if not atoms:
+            raise DSLSyntaxError("rule body must contain at least one table atom")
+        return Rule(
+            head=head,
+            body=tuple(atoms),
+            comparisons=tuple(comparisons),
+            aggregate_constraints=tuple(aggregate_constraints),
+        )
+
+    def _body_item(self) -> Atom | ComparisonPredicate | AggregateConstraint:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise DSLSyntaxError(
+                f"expected a predicate or comparison, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        # lookahead: aggregate IDENT '(' => HAVING-style constraint,
+        # other IDENT '(' => atom, IDENT OP => comparison
+        next_token = self._tokens[self._pos + 1]
+        if next_token.kind == "LPAREN":
+            if token.value.lower() in AGGREGATE_FUNCTION_NAMES:
+                return self._aggregate_constraint()
+            return self._atom()
+        if next_token.kind == "OP":
+            return self._comparison()
+        raise DSLSyntaxError(
+            f"expected '(' or a comparison operator after {token.value!r}",
+            next_token.line,
+            next_token.column,
+        )
+
+    def _atom(self) -> Atom:
+        name = self._expect("IDENT").value
+        self._expect("LPAREN")
+        terms: list[Term] = [self._term()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            terms.append(self._term())
+        self._expect("RPAREN")
+        return Atom(predicate=name, terms=tuple(terms))
+
+    def _term(self) -> Term:
+        token = self._peek()
+        if token.kind == "IDENT":
+            if (
+                token.value.lower() in AGGREGATE_FUNCTION_NAMES
+                and self._tokens[self._pos + 1].kind == "LPAREN"
+            ):
+                return self._aggregate_term()
+            self._advance()
+            return Variable(token.value)
+        if token.kind == "UNDERSCORE":
+            self._advance()
+            return Anonymous()
+        if token.kind == "NUMBER":
+            self._advance()
+            return Constant(_number_value(token.value))
+        if token.kind == "STRING":
+            self._advance()
+            return Constant(token.value)
+        raise DSLSyntaxError(f"expected a term, found {token.value!r}", token.line, token.column)
+
+    def _aggregate_term(self) -> AggregateTerm:
+        function = self._expect("IDENT").value.lower()
+        self._expect("LPAREN")
+        variable = Variable(self._expect("IDENT").value)
+        self._expect("RPAREN")
+        return AggregateTerm(function=function, variable=variable)
+
+    def _aggregate_constraint(self) -> AggregateConstraint:
+        aggregate = self._aggregate_term()
+        op = self._expect("OP").value
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value: Any = _number_value(token.value)
+        elif token.kind == "STRING":
+            self._advance()
+            value = token.value
+        else:
+            raise DSLSyntaxError(
+                f"expected a literal after {aggregate} {op}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return AggregateConstraint(aggregate=aggregate, op=op, value=value)
+
+    def _comparison(self) -> ComparisonPredicate:
+        variable = Variable(self._expect("IDENT").value)
+        op = self._expect("OP").value
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value: Any = _number_value(token.value)
+        elif token.kind == "STRING":
+            self._advance()
+            value = token.value
+        else:
+            raise DSLSyntaxError(
+                f"expected a literal after comparison operator, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return ComparisonPredicate(variable=variable, op=op, value=value)
+
+
+def parse(source: str) -> GraphSpec:
+    """Parse DSL source text into a validated :class:`GraphSpec`."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,286 @@
+"""Semantic validation and classification of extraction queries.
+
+Beyond the syntactic checks in :meth:`GraphSpec.validate_shape`, GraphGen
+needs to know (Section 3.3):
+
+* **Case 1** — every Edges statement is an *acyclic*, aggregation-free
+  conjunctive query: the condensed representation can be extracted.
+* **Case 2** — otherwise: the full (expanded) edge set must be materialised
+  with a single SQL query.
+
+Acyclicity is checked with the classic GYO (Graham / Yu–Özsoyoğlu) ear-removal
+reduction over the query hypergraph.  The validator also derives, for Case-1
+Edges rules, a *join chain* of the form::
+
+    Edges(ID1, ID2) :- R1(ID1, a1), R2(a1, a2), ..., Rn(a_{n-1}, ID2)
+
+i.e. an ordering of the body atoms from the atom binding the source-ID to the
+atom binding the target-ID with the join attribute linking each consecutive
+pair — exactly the form Step 2 of Section 4.2 assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsl.ast import Atom, GraphSpec, Rule, Variable
+from repro.exceptions import DSLValidationError
+from repro.relational.database import Database
+
+
+# --------------------------------------------------------------------------- #
+# hypergraph acyclicity (GYO reduction)
+# --------------------------------------------------------------------------- #
+def is_acyclic(rule: Rule) -> bool:
+    """True if the rule's body hypergraph is alpha-acyclic (GYO reduction)."""
+    hyperedges: list[set[str]] = [set(atom.variable_names()) for atom in rule.body]
+    hyperedges = [e for e in hyperedges if e]
+    changed = True
+    while changed and len(hyperedges) > 1:
+        changed = False
+        # 1. remove vertices that appear in exactly one hyperedge
+        counts: dict[str, int] = {}
+        for edge in hyperedges:
+            for v in edge:
+                counts[v] = counts.get(v, 0) + 1
+        for edge in hyperedges:
+            lonely = {v for v in edge if counts[v] == 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+        hyperedges = [e for e in hyperedges if e]
+        # 2. remove hyperedges contained in another hyperedge (ears)
+        removed_index: int | None = None
+        for i, edge in enumerate(hyperedges):
+            for j, other in enumerate(hyperedges):
+                if i != j and edge <= other:
+                    removed_index = i
+                    break
+            if removed_index is not None:
+                break
+        if removed_index is not None:
+            hyperedges.pop(removed_index)
+            changed = True
+    return len(hyperedges) <= 1
+
+
+# --------------------------------------------------------------------------- #
+# join-chain derivation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ChainLink:
+    """One atom in the linearised join chain of an Edges rule.
+
+    ``in_variable`` is the variable shared with the previous atom (None for
+    the first atom, where the source-ID variable plays that role) and
+    ``out_variable`` the variable shared with the next atom (None for the
+    last atom).
+    """
+
+    atom: Atom
+    in_variable: str | None
+    out_variable: str | None
+
+
+@dataclass
+class EdgeChain:
+    """The join chain of a single Edges rule."""
+
+    rule: Rule
+    source_variable: str
+    target_variable: str
+    links: list[ChainLink]
+
+    @property
+    def join_variables(self) -> list[str]:
+        """The chain's join attributes a1, ..., a_{n-1} in order."""
+        return [link.out_variable for link in self.links[:-1] if link.out_variable is not None]
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+
+def derive_chain(rule: Rule) -> EdgeChain:
+    """Linearise an acyclic Edges rule into a join chain from ID1 to ID2.
+
+    Raises :class:`DSLValidationError` if the body cannot be ordered as a
+    simple chain between the two head variables (e.g. the join graph branches
+    in a way that prevents a path, or an endpoint variable is missing).
+    """
+    head_terms = rule.head.terms
+    if len(head_terms) < 2 or not isinstance(head_terms[0], Variable) or not isinstance(head_terms[1], Variable):
+        raise DSLValidationError(f"Edges head must start with two ID variables: {rule}")
+    source_var = head_terms[0].name
+    target_var = head_terms[1].name
+
+    atoms = list(rule.body)
+    source_atoms = [a for a in atoms if source_var in a.variable_names()]
+    target_atoms = [a for a in atoms if target_var in a.variable_names()]
+    if not source_atoms:
+        raise DSLValidationError(f"no body atom binds the source variable {source_var!r}")
+    if not target_atoms:
+        raise DSLValidationError(f"no body atom binds the target variable {target_var!r}")
+
+    # breadth-first search over atoms connected by shared variables, from an
+    # atom binding ID1 to an atom binding ID2
+    start = source_atoms[0]
+    if len(atoms) == 1:
+        only = atoms[0]
+        if target_var not in only.variable_names():
+            raise DSLValidationError(
+                f"single-atom Edges rule must bind both endpoints: {rule}"
+            )
+        return EdgeChain(
+            rule=rule,
+            source_variable=source_var,
+            target_variable=target_var,
+            links=[ChainLink(atom=only, in_variable=None, out_variable=None)],
+        )
+
+    def shared_vars(a: Atom, b: Atom) -> set[str]:
+        return set(a.variable_names()) & set(b.variable_names())
+
+    # graph over atom indices
+    n = len(atoms)
+    adjacency: dict[int, list[int]] = {i: [] for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if shared_vars(atoms[i], atoms[j]):
+                adjacency[i].append(j)
+                adjacency[j].append(i)
+
+    start_index = atoms.index(start)
+    target_indexes = {atoms.index(a) for a in target_atoms}
+
+    # BFS for shortest path start -> any target atom
+    from collections import deque
+
+    parents: dict[int, int | None] = {start_index: None}
+    queue = deque([start_index])
+    found: int | None = None
+    # Prefer a target atom different from the start when the rule is a
+    # self-join (e.g. the co-authors query), otherwise allow start==target.
+    preferred_targets = target_indexes - {start_index} or target_indexes
+    while queue:
+        current = queue.popleft()
+        if current in preferred_targets:
+            found = current
+            break
+        for neighbor in adjacency[current]:
+            if neighbor not in parents:
+                parents[neighbor] = current
+                queue.append(neighbor)
+    if found is None:
+        raise DSLValidationError(
+            f"body atoms binding {source_var!r} and {target_var!r} are not connected: {rule}"
+        )
+
+    path: list[int] = []
+    cursor: int | None = found
+    while cursor is not None:
+        path.append(cursor)
+        cursor = parents[cursor]
+    path.reverse()
+
+    path_atoms = [atoms[i] for i in path]
+    # atoms not on the path hang off it (e.g. property lookups); append them
+    # after the atom they connect to so the chain still covers the whole body.
+    remaining = [atoms[i] for i in range(n) if i not in path]
+    ordered = list(path_atoms)
+    while remaining:
+        placed = False
+        for atom in list(remaining):
+            for position, existing in enumerate(ordered):
+                if shared_vars(atom, existing):
+                    ordered.insert(position + 1, atom)
+                    remaining.remove(atom)
+                    placed = True
+                    break
+            if placed:
+                break
+        if not placed:
+            raise DSLValidationError(f"disconnected body atoms in Edges rule: {rule}")
+
+    links: list[ChainLink] = []
+    for index, atom in enumerate(ordered):
+        in_var: str | None = None
+        out_var: str | None = None
+        if index > 0:
+            shared = shared_vars(ordered[index - 1], atom)
+            if not shared:
+                raise DSLValidationError(
+                    f"cannot linearise Edges rule into a join chain: {rule}"
+                )
+            in_var = sorted(shared)[0]
+        if index < len(ordered) - 1:
+            shared = shared_vars(atom, ordered[index + 1])
+            if not shared:
+                raise DSLValidationError(
+                    f"cannot linearise Edges rule into a join chain: {rule}"
+                )
+            out_var = sorted(shared)[0]
+        links.append(ChainLink(atom=atom, in_variable=in_var, out_variable=out_var))
+
+    return EdgeChain(
+        rule=rule, source_variable=source_var, target_variable=target_var, links=links
+    )
+
+
+# --------------------------------------------------------------------------- #
+# whole-spec validation
+# --------------------------------------------------------------------------- #
+@dataclass
+class ValidationReport:
+    """Result of validating a :class:`GraphSpec` against a database."""
+
+    spec: GraphSpec
+    condensable: bool
+    chains: list[EdgeChain]
+    issues: list[str]
+
+    @property
+    def case(self) -> int:
+        """1 if the condensed representation can be used, else 2."""
+        return 1 if self.condensable else 2
+
+
+def validate(spec: GraphSpec, db: Database | None = None) -> ValidationReport:
+    """Validate a parsed spec; optionally check table/column references
+    against a concrete database schema."""
+    spec.validate_shape()
+    issues: list[str] = []
+
+    if db is not None:
+        for rule in spec.all_rules():
+            for atom in rule.body:
+                if not db.has_table(atom.predicate):
+                    raise DSLValidationError(
+                        f"rule {rule} references unknown table {atom.predicate!r}"
+                    )
+                arity = db.table(atom.predicate).schema.arity
+                if atom.arity != arity:
+                    raise DSLValidationError(
+                        f"atom {atom} has arity {atom.arity} but table "
+                        f"{atom.predicate!r} has arity {arity}"
+                    )
+
+    condensable = True
+    chains: list[EdgeChain] = []
+    for rule in spec.edge_rules:
+        if rule.has_aggregates:
+            condensable = False
+            issues.append(
+                f"edges rule uses aggregation and requires full evaluation (Case 2): {rule}"
+            )
+            continue
+        if not is_acyclic(rule):
+            condensable = False
+            issues.append(f"edges rule is cyclic: {rule}")
+            continue
+        try:
+            chains.append(derive_chain(rule))
+        except DSLValidationError as exc:
+            condensable = False
+            issues.append(str(exc))
+
+    return ValidationReport(spec=spec, condensable=condensable, chains=chains, issues=issues)

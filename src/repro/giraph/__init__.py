@@ -1,0 +1,35 @@
+"""Simulated Apache Giraph port of the representations (Section 6.4)."""
+
+from repro.giraph.engine import (
+    GiraphContext,
+    GiraphEngine,
+    GiraphMetrics,
+    GiraphProgram,
+    GiraphVertex,
+)
+from repro.giraph.adapters import from_condensed, from_expanded
+from repro.giraph.programs import (
+    GiraphConnectedComponents,
+    GiraphDegree,
+    GiraphPageRank,
+    is_virtual_id,
+)
+from repro.giraph.runner import ALGORITHMS, GiraphRunResult, build_vertices, run_giraph
+
+__all__ = [
+    "GiraphContext",
+    "GiraphEngine",
+    "GiraphMetrics",
+    "GiraphProgram",
+    "GiraphVertex",
+    "from_condensed",
+    "from_expanded",
+    "GiraphConnectedComponents",
+    "GiraphDegree",
+    "GiraphPageRank",
+    "is_virtual_id",
+    "ALGORITHMS",
+    "GiraphRunResult",
+    "build_vertices",
+    "run_giraph",
+]

@@ -1,0 +1,87 @@
+"""High-level helpers for the Giraph experiments (Table 4 / Table 5).
+
+These wrap adapter construction, program selection and metric collection so
+the benchmark harness (and the examples) can run one line per cell of the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.exceptions import VertexCentricError
+from repro.giraph.adapters import from_condensed, from_expanded
+from repro.giraph.engine import GiraphEngine, GiraphMetrics, GiraphVertex
+from repro.giraph.programs import (
+    GiraphConnectedComponents,
+    GiraphDegree,
+    GiraphPageRank,
+)
+from repro.graph.api import Graph
+from repro.graph.condensed_base import CondensedBackedGraph
+from repro.graph.expanded import ExpandedGraph
+from repro.utils.timing import Timer
+
+ALGORITHMS = ("degree", "pagerank", "connected_components")
+
+
+@dataclass
+class GiraphRunResult:
+    """Outcome of one (representation, algorithm) cell of Table 4."""
+
+    representation: str
+    algorithm: str
+    seconds: float
+    metrics: GiraphMetrics
+    values: dict[Hashable, Any]
+
+    @property
+    def estimated_memory_bytes(self) -> int:
+        return self.metrics.estimated_memory_bytes()
+
+
+def build_vertices(graph: Graph) -> tuple[dict[Hashable, GiraphVertex], bool]:
+    """Build the Giraph vertex set for a representation.
+
+    Returns ``(vertices, condensed?)``.
+    """
+    if isinstance(graph, ExpandedGraph):
+        return from_expanded(graph), False
+    if isinstance(graph, CondensedBackedGraph):
+        return from_condensed(graph), True
+    # DEDUP-2 or anything else: fall back to the logical (expanded) adjacency
+    return from_expanded(graph), False
+
+
+def run_giraph(
+    graph: Graph,
+    algorithm: str,
+    iterations: int = 10,
+    damping: float = 0.85,
+    max_supersteps: int = 200,
+) -> GiraphRunResult:
+    """Run one algorithm on one representation through the simulated Giraph."""
+    if algorithm not in ALGORITHMS:
+        raise VertexCentricError(
+            f"unknown Giraph algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    vertices, condensed = build_vertices(graph)
+    engine = GiraphEngine(vertices)
+    if algorithm == "degree":
+        program: Any = GiraphDegree()
+    elif algorithm == "pagerank":
+        program = GiraphPageRank(iterations=iterations, damping=damping, condensed=condensed)
+    else:
+        program = GiraphConnectedComponents()
+
+    timer = Timer().start()
+    metrics = engine.run(program, max_supersteps=max_supersteps)
+    seconds = timer.stop()
+    return GiraphRunResult(
+        representation=graph.representation_name,
+        algorithm=algorithm,
+        seconds=seconds,
+        metrics=metrics,
+        values=engine.values(real_only=True),
+    )

@@ -1,0 +1,51 @@
+"""In-memory graph representations.
+
+* :class:`CondensedGraph` — the raw condensed structure (real + virtual nodes).
+* :class:`ExpandedGraph` (EXP) — fully materialised adjacency lists.
+* :class:`CDupGraph` (C-DUP) — condensed with on-the-fly deduplication.
+* :class:`Dedup1Graph` (DEDUP-1) — condensed, duplication removed structurally.
+* :class:`Dedup2Graph` (DEDUP-2) — membership representation for symmetric
+  single-layer graphs.
+* :class:`BitmapGraph` (BITMAP) — condensed plus traversal bitmaps.
+"""
+
+from repro.graph.api import Graph, PropertyStore, VertexId, logical_edge_set, check_same_vertex_set
+from repro.graph.condensed import CondensedGraph, condensed_from_edges
+from repro.graph.condensed_base import CondensedBackedGraph
+from repro.graph.expanded import ExpandedGraph
+from repro.graph.cdup import CDupGraph
+from repro.graph.dedup1 import Dedup1Graph
+from repro.graph.dedup2 import Dedup2Graph
+from repro.graph.bitmap import BitmapGraph
+from repro.graph.analysis import (
+    RepresentationStats,
+    condensed_from_expanded,
+    degree_histogram,
+    duplication_profile,
+    expanded_from_condensed,
+    logically_equivalent,
+    representation_stats,
+)
+
+__all__ = [
+    "Graph",
+    "PropertyStore",
+    "VertexId",
+    "logical_edge_set",
+    "check_same_vertex_set",
+    "CondensedGraph",
+    "condensed_from_edges",
+    "CondensedBackedGraph",
+    "ExpandedGraph",
+    "CDupGraph",
+    "Dedup1Graph",
+    "Dedup2Graph",
+    "BitmapGraph",
+    "RepresentationStats",
+    "condensed_from_expanded",
+    "degree_histogram",
+    "duplication_profile",
+    "expanded_from_condensed",
+    "logically_equivalent",
+    "representation_stats",
+]

@@ -1,0 +1,172 @@
+"""The GraphGen Graph API.
+
+Section 3.4 of the paper defines a seven-operation Java API that every
+in-memory representation implements; all graph algorithms are written against
+it so they run unchanged on EXP, C-DUP, DEDUP-1, DEDUP-2 and BITMAP:
+
+* ``getVertices()``          → :meth:`Graph.get_vertices`
+* ``getNeighbors(v)``        → :meth:`Graph.get_neighbors`
+* ``existsEdge(v, u)``       → :meth:`Graph.exists_edge`
+* ``addEdge / deleteEdge``   → :meth:`Graph.add_edge` / :meth:`Graph.delete_edge`
+* ``addVertex / deleteVertex`` → :meth:`Graph.add_vertex` / :meth:`Graph.delete_vertex`
+
+plus vertex properties (``get_property`` / ``set_property``).  Vertex
+identifiers at this level are the *external* node IDs that came out of the
+database (e.g. author IDs), never internal indexes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.exceptions import RepresentationError
+
+VertexId = Hashable
+
+
+class Graph(ABC):
+    """Abstract base class for every in-memory graph representation."""
+
+    #: short name used in benchmark output ("EXP", "C-DUP", ...)
+    representation_name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # the seven core operations
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def get_vertices(self) -> Iterator[VertexId]:
+        """Iterate over all (real) vertex IDs."""
+
+    @abstractmethod
+    def get_neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
+        """Iterate over the out-neighbors of ``vertex`` with duplicates
+        removed (each logical neighbor exactly once)."""
+
+    @abstractmethod
+    def exists_edge(self, source: VertexId, target: VertexId) -> bool:
+        """True if the logical (expanded) graph contains ``source -> target``."""
+
+    @abstractmethod
+    def add_vertex(self, vertex: VertexId, **properties: Any) -> None:
+        """Add an isolated vertex (no-op properties allowed)."""
+
+    @abstractmethod
+    def delete_vertex(self, vertex: VertexId) -> None:
+        """Remove a vertex and all its incident (logical) edges."""
+
+    @abstractmethod
+    def add_edge(self, source: VertexId, target: VertexId) -> None:
+        """Add the logical edge ``source -> target``."""
+
+    @abstractmethod
+    def delete_edge(self, source: VertexId, target: VertexId) -> None:
+        """Remove the logical edge ``source -> target``."""
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def get_property(self, vertex: VertexId, key: str, default: Any = None) -> Any:
+        """Value of property ``key`` on ``vertex`` (or ``default``)."""
+
+    @abstractmethod
+    def set_property(self, vertex: VertexId, key: str, value: Any) -> None:
+        """Set property ``key`` on ``vertex``."""
+
+    # ------------------------------------------------------------------ #
+    # edge properties (optional; representations that carry them override)
+    # ------------------------------------------------------------------ #
+    def get_edge_property(
+        self, source: VertexId, target: VertexId, key: str, default: Any = None
+    ) -> Any:
+        """Value of property ``key`` on the logical edge ``source -> target``.
+
+        Edge properties are produced by aggregate extraction queries (e.g. a
+        ``count(PubID)`` weight on co-author edges).  Representations that do
+        not store edge properties return ``default``.
+        """
+        return default
+
+    # ------------------------------------------------------------------ #
+    # derived conveniences (concrete)
+    # ------------------------------------------------------------------ #
+    def has_vertex(self, vertex: VertexId) -> bool:
+        """True if ``vertex`` is present (default: linear scan; overridden)."""
+        return any(v == vertex for v in self.get_vertices())
+
+    def neighbors_list(self, vertex: VertexId) -> list[VertexId]:
+        """``getNeighbors(v).toList`` from the paper."""
+        return list(self.get_neighbors(vertex))
+
+    def degree(self, vertex: VertexId) -> int:
+        """Out-degree of ``vertex`` in the logical graph (duplicates removed)."""
+        return sum(1 for _ in self.get_neighbors(vertex))
+
+    def num_vertices(self) -> int:
+        return sum(1 for _ in self.get_vertices())
+
+    def num_edges(self) -> int:
+        """Number of logical (expanded) directed edges.
+
+        The default implementation iterates every vertex's neighbor list;
+        representations override it when they can answer faster.
+        """
+        return sum(self.degree(v) for v in self.get_vertices())
+
+    def vertices_list(self) -> list[VertexId]:
+        return list(self.get_vertices())
+
+    def edges(self) -> Iterator[tuple[VertexId, VertexId]]:
+        """Iterate over all logical directed edges."""
+        for vertex in self.get_vertices():
+            for neighbor in self.get_neighbors(vertex):
+                yield vertex, neighbor
+
+    # ------------------------------------------------------------------ #
+    def _missing_vertex(self, vertex: VertexId) -> RepresentationError:
+        return RepresentationError(
+            f"vertex {vertex!r} is not in this {self.representation_name} graph"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.representation_name} |V|={self.num_vertices()}>"
+
+
+class PropertyStore:
+    """Shared helper holding vertex property dictionaries.
+
+    Kept separate from the adjacency structures so that every representation
+    can reuse it without multiple inheritance gymnastics.
+    """
+
+    def __init__(self) -> None:
+        self._properties: dict[VertexId, dict[str, Any]] = {}
+
+    def get(self, vertex: VertexId, key: str, default: Any = None) -> Any:
+        return self._properties.get(vertex, {}).get(key, default)
+
+    def set(self, vertex: VertexId, key: str, value: Any) -> None:
+        self._properties.setdefault(vertex, {})[key] = value
+
+    def set_many(self, vertex: VertexId, properties: dict[str, Any]) -> None:
+        if properties:
+            self._properties.setdefault(vertex, {}).update(properties)
+
+    def drop_vertex(self, vertex: VertexId) -> None:
+        self._properties.pop(vertex, None)
+
+    def all_for(self, vertex: VertexId) -> dict[str, Any]:
+        return dict(self._properties.get(vertex, {}))
+
+
+def check_same_vertex_set(a: Graph, b: Graph) -> bool:
+    """True if two representations expose exactly the same vertex IDs."""
+    return set(a.get_vertices()) == set(b.get_vertices())
+
+
+def logical_edge_set(graph: Graph, vertices: Iterable[VertexId] | None = None) -> set[tuple[VertexId, VertexId]]:
+    """The set of logical directed edges (optionally restricted to sources in
+    ``vertices``).  Used by tests to compare representations for equivalence."""
+    sources = graph.get_vertices() if vertices is None else vertices
+    return {(u, v) for u in sources for v in graph.get_neighbors(u)}

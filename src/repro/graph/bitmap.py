@@ -1,0 +1,98 @@
+"""BITMAP — deduplication via per-virtual-node bitmaps.
+
+The condensed structure is kept exactly as extracted (same edges as C-DUP),
+but virtual nodes carry *bitmaps indexed by source real node*: when a
+traversal that started at ``u_s`` reaches virtual node ``V`` and ``V`` has a
+bitmap for ``u``, only the out-edges whose bit is set are followed.  The
+bitmaps are initialised by the preprocessing algorithms BITMAP-1 and BITMAP-2
+(:mod:`repro.dedup.bitmap1`, :mod:`repro.dedup.bitmap2`) so that every real
+neighbor of ``u`` is produced exactly once — removing the need for the
+per-call hash set C-DUP pays (Section 4.3, "BITMAP").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.condensed import CondensedGraph
+from repro.graph.condensed_base import CondensedBackedGraph
+
+
+class BitmapGraph(CondensedBackedGraph):
+    """Graph API over a condensed graph augmented with traversal bitmaps."""
+
+    representation_name = "BITMAP"
+
+    def __init__(self, condensed: CondensedGraph) -> None:
+        super().__init__(condensed)
+        #: virtual node -> {source real node -> bitmask over positions of
+        #: ``condensed.out(virtual)`` (bit i set = follow the i-th out-edge)}
+        self._bitmaps: dict[int, dict[int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # bitmap management (used by the preprocessing algorithms)
+    # ------------------------------------------------------------------ #
+    def set_bitmap(self, virtual: int, source: int, bitmask: int) -> None:
+        """Attach/overwrite the bitmap of ``virtual`` for ``source``."""
+        self._bitmaps.setdefault(virtual, {})[source] = bitmask
+
+    def get_bitmap(self, virtual: int, source: int) -> int | None:
+        return self._bitmaps.get(virtual, {}).get(source)
+
+    def has_bitmap(self, virtual: int, source: int) -> bool:
+        return source in self._bitmaps.get(virtual, {})
+
+    def remove_bitmap(self, virtual: int, source: int) -> None:
+        self._bitmaps.get(virtual, {}).pop(source, None)
+
+    def iter_bitmaps(self):
+        """Yield ``(virtual, source, bitmask)`` for every stored bitmap."""
+        for virtual, per_source in self._bitmaps.items():
+            for source, bitmask in per_source.items():
+                yield virtual, source, bitmask
+
+    def bitmap_count(self) -> int:
+        """Total number of bitmaps stored (Figure 10 / memory accounting)."""
+        return sum(len(per_source) for per_source in self._bitmaps.values())
+
+    def bitmap_bit_count(self) -> int:
+        """Total number of bits stored across all bitmaps."""
+        total = 0
+        for virtual, per_source in self._bitmaps.items():
+            bits = len(self._cg.out(virtual))
+            total += bits * len(per_source)
+        return total
+
+    def bitmap_sizes(self) -> list[tuple[int, int]]:
+        """``(num_bitmaps, bits_per_bitmap)`` per virtual node, for memory estimates."""
+        return [
+            (len(per_source), len(self._cg.out(virtual)))
+            for virtual, per_source in self._bitmaps.items()
+            if per_source
+        ]
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def _internal_neighbors(self, node: int) -> Iterator[int]:
+        visited_virtual: set[int] = set()
+        stack = list(self._cg.out(node))
+        while stack:
+            current = stack.pop()
+            if CondensedGraph.is_real(current):
+                yield current
+                continue
+            if current in visited_virtual:
+                continue
+            visited_virtual.add(current)
+            targets = self._cg.out(current)
+            bitmap = self.get_bitmap(current, node)
+            if bitmap is None:
+                stack.extend(targets)
+            else:
+                for position, target in enumerate(targets):
+                    if bitmap & (1 << position):
+                        stack.append(target)
+
+    def num_edges(self) -> int:
+        return sum(self.degree(v) for v in self.get_vertices())

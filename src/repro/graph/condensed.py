@@ -1,0 +1,416 @@
+"""The condensed (C-DUP) graph data structure.
+
+This is the physical structure Section 4.1 of the paper defines.  For an
+output graph ``G(V, E)``, the condensed graph ``GC(V', E')`` contains
+
+* one node per *real* node ``u`` (conceptually split into a source copy
+  ``u_s`` and a target copy ``u_t``; physically stored once),
+* any number of *virtual* nodes (one per distinct value of each large-output
+  join attribute),
+* directed edges real→virtual, virtual→virtual, virtual→real and (after
+  deduplication or preprocessing) direct real→real edges,
+
+such that ``u → v`` is an edge of the expanded graph iff there is a directed
+path from ``u_s`` to ``v_t`` in ``GC``.  ``GC`` is always a DAG because the
+extraction queries are acyclic.
+
+Internal encoding
+-----------------
+Real nodes are mapped to dense non-negative integers (``0, 1, 2, ...``);
+virtual nodes get negative integers (``-1, -2, ...``).  ``succ[n]`` holds the
+out-adjacency of ``n``'s source side, ``pred[n]`` the in-adjacency of its
+target side.  External (database) node IDs are preserved and exposed through
+:meth:`external` / :meth:`internal`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.exceptions import RepresentationError
+
+
+class CondensedGraph:
+    """Condensed representation of an extracted graph (possibly duplicated)."""
+
+    def __init__(self) -> None:
+        # external id <-> internal non-negative index for real nodes
+        self._internal_of: dict[Hashable, int] = {}
+        self._external_of: dict[int, Hashable] = {}
+        self._next_real = 0
+        self._next_virtual = -1
+
+        #: virtual node id -> optional (attribute, value) label
+        self.virtual_labels: dict[int, tuple[str, Any] | None] = {}
+        #: real node internal id -> property dict
+        self.node_properties: dict[int, dict[str, Any]] = {}
+        #: (source, target) internal real-node pair -> edge property dict
+        #: (used by aggregate extraction queries, e.g. co-authorship counts)
+        self.edge_annotations: dict[tuple[int, int], dict[str, Any]] = {}
+
+        #: adjacency: out-edges of each node's source side
+        self.succ: dict[int, list[int]] = {}
+        #: adjacency: in-edges of each node's target side
+        self.pred: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # node management
+    # ------------------------------------------------------------------ #
+    def add_real_node(self, external_id: Hashable, **properties: Any) -> int:
+        """Add (or fetch) the real node with the given external ID."""
+        if external_id in self._internal_of:
+            node = self._internal_of[external_id]
+            if properties:
+                self.node_properties.setdefault(node, {}).update(properties)
+            return node
+        node = self._next_real
+        self._next_real += 1
+        self._internal_of[external_id] = node
+        self._external_of[node] = external_id
+        self.succ[node] = []
+        self.pred[node] = []
+        if properties:
+            self.node_properties[node] = dict(properties)
+        return node
+
+    def add_virtual_node(self, label: tuple[str, Any] | None = None) -> int:
+        """Add a fresh virtual node; returns its (negative) internal ID."""
+        node = self._next_virtual
+        self._next_virtual -= 1
+        self.virtual_labels[node] = label
+        self.succ[node] = []
+        self.pred[node] = []
+        return node
+
+    def remove_virtual_node(self, virtual: int) -> None:
+        """Remove a virtual node and all its incident edges."""
+        if not self.is_virtual(virtual):
+            raise RepresentationError(f"{virtual} is not a virtual node")
+        for target in list(self.succ.get(virtual, [])):
+            self.pred[target].remove(virtual)
+        for source in list(self.pred.get(virtual, [])):
+            self.succ[source].remove(virtual)
+        self.succ.pop(virtual, None)
+        self.pred.pop(virtual, None)
+        self.virtual_labels.pop(virtual, None)
+
+    def remove_real_node(self, node: int) -> None:
+        """Remove a real node and all edges incident to either of its copies."""
+        if self.is_virtual(node) or node not in self._external_of:
+            raise RepresentationError(f"{node} is not a real node of this graph")
+        for target in list(self.succ.get(node, [])):
+            self.pred[target].remove(node)
+        for source in list(self.pred.get(node, [])):
+            self.succ[source].remove(node)
+        external = self._external_of.pop(node)
+        self._internal_of.pop(external, None)
+        self.succ.pop(node, None)
+        self.pred.pop(node, None)
+        self.node_properties.pop(node, None)
+
+    # ------------------------------------------------------------------ #
+    # identity helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def is_virtual(node: int) -> bool:
+        return node < 0
+
+    @staticmethod
+    def is_real(node: int) -> bool:
+        return node >= 0
+
+    def has_external(self, external_id: Hashable) -> bool:
+        return external_id in self._internal_of
+
+    def internal(self, external_id: Hashable) -> int:
+        try:
+            return self._internal_of[external_id]
+        except KeyError:
+            raise RepresentationError(f"unknown real node {external_id!r}") from None
+
+    def external(self, node: int) -> Hashable:
+        try:
+            return self._external_of[node]
+        except KeyError:
+            raise RepresentationError(f"unknown internal real node {node}") from None
+
+    # ------------------------------------------------------------------ #
+    # edge management
+    # ------------------------------------------------------------------ #
+    def add_edge(self, source: int, target: int, allow_duplicate: bool = True) -> bool:
+        """Add a condensed edge ``source -> target``.
+
+        Returns False (and does nothing) when ``allow_duplicate`` is False and
+        the edge is already present.
+        """
+        if source not in self.succ or target not in self.pred:
+            raise RepresentationError(f"cannot add edge {source}->{target}: unknown endpoint")
+        if not allow_duplicate and target in self.succ[source]:
+            return False
+        self.succ[source].append(target)
+        self.pred[target].append(source)
+        return True
+
+    def remove_edge(self, source: int, target: int) -> None:
+        try:
+            self.succ[source].remove(target)
+            self.pred[target].remove(source)
+        except (KeyError, ValueError):
+            raise RepresentationError(
+                f"edge {source}->{target} is not in the condensed graph"
+            ) from None
+
+    def has_edge(self, source: int, target: int) -> bool:
+        return target in self.succ.get(source, ())
+
+    # ------------------------------------------------------------------ #
+    # edge annotations (properties of direct real->real edges)
+    # ------------------------------------------------------------------ #
+    def annotate_edge(self, source: int, target: int, **properties: Any) -> None:
+        """Attach properties to the direct edge ``source -> target``.
+
+        Only direct real→real edges can carry annotations (they are produced
+        by Case-2 / aggregate extraction, which never goes through virtual
+        nodes).
+        """
+        if not (self.is_real(source) and self.is_real(target)):
+            raise RepresentationError("only direct real->real edges can be annotated")
+        if not self.has_edge(source, target):
+            raise RepresentationError(
+                f"cannot annotate missing edge {source}->{target}"
+            )
+        if properties:
+            self.edge_annotations.setdefault((source, target), {}).update(properties)
+
+    def edge_annotation(self, source: int, target: int) -> dict[str, Any]:
+        """Properties attached to the direct edge ``source -> target`` (may be empty)."""
+        return dict(self.edge_annotations.get((source, target), {}))
+
+    def out(self, node: int) -> list[int]:
+        """Out-adjacency of ``node`` (source side for real nodes)."""
+        return self.succ.get(node, [])
+
+    def inn(self, node: int) -> list[int]:
+        """In-adjacency of ``node`` (target side for real nodes)."""
+        return self.pred.get(node, [])
+
+    # ------------------------------------------------------------------ #
+    # iteration / counts
+    # ------------------------------------------------------------------ #
+    def real_nodes(self) -> Iterator[int]:
+        return iter(self._external_of)
+
+    def virtual_nodes(self) -> Iterator[int]:
+        return iter(self.virtual_labels)
+
+    def external_ids(self) -> Iterator[Hashable]:
+        return iter(self._internal_of)
+
+    @property
+    def num_real_nodes(self) -> int:
+        return len(self._external_of)
+
+    @property
+    def num_virtual_nodes(self) -> int:
+        return len(self.virtual_labels)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_real_nodes + self.num_virtual_nodes
+
+    @property
+    def num_condensed_edges(self) -> int:
+        """Number of physical edges stored in the condensed structure."""
+        return sum(len(targets) for targets in self.succ.values())
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+    def is_single_layer(self) -> bool:
+        """True if no virtual node points to another virtual node."""
+        for virtual in self.virtual_nodes():
+            if any(self.is_virtual(t) for t in self.succ[virtual]):
+                return False
+        return True
+
+    def num_layers(self) -> int:
+        """Number of virtual-node layers (longest virtual chain on any path).
+
+        0 for a graph with no virtual nodes, 1 for single-layer graphs, etc.
+        """
+        memo: dict[int, int] = {}
+
+        def depth(virtual: int) -> int:
+            if virtual in memo:
+                return memo[virtual]
+            best = 1
+            for target in self.succ[virtual]:
+                if self.is_virtual(target):
+                    best = max(best, 1 + depth(target))
+            memo[virtual] = best
+            return best
+
+        layers = 0
+        for virtual in self.virtual_nodes():
+            layers = max(layers, depth(virtual))
+        return layers
+
+    def is_acyclic(self) -> bool:
+        """The condensed graph must always be a DAG; verify it (for tests)."""
+        state: dict[int, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: int) -> bool:
+            state[node] = 0
+            for target in self.succ.get(node, ()):  # real targets never expand further
+                if self.is_real(target):
+                    continue
+                mark = state.get(target)
+                if mark == 0:
+                    return False
+                if mark is None and not visit(target):
+                    return False
+            state[node] = 1
+            return True
+
+        for virtual in self.virtual_nodes():
+            if virtual not in state and not visit(virtual):
+                return False
+        return True
+
+    def virtual_in_real(self, virtual: int) -> list[int]:
+        """I(V): real nodes with an edge into ``virtual``."""
+        return [n for n in self.pred[virtual] if self.is_real(n)]
+
+    def virtual_out_real(self, virtual: int) -> list[int]:
+        """O(V): real nodes ``virtual`` points to."""
+        return [n for n in self.succ[virtual] if self.is_real(n)]
+
+    # ------------------------------------------------------------------ #
+    # traversal (the heart of every condensed representation)
+    # ------------------------------------------------------------------ #
+    def reachable_real_targets(self, node: int) -> Iterator[int]:
+        """All real targets reachable from real node ``node``'s source copy,
+        *with duplicates* (one occurrence per distinct path).
+
+        Direct real→real edges contribute one occurrence each.
+        """
+        stack = list(self.succ.get(node, ()))
+        while stack:
+            current = stack.pop()
+            if self.is_real(current):
+                yield current
+            else:
+                stack.extend(self.succ[current])
+
+    def neighbor_set(self, node: int) -> set[int]:
+        """De-duplicated logical out-neighbors of real node ``node``."""
+        return set(self.reachable_real_targets(node))
+
+    def duplication_count(self, node: int) -> int:
+        """Number of redundant paths out of ``node`` (0 means no duplication)."""
+        total = 0
+        seen: set[int] = set()
+        for target in self.reachable_real_targets(node):
+            if target in seen:
+                total += 1
+            else:
+                seen.add(target)
+        return total
+
+    def has_duplication(self) -> bool:
+        """True if any real node can reach some target by more than one path."""
+        return any(self.duplication_count(n) > 0 for n in self.real_nodes())
+
+    def is_symmetric(self) -> bool:
+        """True if the *expanded* graph is symmetric (u→v iff v→u)."""
+        edges: set[tuple[int, int]] = set()
+        for node in self.real_nodes():
+            for target in self.neighbor_set(node):
+                edges.add((node, target))
+        return all((v, u) in edges for (u, v) in edges)
+
+    def expanded_edge_count(self) -> int:
+        """Number of edges of the expanded graph (computed by deduplicated
+        traversal — the "free side effect" the paper mentions)."""
+        return sum(len(self.neighbor_set(n)) for n in self.real_nodes())
+
+    def expanded_edges(self) -> Iterator[tuple[Hashable, Hashable]]:
+        """Iterate over the expanded graph's edges as external-ID pairs."""
+        for node in self.real_nodes():
+            source = self.external(node)
+            for target in self.neighbor_set(node):
+                yield source, self.external(target)
+
+    # ------------------------------------------------------------------ #
+    # copying
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "CondensedGraph":
+        clone = CondensedGraph()
+        clone._internal_of = dict(self._internal_of)
+        clone._external_of = dict(self._external_of)
+        clone._next_real = self._next_real
+        clone._next_virtual = self._next_virtual
+        clone.virtual_labels = dict(self.virtual_labels)
+        clone.node_properties = {n: dict(p) for n, p in self.node_properties.items()}
+        clone.edge_annotations = {e: dict(p) for e, p in self.edge_annotations.items()}
+        clone.succ = {n: list(t) for n, t in self.succ.items()}
+        clone.pred = {n: list(t) for n, t in self.pred.items()}
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # breadth-first helper used by multi-layer algorithms
+    # ------------------------------------------------------------------ #
+    def virtual_nodes_reachable(self, node: int) -> Iterator[int]:
+        """All virtual nodes reachable from ``node``'s source copy (BFS)."""
+        seen: set[int] = set()
+        queue: deque[int] = deque(v for v in self.succ.get(node, ()) if self.is_virtual(v))
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            yield current
+            for target in self.succ[current]:
+                if self.is_virtual(target) and target not in seen:
+                    queue.append(target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CondensedGraph(real={self.num_real_nodes}, virtual={self.num_virtual_nodes}, "
+            f"edges={self.num_condensed_edges})"
+        )
+
+
+def condensed_from_edges(
+    real_ids: Iterable[Hashable],
+    virtual_memberships: Iterable[tuple[Any, Iterable[Hashable], Iterable[Hashable]]],
+    direct_edges: Iterable[tuple[Hashable, Hashable]] = (),
+) -> CondensedGraph:
+    """Build a condensed graph from a compact description.
+
+    Parameters
+    ----------
+    real_ids:
+        The external IDs of all real nodes.
+    virtual_memberships:
+        Triples ``(label, in_ids, out_ids)``; a virtual node is created per
+        triple with edges ``u -> V`` for every ``u`` in ``in_ids`` and
+        ``V -> w`` for every ``w`` in ``out_ids``.
+    direct_edges:
+        Direct real→real edges.
+
+    Primarily a convenience for tests and the synthetic generators.
+    """
+    graph = CondensedGraph()
+    for rid in real_ids:
+        graph.add_real_node(rid)
+    for label, in_ids, out_ids in virtual_memberships:
+        virtual = graph.add_virtual_node(("synthetic", label))
+        for u in in_ids:
+            graph.add_edge(graph.internal(u), virtual)
+        for w in out_ids:
+            graph.add_edge(virtual, graph.internal(w))
+    for u, w in direct_edges:
+        graph.add_edge(graph.internal(u), graph.internal(w))
+    return graph

@@ -1,0 +1,191 @@
+"""Shared behaviour of the representations backed by a condensed graph.
+
+C-DUP, DEDUP-1 and BITMAP all wrap a :class:`~repro.graph.condensed.
+CondensedGraph`; they differ only in how :meth:`get_neighbors` traverses the
+virtual nodes.  Everything else — vertex management, properties, logical edge
+addition/deletion — is identical and lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.exceptions import RepresentationError
+from repro.graph.api import Graph, VertexId
+from repro.graph.condensed import CondensedGraph
+
+
+class CondensedBackedGraph(Graph):
+    """Base class for representations that keep the condensed structure."""
+
+    def __init__(self, condensed: CondensedGraph) -> None:
+        self._cg = condensed
+
+    # ------------------------------------------------------------------ #
+    @property
+    def condensed(self) -> CondensedGraph:
+        """The underlying condensed structure (shared, not copied)."""
+        return self._cg
+
+    # ------------------------------------------------------------------ #
+    # vertex iteration / management
+    # ------------------------------------------------------------------ #
+    def get_vertices(self) -> Iterator[VertexId]:
+        for node in self._cg.real_nodes():
+            yield self._cg.external(node)
+
+    def has_vertex(self, vertex: VertexId) -> bool:
+        return self._cg.has_external(vertex)
+
+    def num_vertices(self) -> int:
+        return self._cg.num_real_nodes
+
+    def add_vertex(self, vertex: VertexId, **properties: Any) -> None:
+        self._cg.add_real_node(vertex, **properties)
+
+    def delete_vertex(self, vertex: VertexId) -> None:
+        if not self._cg.has_external(vertex):
+            raise self._missing_vertex(vertex)
+        self._cg.remove_real_node(self._cg.internal(vertex))
+
+    # ------------------------------------------------------------------ #
+    # neighbor iteration: subclasses implement the internal traversal
+    # ------------------------------------------------------------------ #
+    def _internal_neighbors(self, node: int) -> Iterator[int]:
+        """Yield internal IDs of logical out-neighbors of internal node
+        ``node`` with duplicates removed.  Subclasses override."""
+        raise NotImplementedError
+
+    def get_neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
+        if not self._cg.has_external(vertex):
+            raise self._missing_vertex(vertex)
+        node = self._cg.internal(vertex)
+        for neighbor in self._internal_neighbors(node):
+            yield self._cg.external(neighbor)
+
+    def exists_edge(self, source: VertexId, target: VertexId) -> bool:
+        if not self._cg.has_external(source) or not self._cg.has_external(target):
+            return False
+        src = self._cg.internal(source)
+        dst = self._cg.internal(target)
+        return any(neighbor == dst for neighbor in self._internal_neighbors(src))
+
+    # ------------------------------------------------------------------ #
+    # logical edge mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, source: VertexId, target: VertexId) -> None:
+        """Add a logical edge as a direct real→real condensed edge.
+
+        The edge is skipped when it already exists logically (adding it again
+        would introduce duplication).
+        """
+        self.add_vertex(source)
+        self.add_vertex(target)
+        if self.exists_edge(source, target):
+            return
+        self._cg.add_edge(self._cg.internal(source), self._cg.internal(target))
+        self._invalidate_cache()
+
+    def delete_edge(self, source: VertexId, target: VertexId) -> None:
+        """Remove a logical edge.
+
+        If a direct real→real edge exists it is removed; otherwise every
+        virtual path carrying the edge is *materialised*: the source's edge
+        into the virtual node is dropped and direct edges to the remaining
+        reachable targets are added.  This mirrors the paper's observation
+        that ``deleteEdge`` on condensed representations is an involved
+        operation.
+        """
+        if not self._cg.has_external(source) or not self._cg.has_external(target):
+            raise RepresentationError(f"edge {source!r}->{target!r} does not exist")
+        src = self._cg.internal(source)
+        dst = self._cg.internal(target)
+        if not self.exists_edge(source, target):
+            raise RepresentationError(f"edge {source!r}->{target!r} does not exist")
+
+        changed = False
+        if self._cg.has_edge(src, dst):
+            self._cg.remove_edge(src, dst)
+            changed = True
+
+        # remove the edge through every virtual node that still carries it
+        for virtual in list(self._cg.out(src)):
+            if not self._cg.is_virtual(virtual):
+                continue
+            reachable = self._virtual_reachable_real(virtual)
+            if dst not in reachable:
+                continue
+            self._cg.remove_edge(src, virtual)
+            existing = self._cg.neighbor_set(src)
+            for other in reachable:
+                if other != dst and other not in existing:
+                    self._cg.add_edge(src, other)
+                    existing.add(other)
+            changed = True
+        if changed:
+            self._invalidate_cache()
+
+    def _virtual_reachable_real(self, virtual: int) -> set[int]:
+        """All real targets reachable from a virtual node (any depth)."""
+        result: set[int] = set()
+        stack = [virtual]
+        seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for nxt in self._cg.out(current):
+                if self._cg.is_real(nxt):
+                    result.add(nxt)
+                else:
+                    stack.append(nxt)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    def get_edge_property(
+        self, source: VertexId, target: VertexId, key: str, default: Any = None
+    ) -> Any:
+        """Edge properties of direct real→real condensed edges (aggregate
+        weights); edges carried by virtual nodes have no properties."""
+        if not self._cg.has_external(source) or not self._cg.has_external(target):
+            return default
+        annotation = self._cg.edge_annotations.get(
+            (self._cg.internal(source), self._cg.internal(target))
+        )
+        if annotation is None:
+            return default
+        return annotation.get(key, default)
+
+    def get_property(self, vertex: VertexId, key: str, default: Any = None) -> Any:
+        if not self._cg.has_external(vertex):
+            raise self._missing_vertex(vertex)
+        node = self._cg.internal(vertex)
+        return self._cg.node_properties.get(node, {}).get(key, default)
+
+    def set_property(self, vertex: VertexId, key: str, value: Any) -> None:
+        if not self._cg.has_external(vertex):
+            raise self._missing_vertex(vertex)
+        node = self._cg.internal(vertex)
+        self._cg.node_properties.setdefault(node, {})[key] = value
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping hooks
+    # ------------------------------------------------------------------ #
+    def _invalidate_cache(self) -> None:
+        """Called after structural mutation; subclasses with caches override."""
+
+    # ------------------------------------------------------------------ #
+    # statistics shared by all condensed-backed representations
+    # ------------------------------------------------------------------ #
+    def condensed_edge_count(self) -> int:
+        return self._cg.num_condensed_edges
+
+    def virtual_node_count(self) -> int:
+        return self._cg.num_virtual_nodes
+
+    def total_node_count(self) -> int:
+        """Real plus virtual nodes (what Figure 10 plots as 'nodes')."""
+        return self._cg.num_nodes

@@ -1,0 +1,225 @@
+"""DEDUP-2 — optimisation for single-layer *symmetric* condensed graphs.
+
+For symmetric graphs (``u → v`` iff ``v → u``) where every virtual node ``V``
+satisfies ``I(V) = O(V)``, the source/target distinction is redundant: DEDUP-2
+stores undirected *membership* edges between real nodes and virtual nodes and
+undirected edges *between virtual nodes*.  A real node ``u`` is considered
+connected to
+
+* every member of each virtual node ``V`` it belongs to, and
+* every member of each virtual node ``W`` directly adjacent to such a ``V``
+  (one hop only),
+
+and the representation is required to be duplicate-free: at most one such
+path may exist between any pair of *distinct* real nodes (Section 4.3,
+"DEDUP-2" and Appendix B).
+
+Self-loops are not representable: a vertex is never reported as its own
+neighbor, matching the paper's treatment of DEDUP-2 (two virtual nodes are
+allowed to share one member, which would otherwise always duplicate the
+member's self-edge).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.exceptions import RepresentationError
+from repro.graph.api import Graph, PropertyStore, VertexId
+
+
+class Dedup2Graph(Graph):
+    """Membership + virtual-adjacency representation for symmetric graphs."""
+
+    representation_name = "DEDUP-2"
+
+    def __init__(self) -> None:
+        #: virtual node id -> ordered list of member real vertices
+        self._members: dict[int, list[VertexId]] = {}
+        #: real vertex -> list of virtual node ids it belongs to
+        self._vertex_virtuals: dict[VertexId, list[int]] = {}
+        #: undirected adjacency between virtual nodes
+        self._virtual_adj: dict[int, set[int]] = {}
+        self._properties = PropertyStore()
+        self._next_virtual = 0
+
+    # ------------------------------------------------------------------ #
+    # construction (used by the DEDUP-2 greedy algorithm and tests)
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: VertexId, **properties: Any) -> None:
+        self._vertex_virtuals.setdefault(vertex, [])
+        self._properties.set_many(vertex, properties)
+
+    def new_virtual_node(self, members: list[VertexId] | None = None) -> int:
+        """Create a virtual node (optionally with initial members); return its id."""
+        virtual = self._next_virtual
+        self._next_virtual += 1
+        self._members[virtual] = []
+        self._virtual_adj[virtual] = set()
+        for member in members or []:
+            self.add_member(virtual, member)
+        return virtual
+
+    def add_member(self, virtual: int, vertex: VertexId) -> None:
+        self._check_virtual(virtual)
+        self.add_vertex(vertex)
+        if vertex not in self._members[virtual]:
+            self._members[virtual].append(vertex)
+            self._vertex_virtuals[vertex].append(virtual)
+
+    def remove_member(self, virtual: int, vertex: VertexId) -> None:
+        self._check_virtual(virtual)
+        if vertex in self._members[virtual]:
+            self._members[virtual].remove(vertex)
+            self._vertex_virtuals[vertex].remove(virtual)
+
+    def connect_virtual(self, first: int, second: int) -> None:
+        """Add an undirected edge between two virtual nodes."""
+        self._check_virtual(first)
+        self._check_virtual(second)
+        if first == second:
+            raise RepresentationError("cannot connect a virtual node to itself")
+        self._virtual_adj[first].add(second)
+        self._virtual_adj[second].add(first)
+
+    def disconnect_virtual(self, first: int, second: int) -> None:
+        self._virtual_adj.get(first, set()).discard(second)
+        self._virtual_adj.get(second, set()).discard(first)
+
+    def remove_virtual_node(self, virtual: int) -> None:
+        self._check_virtual(virtual)
+        for member in list(self._members[virtual]):
+            self.remove_member(virtual, member)
+        for other in list(self._virtual_adj[virtual]):
+            self.disconnect_virtual(virtual, other)
+        del self._members[virtual]
+        del self._virtual_adj[virtual]
+
+    # ------------------------------------------------------------------ #
+    # inspection helpers
+    # ------------------------------------------------------------------ #
+    def members(self, virtual: int) -> list[VertexId]:
+        self._check_virtual(virtual)
+        return list(self._members[virtual])
+
+    def virtuals_of(self, vertex: VertexId) -> list[int]:
+        return list(self._vertex_virtuals.get(vertex, []))
+
+    def virtual_neighbors(self, virtual: int) -> set[int]:
+        self._check_virtual(virtual)
+        return set(self._virtual_adj[virtual])
+
+    def virtual_nodes(self) -> Iterator[int]:
+        return iter(self._members)
+
+    @property
+    def num_virtual_nodes(self) -> int:
+        return len(self._members)
+
+    def num_structure_edges(self) -> int:
+        """Physical edge count: membership edges plus virtual-virtual edges
+        (what Figure 10 reports for DEDUP-2)."""
+        membership = sum(len(m) for m in self._members.values())
+        virtual_virtual = sum(len(adj) for adj in self._virtual_adj.values()) // 2
+        return membership + virtual_virtual
+
+    # ------------------------------------------------------------------ #
+    # Graph API
+    # ------------------------------------------------------------------ #
+    def get_vertices(self) -> Iterator[VertexId]:
+        return iter(self._vertex_virtuals)
+
+    def has_vertex(self, vertex: VertexId) -> bool:
+        return vertex in self._vertex_virtuals
+
+    def num_vertices(self) -> int:
+        return len(self._vertex_virtuals)
+
+    def get_neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
+        if vertex not in self._vertex_virtuals:
+            raise self._missing_vertex(vertex)
+        seen: set[VertexId] = set()
+        for virtual in self._vertex_virtuals[vertex]:
+            for member in self._members[virtual]:
+                if member != vertex and member not in seen:
+                    seen.add(member)
+                    yield member
+            for adjacent in self._virtual_adj[virtual]:
+                for member in self._members[adjacent]:
+                    if member != vertex and member not in seen:
+                        seen.add(member)
+                        yield member
+
+    def exists_edge(self, source: VertexId, target: VertexId) -> bool:
+        if source not in self._vertex_virtuals or target not in self._vertex_virtuals:
+            return False
+        if source == target:
+            return False
+        for virtual in self._vertex_virtuals[source]:
+            if target in self._members[virtual]:
+                return True
+            for adjacent in self._virtual_adj[virtual]:
+                if target in self._members[adjacent]:
+                    return True
+        return False
+
+    def add_edge(self, source: VertexId, target: VertexId) -> None:
+        """Add a (symmetric) logical edge by creating a two-member virtual node.
+
+        DEDUP-2 only represents symmetric graphs, so adding ``u -> v`` also
+        adds ``v -> u``.
+        """
+        self.add_vertex(source)
+        self.add_vertex(target)
+        if self.exists_edge(source, target):
+            return
+        self.new_virtual_node([source, target])
+
+    def delete_edge(self, source: VertexId, target: VertexId) -> None:
+        raise RepresentationError(
+            "deleteEdge is not supported on the DEDUP-2 representation; "
+            "use DEDUP-1, BITMAP or EXP for edge-mutation workloads"
+        )
+
+    def delete_vertex(self, vertex: VertexId) -> None:
+        if vertex not in self._vertex_virtuals:
+            raise self._missing_vertex(vertex)
+        for virtual in list(self._vertex_virtuals[vertex]):
+            self.remove_member(virtual, vertex)
+        del self._vertex_virtuals[vertex]
+        self._properties.drop_vertex(vertex)
+
+    # ------------------------------------------------------------------ #
+    def get_property(self, vertex: VertexId, key: str, default: Any = None) -> Any:
+        if vertex not in self._vertex_virtuals:
+            raise self._missing_vertex(vertex)
+        return self._properties.get(vertex, key, default)
+
+    def set_property(self, vertex: VertexId, key: str, value: Any) -> None:
+        if vertex not in self._vertex_virtuals:
+            raise self._missing_vertex(vertex)
+        self._properties.set(vertex, key, value)
+
+    # ------------------------------------------------------------------ #
+    # invariant checking
+    # ------------------------------------------------------------------ #
+    def duplicate_paths(self, vertex: VertexId) -> int:
+        """Number of redundant paths from ``vertex`` to its neighbors
+        (0 means the DEDUP-2 invariants hold for this vertex)."""
+        occurrences: dict[VertexId, int] = {}
+        for virtual in self._vertex_virtuals[vertex]:
+            for member in self._members[virtual]:
+                if member != vertex:
+                    occurrences[member] = occurrences.get(member, 0) + 1
+            for adjacent in self._virtual_adj[virtual]:
+                for member in self._members[adjacent]:
+                    if member != vertex:
+                        occurrences[member] = occurrences.get(member, 0) + 1
+        return sum(count - 1 for count in occurrences.values() if count > 1)
+
+    def is_duplicate_free(self) -> bool:
+        return all(self.duplicate_paths(v) == 0 for v in self.get_vertices())
+
+    def _check_virtual(self, virtual: int) -> None:
+        if virtual not in self._members:
+            raise RepresentationError(f"unknown DEDUP-2 virtual node {virtual}")

@@ -1,0 +1,206 @@
+"""EXP — the fully expanded in-memory representation.
+
+All direct real→real edges are materialised in adjacency lists (the paper's
+CSR-variant with Java ``ArrayList``s).  This is the fastest representation to
+iterate but by far the largest; it is the baseline every other representation
+is compared against.
+
+Vertex deletion uses the paper's *lazy deletion* scheme: a deleted vertex is
+first removed only from the vertex index (logically deleted); the physical
+adjacency lists are compacted in batch once enough deletions have accumulated,
+so the vertex index is rebuilt only once per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import RepresentationError
+from repro.graph.api import Graph, PropertyStore, VertexId
+
+
+class ExpandedGraph(Graph):
+    """Adjacency-list directed graph with lazy vertex deletion."""
+
+    representation_name = "EXP"
+
+    def __init__(self, lazy_deletion_batch: int = 1024) -> None:
+        self._out: dict[VertexId, list[VertexId]] = {}
+        self._in: dict[VertexId, list[VertexId]] = {}
+        self._deleted: set[VertexId] = set()
+        self._properties = PropertyStore()
+        self._edge_properties: dict[tuple[VertexId, VertexId], dict[str, Any]] = {}
+        self._lazy_deletion_batch = max(1, lazy_deletion_batch)
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[VertexId, VertexId]],
+        vertices: Iterable[VertexId] = (),
+        deduplicate: bool = True,
+    ) -> "ExpandedGraph":
+        """Build a graph from an edge iterable (and optional isolated vertices)."""
+        graph = cls()
+        for vertex in vertices:
+            graph.add_vertex(vertex)
+        if deduplicate:
+            seen: set[tuple[VertexId, VertexId]] = set()
+            for u, v in edges:
+                if (u, v) not in seen:
+                    seen.add((u, v))
+                    graph.add_edge(u, v)
+        else:
+            for u, v in edges:
+                graph.add_edge(u, v)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Graph API
+    # ------------------------------------------------------------------ #
+    def get_vertices(self) -> Iterator[VertexId]:
+        for vertex in self._out:
+            if vertex not in self._deleted:
+                yield vertex
+
+    def get_neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
+        self._check_vertex(vertex)
+        for neighbor in self._out[vertex]:
+            if neighbor not in self._deleted:
+                yield neighbor
+
+    def get_in_neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
+        self._check_vertex(vertex)
+        for neighbor in self._in[vertex]:
+            if neighbor not in self._deleted:
+                yield neighbor
+
+    def exists_edge(self, source: VertexId, target: VertexId) -> bool:
+        if source in self._deleted or target in self._deleted:
+            return False
+        return source in self._out and target in self._out[source]
+
+    def add_vertex(self, vertex: VertexId, **properties: Any) -> None:
+        if vertex in self._deleted:
+            # re-adding a lazily deleted vertex resurrects it empty
+            self._purge_vertex(vertex)
+        if vertex not in self._out:
+            self._out[vertex] = []
+            self._in[vertex] = []
+        self._properties.set_many(vertex, properties)
+
+    def delete_vertex(self, vertex: VertexId) -> None:
+        self._check_vertex(vertex)
+        self._deleted.add(vertex)
+        self._properties.drop_vertex(vertex)
+        if len(self._deleted) >= self._lazy_deletion_batch:
+            self.compact()
+
+    def add_edge(self, source: VertexId, target: VertexId) -> None:
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._out[source].append(target)
+        self._in[target].append(source)
+        self._edge_count += 1
+
+    def delete_edge(self, source: VertexId, target: VertexId) -> None:
+        self._check_vertex(source)
+        self._check_vertex(target)
+        try:
+            self._out[source].remove(target)
+            self._in[target].remove(source)
+        except ValueError:
+            raise RepresentationError(f"edge {source!r}->{target!r} does not exist") from None
+        self._edge_properties.pop((source, target), None)
+        self._edge_count -= 1
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    def get_property(self, vertex: VertexId, key: str, default: Any = None) -> Any:
+        self._check_vertex(vertex)
+        return self._properties.get(vertex, key, default)
+
+    def set_property(self, vertex: VertexId, key: str, value: Any) -> None:
+        self._check_vertex(vertex)
+        self._properties.set(vertex, key, value)
+
+    def set_edge_property(self, source: VertexId, target: VertexId, key: str, value: Any) -> None:
+        """Attach a property to an existing edge (e.g. an aggregate weight)."""
+        if not self.exists_edge(source, target):
+            raise RepresentationError(f"edge {source!r}->{target!r} does not exist")
+        self._edge_properties.setdefault((source, target), {})[key] = value
+
+    def get_edge_property(
+        self, source: VertexId, target: VertexId, key: str, default: Any = None
+    ) -> Any:
+        return self._edge_properties.get((source, target), {}).get(key, default)
+
+    def edge_properties(self, source: VertexId, target: VertexId) -> dict[str, Any]:
+        """All properties of the edge ``source -> target`` (may be empty)."""
+        return dict(self._edge_properties.get((source, target), {}))
+
+    # ------------------------------------------------------------------ #
+    # performance overrides
+    # ------------------------------------------------------------------ #
+    def has_vertex(self, vertex: VertexId) -> bool:
+        return vertex in self._out and vertex not in self._deleted
+
+    def num_vertices(self) -> int:
+        return len(self._out) - len(self._deleted)
+
+    def num_edges(self) -> int:
+        if not self._deleted:
+            return self._edge_count
+        return sum(self.degree(v) for v in self.get_vertices())
+
+    def degree(self, vertex: VertexId) -> int:
+        self._check_vertex(vertex)
+        if not self._deleted:
+            return len(self._out[vertex])
+        return sum(1 for _ in self.get_neighbors(vertex))
+
+    def in_degree(self, vertex: VertexId) -> int:
+        self._check_vertex(vertex)
+        if not self._deleted:
+            return len(self._in[vertex])
+        return sum(1 for _ in self.get_in_neighbors(vertex))
+
+    # ------------------------------------------------------------------ #
+    # lazy deletion machinery
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_deletions(self) -> int:
+        """Number of logically deleted vertices awaiting physical removal."""
+        return len(self._deleted)
+
+    def compact(self) -> None:
+        """Physically remove all lazily deleted vertices (batch rebuild)."""
+        if not self._deleted:
+            return
+        for vertex in list(self._deleted):
+            self._purge_vertex(vertex)
+        self._deleted.clear()
+
+    def _purge_vertex(self, vertex: VertexId) -> None:
+        for neighbor in self._out.pop(vertex, ()):  # forward edges
+            if neighbor in self._in and vertex in self._in[neighbor]:
+                self._in[neighbor] = [n for n in self._in[neighbor] if n != vertex]
+        for neighbor in self._in.pop(vertex, ()):  # backward edges
+            if neighbor in self._out and vertex in self._out[neighbor]:
+                self._out[neighbor] = [n for n in self._out[neighbor] if n != vertex]
+        self._deleted.discard(vertex)
+        self._edge_properties = {
+            edge: props
+            for edge, props in self._edge_properties.items()
+            if vertex not in edge
+        }
+        self._edge_count = sum(len(v) for v in self._out.values())
+
+    # ------------------------------------------------------------------ #
+    def _check_vertex(self, vertex: VertexId) -> None:
+        if vertex not in self._out or vertex in self._deleted:
+            raise self._missing_vertex(vertex)

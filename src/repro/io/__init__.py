@@ -1,0 +1,21 @@
+"""Serialization and interoperability (edge lists, JSON, NetworkX)."""
+
+from repro.io.serialize import (
+    read_condensed_json,
+    read_edge_list,
+    write_adjacency_json,
+    write_condensed_json,
+    write_edge_list,
+)
+from repro.io.networkx_adapter import from_networkx, neighbors_match, to_networkx
+
+__all__ = [
+    "read_condensed_json",
+    "read_edge_list",
+    "write_adjacency_json",
+    "write_condensed_json",
+    "write_edge_list",
+    "from_networkx",
+    "neighbors_match",
+    "to_networkx",
+]

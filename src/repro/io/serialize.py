@@ -1,0 +1,130 @@
+"""Graph serialization.
+
+Section 3.1 of the paper: after extraction, users may "serialize the graph
+onto disk (in its expanded representation) in a standardized format, so that
+it can be further analyzed using any specialized graph processing framework or
+graph library (e.g., NetworkX)".
+
+Formats supported here:
+
+* **edge list** — one ``source<TAB>target`` line per logical edge (the
+  expanded representation, as in the paper);
+* **adjacency JSON** — ``{vertex: [neighbors...]}``, including isolated
+  vertices and per-vertex properties;
+* **condensed JSON** — a lossless dump of a
+  :class:`~repro.graph.condensed.CondensedGraph` (real nodes, virtual nodes,
+  condensed edges) so extraction work can be saved and reloaded without
+  re-running the queries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.exceptions import GraphGenError
+from repro.graph.api import Graph
+from repro.graph.condensed import CondensedGraph
+from repro.graph.expanded import ExpandedGraph
+
+
+def _open_for_write(path: str | Path) -> TextIO:
+    return Path(path).open("w", encoding="utf-8")
+
+
+# --------------------------------------------------------------------------- #
+# edge list
+# --------------------------------------------------------------------------- #
+def write_edge_list(graph: Graph, path: str | Path, delimiter: str = "\t") -> int:
+    """Write the logical edges of ``graph``; returns the number written."""
+    count = 0
+    with _open_for_write(path) as handle:
+        for source, target in graph.edges():
+            handle.write(f"{source}{delimiter}{target}\n")
+            count += 1
+    return count
+
+
+def read_edge_list(path: str | Path, delimiter: str = "\t", as_int: bool = True) -> ExpandedGraph:
+    """Read an edge-list file into an :class:`ExpandedGraph`."""
+    graph = ExpandedGraph()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(delimiter)
+            if len(parts) < 2:
+                raise GraphGenError(f"{path}:{line_number}: malformed edge line {line!r}")
+            source, target = parts[0], parts[1]
+            if as_int:
+                try:
+                    source, target = int(source), int(target)  # type: ignore[assignment]
+                except ValueError:
+                    pass
+            graph.add_edge(source, target)
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# adjacency JSON
+# --------------------------------------------------------------------------- #
+def write_adjacency_json(graph: Graph, path: str | Path) -> None:
+    """Write ``{"vertices": {...}, "adjacency": {...}}`` (keys stringified)."""
+    payload: dict[str, Any] = {"vertices": {}, "adjacency": {}}
+    for vertex in graph.get_vertices():
+        key = json.dumps(vertex) if not isinstance(vertex, str) else vertex
+        payload["vertices"][key] = {}
+        payload["adjacency"][key] = [
+            json.dumps(n) if not isinstance(n, str) else n for n in graph.get_neighbors(vertex)
+        ]
+    with _open_for_write(path) as handle:
+        json.dump(payload, handle, indent=1)
+
+
+# --------------------------------------------------------------------------- #
+# condensed JSON
+# --------------------------------------------------------------------------- #
+def write_condensed_json(condensed: CondensedGraph, path: str | Path) -> None:
+    """Losslessly dump a condensed graph (real/virtual nodes + edges)."""
+    real_nodes = []
+    for node in condensed.real_nodes():
+        real_nodes.append(
+            {
+                "internal": node,
+                "external": condensed.external(node),
+                "properties": condensed.node_properties.get(node, {}),
+            }
+        )
+    virtual_nodes = [
+        {"internal": node, "label": list(label) if label is not None else None}
+        for node, label in condensed.virtual_labels.items()
+    ]
+    edges = [
+        {"source": source, "target": target}
+        for source, targets in condensed.succ.items()
+        for target in targets
+    ]
+    payload = {"real_nodes": real_nodes, "virtual_nodes": virtual_nodes, "edges": edges}
+    with _open_for_write(path) as handle:
+        json.dump(payload, handle)
+
+
+def read_condensed_json(path: str | Path) -> CondensedGraph:
+    """Reload a condensed graph written by :func:`write_condensed_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    graph = CondensedGraph()
+    internal_map: dict[int, int] = {}
+    for record in payload["real_nodes"]:
+        external = record["external"]
+        node = graph.add_real_node(external, **record.get("properties", {}))
+        internal_map[record["internal"]] = node
+    for record in payload["virtual_nodes"]:
+        label = tuple(record["label"]) if record["label"] is not None else None
+        node = graph.add_virtual_node(label)  # type: ignore[arg-type]
+        internal_map[record["internal"]] = node
+    for record in payload["edges"]:
+        graph.add_edge(internal_map[record["source"]], internal_map[record["target"]])
+    return graph

@@ -1,0 +1,127 @@
+"""System catalog: table and column statistics.
+
+GraphGen's planner decides whether a join is "large-output" using the number
+of distinct values of the join attribute (PostgreSQL's ``pg_stats.n_distinct``
+in the paper).  This catalog computes the statistics exactly from the stored
+tables and caches them; ``refresh()`` recomputes after data changes (the
+equivalent of ``ANALYZE``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column of one table."""
+
+    table: str
+    column: str
+    row_count: int
+    n_distinct: int
+
+    @property
+    def selectivity(self) -> float:
+        """``n_distinct / row_count`` — the paper's Table 6 definition."""
+        if self.row_count == 0:
+            return 0.0
+        return self.n_distinct / self.row_count
+
+    @property
+    def avg_rows_per_value(self) -> float:
+        """Average fan-out of a value of this column."""
+        if self.n_distinct == 0:
+            return 0.0
+        return self.row_count / self.n_distinct
+
+
+class Catalog:
+    """Caching statistics provider over a :class:`~repro.relational.database.Database`."""
+
+    def __init__(self, database: "Database") -> None:
+        self._db = database
+        self._column_stats: dict[tuple[str, str], ColumnStats] = {}
+        self._row_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Drop all cached statistics (recomputed lazily on next access)."""
+        self._column_stats.clear()
+        self._row_counts.clear()
+
+    def row_count(self, table: str) -> int:
+        if table not in self._row_counts:
+            self._row_counts[table] = self._db.table(table).num_rows
+        return self._row_counts[table]
+
+    def column_stats(self, table: str, column: str) -> ColumnStats:
+        key = (table, column)
+        if key not in self._column_stats:
+            tab = self._db.table(table)
+            if not tab.schema.has_column(column):
+                raise SchemaError(f"no column {column!r} in table {table!r}")
+            self._column_stats[key] = ColumnStats(
+                table=table,
+                column=column,
+                row_count=tab.num_rows,
+                n_distinct=tab.distinct_count(column),
+            )
+        return self._column_stats[key]
+
+    def n_distinct(self, table: str, column: str) -> int:
+        return self.column_stats(table, column).n_distinct
+
+    def selectivity(self, table: str, column: str) -> float:
+        return self.column_stats(table, column).selectivity
+
+    # ------------------------------------------------------------------ #
+    def estimated_join_output(
+        self, left_table: str, left_column: str, right_table: str, right_column: str
+    ) -> float:
+        """Estimated output cardinality of an equi-join, assuming the join
+        attribute is uniformly distributed (the paper's assumption).
+
+        ``|R| * |S| / max(d_R, d_S)`` — the textbook System-R estimate.
+        """
+        left = self.column_stats(left_table, left_column)
+        right = self.column_stats(right_table, right_column)
+        d = max(left.n_distinct, right.n_distinct)
+        if d == 0:
+            return 0.0
+        return left.row_count * right.row_count / d
+
+    def is_large_output_join(
+        self,
+        left_table: str,
+        left_column: str,
+        right_table: str,
+        right_column: str,
+        threshold_factor: float = 2.0,
+    ) -> bool:
+        """The paper's large-output-join test (Section 4.2, Step 2).
+
+        A join is large-output when ``|Ri| * |Ri+1| / d > factor * (|Ri| +
+        |Ri+1|)``, with ``d`` the distinct count of the join attribute and
+        ``factor`` defaulting to the paper's constant 2.
+        """
+        left_rows = self.row_count(left_table)
+        right_rows = self.row_count(right_table)
+        estimate = self.estimated_join_output(left_table, left_column, right_table, right_column)
+        return estimate > threshold_factor * (left_rows + right_rows)
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Row counts and per-column distinct counts for every table."""
+        result: dict[str, dict[str, int]] = {}
+        for name in self._db.table_names():
+            table = self._db.table(name)
+            result[name] = {"__rows__": table.num_rows}
+            for column in table.schema.column_names:
+                result[name][column] = self.n_distinct(name, column)
+        return result

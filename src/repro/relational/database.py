@@ -1,0 +1,99 @@
+"""The in-memory relational database: a named collection of tables plus a
+catalog.  This is the storage engine GraphGen extracts graphs from.
+
+The class intentionally mirrors the small surface the paper needs from
+PostgreSQL: table scans, projections with DISTINCT, equi-joins, and catalog
+statistics.  A :class:`~repro.relational.sqlite_backend.SQLiteBackend` can be
+attached for executing generated SQL against stdlib ``sqlite3`` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.exceptions import SchemaError
+from repro.relational.catalog import Catalog
+from repro.relational.schema import TableSchema, make_schema
+from repro.relational.table import Table
+
+
+class Database:
+    """A named collection of :class:`~repro.relational.table.Table` objects."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._catalog = Catalog(self)
+
+    # ------------------------------------------------------------------ #
+    # table management
+    # ------------------------------------------------------------------ #
+    def create_table(
+        self,
+        name: str,
+        columns: Iterable[tuple[str, str] | str],
+        primary_key: Sequence[str] | str | None = None,
+        foreign_keys: Iterable[tuple[str, str, str]] = (),
+    ) -> Table:
+        """Create an empty table from a lightweight column spec."""
+        schema = make_schema(name, columns, primary_key, foreign_keys)
+        return self.add_table(Table(schema))
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists in database {self.name!r}")
+        self._tables[table.name] = table
+        self._catalog.refresh()
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise SchemaError(f"no table {name!r} in database {self.name!r}")
+        del self._tables[name]
+        self._catalog.refresh()
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise SchemaError(
+                f"no table {name!r} in database {self.name!r} (tables: {known})"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def schemas(self) -> list[TableSchema]:
+        return [self._tables[name].schema for name in self.table_names()]
+
+    # ------------------------------------------------------------------ #
+    # data loading
+    # ------------------------------------------------------------------ #
+    def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk insert into ``table``; refreshes catalog statistics."""
+        count = self.table(table).insert_many(rows)
+        self._catalog.refresh()
+        return count
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def analyze(self) -> None:
+        """Recompute catalog statistics (the equivalent of ``ANALYZE``)."""
+        self._catalog.refresh()
+
+    # ------------------------------------------------------------------ #
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        parts = ", ".join(f"{n}({t.num_rows})" for n, t in sorted(self._tables.items()))
+        return f"Database({self.name!r}: {parts})"

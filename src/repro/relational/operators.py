@@ -1,0 +1,110 @@
+"""Physical query operators.
+
+These are deliberately simple, composable, iterator-style operators (scan,
+selection, projection, distinct, hash join) so that the conjunctive-query
+executor in :mod:`repro.relational.query` can be built from them and tested
+against brute-force evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+Row = tuple[Any, ...]
+
+
+def scan(rows: Iterable[Sequence[Any]]) -> Iterator[Row]:
+    """Yield every row as a tuple."""
+    for row in rows:
+        yield tuple(row)
+
+
+def select(rows: Iterable[Row], predicate: Callable[[Row], bool]) -> Iterator[Row]:
+    """Yield rows satisfying ``predicate``."""
+    for row in rows:
+        if predicate(row):
+            yield row
+
+
+def project(rows: Iterable[Row], indexes: Sequence[int]) -> Iterator[Row]:
+    """Yield rows restricted to the given column positions (in order)."""
+    for row in rows:
+        yield tuple(row[i] for i in indexes)
+
+
+def distinct(rows: Iterable[Row]) -> Iterator[Row]:
+    """Yield rows with duplicates removed, preserving first-seen order."""
+    seen: set[Row] = set()
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            yield row
+
+
+def hash_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    left_key: int | Sequence[int],
+    right_key: int | Sequence[int],
+) -> Iterator[Row]:
+    """Equi-join two row streams; output rows are ``left_row + right_row``.
+
+    The right input is materialised into a hash table (build side); the left
+    side streams (probe side).  Join keys may be single positions or tuples of
+    positions for multi-attribute joins.
+    """
+    left_keys = (left_key,) if isinstance(left_key, int) else tuple(left_key)
+    right_keys = (right_key,) if isinstance(right_key, int) else tuple(right_key)
+    if len(left_keys) != len(right_keys):
+        raise ValueError("left and right join keys must have the same arity")
+
+    build: dict[Row, list[Row]] = {}
+    for row in right:
+        key = tuple(row[i] for i in right_keys)
+        build.setdefault(key, []).append(row)
+
+    for row in left:
+        key = tuple(row[i] for i in left_keys)
+        for match in build.get(key, ()):
+            yield row + match
+
+
+def semi_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    left_key: int | Sequence[int],
+    right_key: int | Sequence[int],
+) -> Iterator[Row]:
+    """Yield left rows that have at least one join partner on the right.
+
+    This is the building block of the Yannakakis algorithm for acyclic
+    queries; we expose it for completeness and for tests of acyclic-query
+    evaluation.
+    """
+    left_keys = (left_key,) if isinstance(left_key, int) else tuple(left_key)
+    right_keys = (right_key,) if isinstance(right_key, int) else tuple(right_key)
+    keys = {tuple(row[i] for i in right_keys) for row in right}
+    for row in left:
+        if tuple(row[i] for i in left_keys) in keys:
+            yield row
+
+
+def nested_loop_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    predicate: Callable[[Row, Row], bool],
+) -> Iterator[Row]:
+    """Theta-join by nested loops; used only as a test oracle."""
+    right_rows = [tuple(r) for r in right]
+    for lrow in left:
+        for rrow in right_rows:
+            if predicate(lrow, rrow):
+                yield lrow + rrow
+
+
+def count(rows: Iterable[Row]) -> int:
+    """Number of rows in the stream (consumes it)."""
+    total = 0
+    for _ in rows:
+        total += 1
+    return total

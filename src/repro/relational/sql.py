@@ -1,0 +1,98 @@
+"""SQL text generation for conjunctive queries.
+
+The paper's Figure 16 shows the SQL GraphGen issues to PostgreSQL for each
+query segment (``SELECT DISTINCT ... FROM ... WHERE ...`` with table aliases).
+This module reproduces that translation so that (a) users can inspect the SQL
+GraphGen would run, and (b) the :class:`~repro.relational.sqlite_backend.
+SQLiteBackend` can execute segments on a real SQL engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import QueryError
+from repro.relational.database import Database
+from repro.relational.query import ConjunctiveQuery, Const
+
+
+def _alias(i: int) -> str:
+    """A, B, ..., Z, A1, B1, ..."""
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    suffix = i // 26
+    return letters[i % 26] + (str(suffix) if suffix else "")
+
+
+def _literal(value: Any) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def to_sql(db: Database, query: ConjunctiveQuery, use_distinct: bool = True) -> str:
+    """Translate a conjunctive query into a SQL SELECT statement.
+
+    Each atom becomes an aliased table in the FROM clause; shared variables
+    become equality predicates; constants and comparisons become additional
+    WHERE predicates; head variables become the select list (aliased to the
+    variable name).
+    """
+    aliases = [_alias(i) for i in range(len(query.atoms))]
+
+    # map each variable to its first (alias, column) occurrence and collect
+    # equality predicates for later occurrences
+    first_occurrence: dict[str, str] = {}
+    where: list[str] = []
+    for atom, alias in zip(query.atoms, aliases):
+        schema = db.table(atom.table).schema
+        if len(atom.arguments) != schema.arity:
+            raise QueryError(
+                f"atom over {atom.table!r} has arity {len(atom.arguments)}, "
+                f"table has arity {schema.arity}"
+            )
+        for position, arg in enumerate(atom.arguments):
+            column = schema.column_names[position]
+            qualified = f"{alias}.{column}"
+            if isinstance(arg, Const):
+                where.append(f"{qualified} = {_literal(arg.value)}")
+            elif isinstance(arg, str):
+                if arg in first_occurrence:
+                    where.append(f"{first_occurrence[arg]} = {qualified}")
+                else:
+                    first_occurrence[arg] = qualified
+
+    for comparison in query.comparisons:
+        if comparison.variable not in first_occurrence:
+            raise QueryError(f"comparison on unknown variable {comparison.variable!r}")
+        op = "=" if comparison.op == "==" else comparison.op
+        where.append(f"{first_occurrence[comparison.variable]} {op} {_literal(comparison.value)}")
+
+    select_items = []
+    for var in query.head_vars:
+        if var not in first_occurrence:
+            raise QueryError(f"head variable {var!r} not bound by any atom")
+        select_items.append(f"{first_occurrence[var]} AS {var}")
+
+    from_items = [f"{atom.table} {alias}" for atom, alias in zip(query.atoms, aliases)]
+
+    sql = "SELECT "
+    if use_distinct:
+        sql += "DISTINCT "
+    sql += ", ".join(select_items)
+    sql += " FROM " + ", ".join(from_items)
+    if where:
+        sql += " WHERE " + " AND ".join(where)
+    return sql + ";"
+
+
+def create_table_sql(db: Database, table_name: str) -> str:
+    """``CREATE TABLE`` statement for one table (used by the sqlite backend)."""
+    schema = db.table(table_name).schema
+    columns = ", ".join(f"{c.name} {c.sqlite_type}" for c in schema.columns)
+    return f"CREATE TABLE {schema.name} ({columns});"

@@ -1,0 +1,71 @@
+"""Seeded randomness helpers.
+
+All synthetic dataset generators in :mod:`repro.datasets` take a ``seed``
+argument and route every random decision through a :class:`SeededRandom`, so
+that datasets — and therefore benchmark results — are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRandom:
+    """Thin wrapper around :class:`random.Random` with a few extra draws."""
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range ``[low, high]``."""
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        """Sample ``k`` distinct items; if ``k`` exceeds the population size,
+        return a shuffled copy of the whole population."""
+        if k >= len(seq):
+            items = list(seq)
+            self._rng.shuffle(items)
+            return items
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list[T]) -> list[T]:
+        self._rng.shuffle(seq)
+        return seq
+
+    def gauss_int(self, mean: float, std: float, minimum: int = 1) -> int:
+        """Draw from a normal distribution, round and clamp below at ``minimum``.
+
+        Used for virtual-node sizes in the synthetic condensed-graph
+        generator (Appendix C.1 of the paper).
+        """
+        value = int(round(self._rng.gauss(mean, std)))
+        return max(minimum, value)
+
+    def zipf_int(self, alpha: float, max_value: int) -> int:
+        """Draw an integer in ``[1, max_value]`` with a Zipf-like skew.
+
+        A simple inverse-CDF construction is used so we do not depend on
+        numpy here.  ``alpha`` close to 0 is near uniform, larger values skew
+        towards 1.
+        """
+        if max_value < 1:
+            raise ValueError("max_value must be >= 1")
+        u = self._rng.random()
+        # inverse of P(X <= x) ~ (x / max)^(1/(1+alpha))
+        value = int(max_value * (u ** (1.0 + alpha))) + 1
+        return min(value, max_value)
+
+    def spawn(self) -> "SeededRandom":
+        """Derive an independent child generator (deterministic given parent)."""
+        return SeededRandom(self._rng.randrange(2**63))

@@ -1,0 +1,79 @@
+"""Wall-clock timing helpers used by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """A simple restartable wall-clock timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(label: str, sink: dict[str, float] | None = None, verbose: bool = False) -> Iterator[Timer]:
+    """Context manager that records the elapsed time under ``label``.
+
+    Parameters
+    ----------
+    label:
+        Name of the measured section.
+    sink:
+        Optional dict that receives ``sink[label] = seconds``.
+    verbose:
+        Print the measurement when the block exits.
+    """
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        timer.stop()
+        if sink is not None:
+            sink[label] = timer.elapsed
+        if verbose:
+            print(f"[timed] {label}: {timer.elapsed:.4f}s")
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,37 @@
+"""Vertex-centric execution framework and built-in programs."""
+
+from repro.vertexcentric.framework import (
+    Executor,
+    RunStatistics,
+    VertexCentric,
+    VertexContext,
+)
+from repro.vertexcentric.programs import (
+    ConnectedComponentsProgram,
+    DegreeProgram,
+    LabelPropagationProgram,
+    PageRankProgram,
+    SingleSourceShortestPathsProgram,
+    run_connected_components,
+    run_degree,
+    run_label_propagation,
+    run_pagerank,
+    run_sssp,
+)
+
+__all__ = [
+    "Executor",
+    "RunStatistics",
+    "VertexCentric",
+    "VertexContext",
+    "ConnectedComponentsProgram",
+    "DegreeProgram",
+    "LabelPropagationProgram",
+    "PageRankProgram",
+    "SingleSourceShortestPathsProgram",
+    "run_connected_components",
+    "run_degree",
+    "run_label_propagation",
+    "run_pagerank",
+    "run_sssp",
+]

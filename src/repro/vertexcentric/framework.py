@@ -1,0 +1,171 @@
+"""The vertex-centric ("think like a vertex") execution framework.
+
+Section 3.4 of the paper describes a simple multi-threaded vertex-centric
+framework: a coordinator object splits the vertex set into chunks, runs a
+user-supplied ``compute`` function for every vertex each superstep, tracks
+which vertices have voted to halt, and stops when all have halted (or a
+superstep limit is reached).  Communication follows the gather-apply-scatter
+style of GraphLab: a vertex reads its neighbors' *previous-superstep* values
+directly instead of exchanging explicit messages.
+
+This reproduction keeps the same API (an :class:`Executor` with a single
+``compute`` method, run through :class:`VertexCentric`) but executes the
+chunks sequentially — CPython threads would add overhead without parallelism,
+and every comparison in the paper is relative between representations on the
+same engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.exceptions import VertexCentricError
+from repro.graph.api import Graph, VertexId
+
+
+class VertexContext:
+    """Everything a ``compute`` function may touch for one vertex."""
+
+    def __init__(self, coordinator: "VertexCentric", vertex: VertexId) -> None:
+        self._coordinator = coordinator
+        self.vertex = vertex
+
+    # ------------------------------------------------------------------ #
+    @property
+    def superstep(self) -> int:
+        return self._coordinator.superstep
+
+    @property
+    def graph(self) -> Graph:
+        return self._coordinator.graph
+
+    def neighbors(self) -> Iterator[VertexId]:
+        return self._coordinator.graph.get_neighbors(self.vertex)
+
+    def degree(self) -> int:
+        return self._coordinator.degree(self.vertex)
+
+    def num_vertices(self) -> int:
+        return self._coordinator.num_vertices
+
+    # ------------------------------------------------------------------ #
+    # GAS-style value access: reads see the previous superstep, writes go to
+    # the next one (double buffering keeps the execution deterministic)
+    # ------------------------------------------------------------------ #
+    def get_value(self, key: str = "value", default: Any = None) -> Any:
+        return self._coordinator.read_value(self.vertex, key, default)
+
+    def set_value(self, value: Any, key: str = "value") -> None:
+        self._coordinator.write_value(self.vertex, key, value)
+
+    def get_neighbor_value(self, neighbor: VertexId, key: str = "value", default: Any = None) -> Any:
+        return self._coordinator.read_value(neighbor, key, default)
+
+    def vote_to_halt(self) -> None:
+        self._coordinator.vote_to_halt(self.vertex)
+
+    def activate(self, vertex: VertexId) -> None:
+        """Wake a halted vertex up for the next superstep."""
+        self._coordinator.activate(vertex)
+
+
+class Executor(ABC):
+    """User programs implement this single-method interface (paper's API)."""
+
+    @abstractmethod
+    def compute(self, ctx: VertexContext) -> None:
+        """Called once per active vertex per superstep."""
+
+
+@dataclass
+class RunStatistics:
+    """Execution statistics of one vertex-centric run."""
+
+    supersteps: int = 0
+    compute_calls: int = 0
+    halted_early: bool = False
+    chunk_count: int = 0
+    per_superstep_active: list[int] = field(default_factory=list)
+
+
+class VertexCentric:
+    """Coordinator for vertex-centric execution over any representation."""
+
+    def __init__(self, graph: Graph, num_workers: int = 4, chunk_size: int | None = None) -> None:
+        if num_workers < 1:
+            raise VertexCentricError("num_workers must be at least 1")
+        self.graph = graph
+        self._vertices = list(graph.get_vertices())
+        self.num_vertices = len(self._vertices)
+        self._num_workers = num_workers
+        self._chunk_size = chunk_size or max(1, self.num_vertices // num_workers)
+
+        self.superstep = 0
+        self._previous: dict[VertexId, dict[str, Any]] = {v: {} for v in self._vertices}
+        self._next: dict[VertexId, dict[str, Any]] = {v: {} for v in self._vertices}
+        self._halted: set[VertexId] = set()
+        self._woken: set[VertexId] = set()
+        self._degree_cache: dict[VertexId, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # value buffers
+    # ------------------------------------------------------------------ #
+    def read_value(self, vertex: VertexId, key: str, default: Any = None) -> Any:
+        return self._previous.get(vertex, {}).get(key, default)
+
+    def write_value(self, vertex: VertexId, key: str, value: Any) -> None:
+        self._next.setdefault(vertex, {})[key] = value
+
+    def value(self, vertex: VertexId, key: str = "value", default: Any = None) -> Any:
+        """Final value after :meth:`run` has completed."""
+        return self._previous.get(vertex, {}).get(key, default)
+
+    def values(self, key: str = "value") -> dict[VertexId, Any]:
+        return {v: data.get(key) for v, data in self._previous.items()}
+
+    # ------------------------------------------------------------------ #
+    def degree(self, vertex: VertexId) -> int:
+        """Cached logical out-degree (the paper precomputes degrees because
+        condensed representations cannot read them off the adjacency list)."""
+        if vertex not in self._degree_cache:
+            self._degree_cache[vertex] = self.graph.degree(vertex)
+        return self._degree_cache[vertex]
+
+    def vote_to_halt(self, vertex: VertexId) -> None:
+        self._halted.add(vertex)
+
+    def activate(self, vertex: VertexId) -> None:
+        self._woken.add(vertex)
+
+    # ------------------------------------------------------------------ #
+    def _chunks(self, vertices: list[VertexId]) -> Iterator[list[VertexId]]:
+        for start in range(0, len(vertices), self._chunk_size):
+            yield vertices[start : start + self._chunk_size]
+
+    def run(self, executor: Executor, max_supersteps: int = 100) -> RunStatistics:
+        """Run ``executor.compute`` until every vertex halts or the limit hits."""
+        if not isinstance(executor, Executor):
+            raise VertexCentricError("executor must implement the Executor interface")
+        stats = RunStatistics()
+        self.superstep = 0
+        while self.superstep < max_supersteps:
+            active = [v for v in self._vertices if v not in self._halted]
+            if not active:
+                stats.halted_early = True
+                break
+            stats.per_superstep_active.append(len(active))
+            # carry forward values so untouched keys persist between supersteps
+            self._next = {v: dict(data) for v, data in self._previous.items()}
+            self._woken = set()
+            for chunk in self._chunks(active):
+                stats.chunk_count += 1
+                for vertex in chunk:
+                    executor.compute(VertexContext(self, vertex))
+                    stats.compute_calls += 1
+            self._previous = self._next
+            self._halted -= self._woken
+            self.superstep += 1
+            stats.supersteps = self.superstep
+        return stats

@@ -1,0 +1,212 @@
+"""Tests for the graph algorithms, cross-checked against NetworkX."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    approximate_diameter,
+    average_clustering,
+    average_degree,
+    average_path_length,
+    bfs_distances,
+    bfs_order,
+    bfs_tree,
+    communities,
+    component_sizes,
+    connected_components,
+    count_triangles,
+    degrees,
+    eccentricity,
+    label_propagation,
+    largest_component,
+    max_degree_vertex,
+    num_components,
+    pagerank,
+    reachable_set,
+    shortest_path,
+    top_k_pagerank,
+    triangles_per_vertex,
+)
+from repro.exceptions import RepresentationError
+from repro.graph import CDupGraph, ExpandedGraph, expanded_from_condensed
+from repro.io import to_networkx
+
+from tests.conftest import build_symmetric_condensed
+
+
+@pytest.fixture(scope="module")
+def sample_graph() -> ExpandedGraph:
+    condensed = build_symmetric_condensed(seed=11, num_real=60, num_virtual=20, max_size=7)
+    return expanded_from_condensed(condensed)
+
+
+@pytest.fixture(scope="module")
+def sample_nx(sample_graph) -> nx.DiGraph:
+    return to_networkx(sample_graph)
+
+
+class TestDegree:
+    def test_degrees_match_networkx(self, sample_graph, sample_nx):
+        ours = degrees(sample_graph)
+        assert ours == dict(sample_nx.out_degree())
+
+    def test_average_and_max(self, sample_graph):
+        values = degrees(sample_graph)
+        assert average_degree(sample_graph) == pytest.approx(
+            sum(values.values()) / len(values)
+        )
+        vertex, degree = max_degree_vertex(sample_graph)
+        assert degree == max(values.values())
+        assert values[vertex] == degree
+
+    def test_empty_graph(self):
+        graph = ExpandedGraph()
+        assert degrees(graph) == {}
+        assert average_degree(graph) == 0.0
+        assert max_degree_vertex(graph) is None
+
+
+class TestBFS:
+    def test_distances_match_networkx(self, sample_graph, sample_nx):
+        source = next(iter(sample_graph.get_vertices()))
+        ours = bfs_distances(sample_graph, source)
+        theirs = nx.single_source_shortest_path_length(sample_nx, source)
+        assert ours == dict(theirs)
+
+    def test_max_depth_truncates(self, sample_graph):
+        source = next(iter(sample_graph.get_vertices()))
+        shallow = bfs_distances(sample_graph, source, max_depth=1)
+        assert all(depth <= 1 for depth in shallow.values())
+
+    def test_order_and_tree_consistency(self, sample_graph):
+        source = next(iter(sample_graph.get_vertices()))
+        order = bfs_order(sample_graph, source)
+        tree = bfs_tree(sample_graph, source)
+        assert order[0] == source
+        assert set(order) == set(tree)
+        assert tree[source] is None
+        assert reachable_set(sample_graph, source) == set(order)
+
+    def test_shortest_path_endpoints(self, sample_graph):
+        source = next(iter(sample_graph.get_vertices()))
+        distances = bfs_distances(sample_graph, source)
+        target = max(distances, key=distances.get)
+        path = shortest_path(sample_graph, source, target)
+        assert path[0] == source and path[-1] == target
+        assert len(path) == distances[target] + 1
+
+    def test_unreachable_returns_none(self):
+        graph = ExpandedGraph()
+        graph.add_vertex("a")
+        graph.add_vertex("b")
+        assert shortest_path(graph, "a", "b") is None
+
+    def test_missing_source_raises(self, sample_graph):
+        with pytest.raises(RepresentationError):
+            bfs_distances(sample_graph, "nope")
+
+
+class TestPageRank:
+    def test_matches_networkx(self, sample_graph, sample_nx):
+        ours = pagerank(sample_graph, max_iterations=200, tolerance=1e-12)
+        theirs = nx.pagerank(sample_nx, alpha=0.85, max_iter=200, tol=1e-12)
+        assert max(abs(ours[v] - theirs[v]) for v in ours) < 1e-6
+
+    def test_sums_to_one(self, sample_graph):
+        scores = pagerank(sample_graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_dangling_nodes_handled(self):
+        graph = ExpandedGraph.from_edges([(1, 2), (2, 3)])  # 3 is dangling
+        scores = pagerank(graph, max_iterations=100)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+        assert scores[3] > scores[1]
+
+    def test_top_k(self, sample_graph):
+        top = top_k_pagerank(sample_graph, k=5)
+        assert len(top) == 5
+        assert top == sorted(top, key=lambda item: -item[1])
+
+    def test_invalid_damping(self, sample_graph):
+        with pytest.raises(ValueError):
+            pagerank(sample_graph, damping=1.5)
+
+    def test_empty_graph(self):
+        assert pagerank(ExpandedGraph()) == {}
+
+    def test_works_on_condensed_representation(self):
+        condensed = build_symmetric_condensed(seed=2, num_real=30, num_virtual=10)
+        expanded = expanded_from_condensed(condensed)
+        direct = pagerank(expanded, max_iterations=100)
+        via_cdup = pagerank(CDupGraph(condensed), max_iterations=100)
+        assert max(abs(direct[v] - via_cdup[v]) for v in direct) < 1e-12
+
+
+class TestConnectedComponents:
+    def test_matches_networkx_weak_components(self, sample_graph, sample_nx):
+        ours = connected_components(sample_graph)
+        theirs = list(nx.weakly_connected_components(sample_nx))
+        assert num_components(sample_graph) == len(theirs)
+        # every NetworkX component maps to exactly one of our labels
+        for component in theirs:
+            labels = {ours[v] for v in component}
+            assert len(labels) == 1
+
+    def test_component_sizes_and_largest(self, sample_graph, sample_nx):
+        sizes = component_sizes(sample_graph)
+        assert sizes == sorted(
+            (len(c) for c in nx.weakly_connected_components(sample_nx)), reverse=True
+        )
+        assert len(largest_component(sample_graph)) == sizes[0]
+
+    def test_isolated_vertices(self):
+        graph = ExpandedGraph()
+        graph.add_vertex("x")
+        graph.add_edge("a", "b")
+        assert num_components(graph) == 2
+
+
+class TestTriangles:
+    def test_count_matches_networkx(self, sample_graph, sample_nx):
+        undirected = sample_nx.to_undirected()
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        expected = sum(nx.triangles(undirected).values()) // 3
+        assert count_triangles(sample_graph) == expected
+
+    def test_per_vertex_matches_networkx(self, sample_graph, sample_nx):
+        undirected = sample_nx.to_undirected()
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        expected = nx.triangles(undirected)
+        ours = triangles_per_vertex(sample_graph)
+        assert ours == {v: expected.get(v, 0) for v in ours}
+
+    def test_clustering_close_to_networkx(self, sample_graph, sample_nx):
+        undirected = sample_nx.to_undirected()
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        assert average_clustering(sample_graph) == pytest.approx(
+            nx.average_clustering(undirected), abs=1e-9
+        )
+
+
+class TestCommunitiesAndPaths:
+    def test_label_propagation_partitions_vertices(self, sample_graph):
+        labels = label_propagation(sample_graph, seed=1)
+        assert set(labels) == set(sample_graph.get_vertices())
+        groups = communities(sample_graph, seed=1)
+        assert sum(len(g) for g in groups) == sample_graph.num_vertices()
+        assert len(groups) >= num_components(sample_graph)
+
+    def test_eccentricity_and_diameter(self, sample_graph):
+        source = next(iter(sample_graph.get_vertices()))
+        assert eccentricity(sample_graph, source) == max(
+            bfs_distances(sample_graph, source).values()
+        )
+        assert approximate_diameter(sample_graph, samples=5) >= 1
+
+    def test_average_path_length_positive(self, sample_graph):
+        assert average_path_length(sample_graph, samples=5) > 0
+
+    def test_path_metrics_on_empty_graph(self):
+        graph = ExpandedGraph()
+        assert approximate_diameter(graph) == 0
+        assert average_path_length(graph) == 0.0

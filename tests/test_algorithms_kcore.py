@@ -1,0 +1,141 @@
+"""Tests for the k-core decomposition algorithms."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.kcore import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    densest_core,
+    k_core,
+)
+from repro.graph.cdup import CDupGraph
+from repro.graph.expanded import ExpandedGraph
+
+
+def _undirected(edges):
+    """Build a symmetric ExpandedGraph from undirected edge pairs."""
+    directed = []
+    for u, v in edges:
+        directed.append((u, v))
+        directed.append((v, u))
+    return ExpandedGraph.from_edges(directed)
+
+
+@pytest.fixture
+def triangle_with_tail():
+    """A triangle {0,1,2} plus a path 2-3-4 hanging off it."""
+    return _undirected([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+
+
+class TestCoreNumbers:
+    def test_triangle_with_tail(self, triangle_with_tail):
+        cores = core_numbers(triangle_with_tail)
+        assert cores[0] == cores[1] == cores[2] == 2
+        assert cores[3] == cores[4] == 1
+
+    def test_isolated_vertex_has_core_zero(self):
+        graph = _undirected([(0, 1)])
+        graph.add_vertex(99)
+        assert core_numbers(graph)[99] == 0
+
+    def test_empty_graph(self):
+        assert core_numbers(ExpandedGraph()) == {}
+
+    def test_self_loops_ignored(self):
+        graph = _undirected([(0, 1)])
+        graph.add_edge(0, 0)
+        assert core_numbers(graph)[0] == 1
+
+    def test_clique_core_is_size_minus_one(self):
+        size = 6
+        edges = [(i, j) for i in range(size) for j in range(i + 1, size)]
+        cores = core_numbers(_undirected(edges))
+        assert all(core == size - 1 for core in cores.values())
+
+    def test_matches_networkx_on_random_graph(self):
+        nx_graph = nx.gnm_random_graph(40, 120, seed=3)
+        graph = _undirected(nx_graph.edges())
+        expected = nx.core_number(nx_graph)
+        actual = core_numbers(graph)
+        for node, core in expected.items():
+            assert actual[node] == core
+
+    def test_runs_on_condensed_representation(self, figure1_condensed):
+        cores = core_numbers(CDupGraph(figure1_condensed))
+        # authors 1-4 form a clique through p1, so their core number is >= 3
+        assert cores[1] >= 3 and cores[4] >= 3
+        assert cores[6] >= 1
+
+
+class TestKCoreAndDegeneracy:
+    def test_k_core_vertices(self, triangle_with_tail):
+        assert k_core(triangle_with_tail, 2) == {0, 1, 2}
+        assert k_core(triangle_with_tail, 1) == {0, 1, 2, 3, 4}
+        assert k_core(triangle_with_tail, 3) == set()
+
+    def test_negative_k_rejected(self, triangle_with_tail):
+        with pytest.raises(ValueError):
+            k_core(triangle_with_tail, -1)
+
+    def test_degeneracy(self, triangle_with_tail):
+        assert degeneracy(triangle_with_tail) == 2
+        assert degeneracy(ExpandedGraph()) == 0
+
+    def test_densest_core(self, triangle_with_tail):
+        k, members = densest_core(triangle_with_tail)
+        assert k == 2
+        assert members == {0, 1, 2}
+
+    def test_densest_core_empty(self):
+        assert densest_core(ExpandedGraph()) == (0, set())
+
+    def test_degeneracy_ordering_is_permutation(self, triangle_with_tail):
+        ordering = degeneracy_ordering(triangle_with_tail)
+        assert sorted(ordering) == [0, 1, 2, 3, 4]
+        cores = core_numbers(triangle_with_tail)
+        assert [cores[v] for v in ordering] == sorted(cores[v] for v in ordering)
+
+
+class TestKCoreProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_vertex_in_its_core_has_enough_neighbors(self, edges):
+        edges = [(u, v) for u, v in edges if u != v]
+        graph = _undirected(edges)
+        cores = core_numbers(graph)
+        for k in set(cores.values()):
+            members = k_core(graph, k)
+            for vertex in members:
+                neighbors_in_core = sum(
+                    1
+                    for n in set(graph.get_neighbors(vertex))
+                    if n in members and n != vertex
+                )
+                assert neighbors_in_core >= k
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, edges):
+        edges = [(u, v) for u, v in edges if u != v]
+        if not edges:
+            return
+        graph = _undirected(edges)
+        nx_graph = nx.Graph()
+        nx_graph.add_edges_from(edges)
+        expected = nx.core_number(nx_graph)
+        actual = core_numbers(graph)
+        for node, core in expected.items():
+            assert actual[node] == core

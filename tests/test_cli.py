@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import BUILTIN_DATASETS, build_parser, main
+from repro.relational.csv_io import write_database
+from repro.relational.database import Database
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def csv_db_dir(tmp_path):
+    """A small CSV database directory for --data tests."""
+    db = Database("friends")
+    db.create_table("Person", [("id", "int"), ("name", "str")], primary_key="id")
+    db.create_table("Likes", [("src", "int"), ("item", "int")])
+    db.insert("Person", [(1, "a"), (2, "b"), (3, "c")])
+    db.insert("Likes", [(1, 10), (2, 10), (2, 11), (3, 11)])
+    directory = tmp_path / "csvdb"
+    write_database(db, directory)
+    return directory
+
+
+CSV_QUERY = """
+Nodes(ID, Name) :- Person(ID, Name).
+Edges(ID1, ID2) :- Likes(ID1, Item), Likes(ID2, Item).
+"""
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_extract_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["extract", "--output", "x"])
+
+    def test_data_and_dataset_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["extract", "--data", "d", "--dataset", "dblp", "--output", "x"]
+            )
+
+
+class TestDatasetsCommand:
+    def test_lists_all_builtins(self):
+        code, output = run_cli("datasets")
+        assert code == 0
+        for name in BUILTIN_DATASETS:
+            assert name in output
+        assert "Edges" in output
+
+
+class TestExtractCommand:
+    def test_extract_builtin_dataset_to_edgelist(self, tmp_path):
+        output_file = tmp_path / "univ.tsv"
+        code, output = run_cli(
+            "extract", "--dataset", "univ", "--scale", "0.2", "--output", str(output_file)
+        )
+        assert code == 0
+        assert output_file.exists()
+        assert "num_edges" in output
+
+    def test_extract_from_csv_directory(self, csv_db_dir, tmp_path):
+        query_file = tmp_path / "query.dl"
+        query_file.write_text(CSV_QUERY, encoding="utf-8")
+        output_file = tmp_path / "likes.tsv"
+        code, _ = run_cli(
+            "extract",
+            "--data", str(csv_db_dir),
+            "--query-file", str(query_file),
+            "--output", str(output_file),
+            "--format", "adjacency",
+        )
+        assert code == 0
+        assert output_file.exists()
+
+    def test_missing_query_for_csv_database_fails(self, csv_db_dir, tmp_path):
+        code, _ = run_cli(
+            "extract", "--data", str(csv_db_dir), "--output", str(tmp_path / "x.tsv")
+        )
+        assert code == 1
+
+
+class TestExplainCommand:
+    def test_explain_builtin(self):
+        code, output = run_cli("explain", "--dataset", "dblp", "--scale", "0.2")
+        assert code == 0
+        assert "extraction plan" in output
+        assert "SELECT" in output
+
+    def test_explain_inline_query(self, csv_db_dir):
+        code, output = run_cli("explain", "--data", str(csv_db_dir), "--query", CSV_QUERY)
+        assert code == 0
+        assert "LARGE-OUTPUT" in output or "small" in output
+
+
+class TestAnalyzeCommand:
+    @pytest.mark.parametrize("algorithm", ["degree", "pagerank", "components"])
+    def test_algorithms_run(self, algorithm):
+        code, output = run_cli(
+            "analyze", "--dataset", "univ", "--scale", "0.2", "--algorithm", algorithm, "--top", "3"
+        )
+        assert code == 0
+        assert output.strip()
+
+    def test_bfs_with_source(self, csv_db_dir):
+        code, output = run_cli(
+            "analyze",
+            "--data", str(csv_db_dir),
+            "--query", CSV_QUERY,
+            "--algorithm", "bfs",
+            "--source", "1",
+        )
+        assert code == 0
+        assert "reachable vertices" in output
+
+    def test_bfs_without_source_fails(self, csv_db_dir):
+        code, _ = run_cli(
+            "analyze", "--data", str(csv_db_dir), "--query", CSV_QUERY, "--algorithm", "bfs"
+        )
+        assert code == 1
+
+    def test_bfs_with_unknown_source_fails(self, csv_db_dir):
+        code, _ = run_cli(
+            "analyze",
+            "--data", str(csv_db_dir),
+            "--query", CSV_QUERY,
+            "--algorithm", "bfs",
+            "--source", "999",
+        )
+        assert code == 1
+
+    def test_representation_flag(self):
+        code, output = run_cli(
+            "analyze",
+            "--dataset", "univ",
+            "--scale", "0.2",
+            "--algorithm", "degree",
+            "--representation", "dedup1",
+        )
+        assert code == 0
+        assert output.strip()

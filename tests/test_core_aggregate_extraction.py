@@ -1,0 +1,118 @@
+"""End-to-end tests for aggregate extraction queries (weighted / filtered edges)."""
+
+import pytest
+
+from repro.core import GraphGen, Planner
+from repro.dsl.parser import parse
+
+WEIGHTED_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2, count(PubID)) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+"""
+
+STRONG_COLLAB_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID), count(PubID) >= 2.
+"""
+
+
+class TestAggregatePlanning:
+    def test_plan_is_case_2_with_aggregate_query(self, toy_dblp):
+        plan = Planner(toy_dblp).plan(parse(WEIGHTED_QUERY))
+        assert plan.case == 2
+        edge_plan = plan.edge_plans[0]
+        assert not edge_plan.condensed
+        assert edge_plan.aggregate_query is not None
+        assert edge_plan.aggregate_query.group_by == ["ID1", "ID2"]
+        assert [s.output_name for s in edge_plan.aggregate_query.aggregates] == ["count_PubID"]
+
+    def test_constraint_becomes_having(self, toy_dblp):
+        plan = Planner(toy_dblp).plan(parse(STRONG_COLLAB_QUERY))
+        aggregate_query = plan.edge_plans[0].aggregate_query
+        assert aggregate_query is not None
+        assert len(aggregate_query.having) == 1
+        assert aggregate_query.having[0].op == ">="
+        assert aggregate_query.having[0].value == 2
+
+    def test_sql_contains_group_by(self, toy_dblp):
+        sql = GraphGen(toy_dblp).explain(WEIGHTED_QUERY)
+        assert "GROUP BY ID1, ID2" in sql
+        assert "aggregated (expanded) edge query" in sql
+
+
+class TestAggregateExtraction:
+    def test_weighted_edges_on_exp(self, toy_dblp):
+        graph = GraphGen(toy_dblp).extract(WEIGHTED_QUERY, representation="exp")
+        # authors 1 and 4 share publications 1 and 2
+        assert graph.exists_edge(1, 4)
+        assert graph.get_edge_property(1, 4, "count_PubID") == 2
+        assert graph.get_edge_property(4, 1, "count_PubID") == 2
+        # authors 1 and 2 share only publication 1
+        assert graph.get_edge_property(1, 2, "count_PubID") == 1
+
+    def test_weighted_edges_on_cdup(self, toy_dblp):
+        graph = GraphGen(toy_dblp).extract(WEIGHTED_QUERY, representation="cdup")
+        assert graph.exists_edge(1, 4)
+        assert graph.get_edge_property(1, 4, "count_PubID") == 2
+        assert graph.get_edge_property(1, 4, "missing", default=-1) == -1
+
+    def test_having_filters_edges(self, toy_dblp):
+        graph = GraphGen(toy_dblp).extract(STRONG_COLLAB_QUERY, representation="exp")
+        assert graph.exists_edge(1, 4) and graph.exists_edge(4, 1)
+        # weak collaborations (single shared paper) are filtered out
+        assert not graph.exists_edge(1, 2)
+        assert not graph.exists_edge(5, 6)
+
+    def test_filtered_subgraph_of_plain_extraction(self, toy_dblp, coauthor_query):
+        plain = GraphGen(toy_dblp).extract(coauthor_query, representation="exp")
+        strong = GraphGen(toy_dblp).extract(STRONG_COLLAB_QUERY, representation="exp")
+        plain_edges = set(plain.edges())
+        strong_edges = set(strong.edges())
+        assert strong_edges <= plain_edges
+        assert len(strong_edges) < len(plain_edges)
+
+    def test_node_properties_still_loaded(self, toy_dblp):
+        graph = GraphGen(toy_dblp).extract(WEIGHTED_QUERY, representation="exp")
+        assert graph.get_property(1, "Name") == "author_1"
+
+    def test_unknown_endpoints_skipped(self, toy_dblp):
+        """Rows whose endpoints were not produced by the Nodes rule are skipped."""
+        query = """
+        Nodes(ID, Name) :- Author(ID, Name), ID <= 3.
+        Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID), count(PubID) >= 1.
+        """
+        result = GraphGen(toy_dblp).extract_with_report(query, representation="exp")
+        assert result.report.skipped_edge_tuples > 0
+        assert set(result.graph.get_vertices()) <= {1, 2, 3}
+
+    def test_multiple_aggregates_all_annotated(self, toy_dblp):
+        query = """
+        Nodes(ID, Name) :- Author(ID, Name).
+        Edges(ID1, ID2, count(PubID), max(PubID)) :-
+            AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+        """
+        graph = GraphGen(toy_dblp).extract(query, representation="exp")
+        assert graph.get_edge_property(1, 4, "count_PubID") == 2
+        assert graph.get_edge_property(1, 4, "max_PubID") == 2
+
+    def test_report_counts_direct_edges(self, toy_dblp):
+        result = GraphGen(toy_dblp).extract_with_report(WEIGHTED_QUERY, representation="cdup")
+        assert result.report.virtual_nodes == 0
+        assert result.report.condensed_edges == result.condensed.expanded_edge_count()
+
+
+class TestAggregateExtractionEquivalence:
+    def test_weighted_counts_match_bruteforce(self, toy_dblp):
+        """Edge weights equal the number of shared publications computed naively."""
+        rows = list(toy_dblp.table("AuthorPub"))
+        pubs_of: dict[int, set[int]] = {}
+        for author, pub in rows:
+            pubs_of.setdefault(author, set()).add(pub)
+        graph = GraphGen(toy_dblp).extract(WEIGHTED_QUERY, representation="exp")
+        for u in pubs_of:
+            for v in pubs_of:
+                shared = len(pubs_of[u] & pubs_of[v])
+                if shared:
+                    assert graph.get_edge_property(u, v, "count_PubID") == shared
+                else:
+                    assert not graph.exists_edge(u, v)

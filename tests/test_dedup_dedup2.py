@@ -1,0 +1,112 @@
+"""Tests for the DEDUP-2 greedy construction algorithm (Appendix B)."""
+
+import pytest
+
+from repro.dedup import deduplicate_dedup2
+from repro.dedup.dedup2_greedy import check_symmetric_single_layer
+from repro.exceptions import DeduplicationError
+from repro.graph import CDupGraph, CondensedGraph, logical_edge_set
+
+from tests.conftest import build_symmetric_condensed
+
+
+def edge_set_without_self_loops(graph) -> set:
+    return {(u, v) for (u, v) in logical_edge_set(graph) if u != v}
+
+
+class TestInputValidation:
+    def test_rejects_multilayer(self, multilayer_condensed):
+        with pytest.raises(DeduplicationError):
+            deduplicate_dedup2(multilayer_condensed)
+
+    def test_rejects_asymmetric_virtual_node(self):
+        condensed = CondensedGraph()
+        a = condensed.add_real_node("a")
+        b = condensed.add_real_node("b")
+        virtual = condensed.add_virtual_node()
+        condensed.add_edge(a, virtual)
+        condensed.add_edge(virtual, b)  # I(V) != O(V)
+        with pytest.raises(DeduplicationError):
+            check_symmetric_single_layer(condensed)
+
+    def test_rejects_asymmetric_direct_edge(self):
+        condensed = CondensedGraph()
+        a = condensed.add_real_node("a")
+        b = condensed.add_real_node("b")
+        condensed.add_edge(a, b)
+        with pytest.raises(DeduplicationError):
+            check_symmetric_single_layer(condensed)
+
+    def test_accepts_symmetric_graph(self, figure1_condensed):
+        check_symmetric_single_layer(figure1_condensed)
+
+
+class TestConstruction:
+    def test_figure1(self, figure1_condensed):
+        dedup2 = deduplicate_dedup2(figure1_condensed)
+        assert dedup2.is_duplicate_free()
+        expected = edge_set_without_self_loops(CDupGraph(figure1_condensed))
+        assert edge_set_without_self_loops(dedup2) == expected
+
+    def test_disjoint_cliques_become_whole_groups(self):
+        condensed = CondensedGraph()
+        for node in range(6):
+            condensed.add_real_node(node)
+        for members in ([0, 1, 2], [3, 4, 5]):
+            virtual = condensed.add_virtual_node()
+            for member in members:
+                condensed.add_edge(condensed.internal(member), virtual)
+                condensed.add_edge(virtual, condensed.internal(member))
+        dedup2 = deduplicate_dedup2(condensed)
+        # two cliques with no overlap -> exactly two virtual groups, no pairs
+        assert dedup2.num_virtual_nodes == 2
+        assert dedup2.is_duplicate_free()
+
+    def test_figure6_style_shared_members(self):
+        """Two large cliques sharing a block of members (Figure 6): DEDUP-2
+        should use far fewer structure edges than DEDUP-1 needs."""
+        condensed = CondensedGraph()
+        shared = [f"u{i}" for i in range(3)]
+        left = ["a", "b", "c"]
+        right = ["d", "e", "f"]
+        for node in shared + left + right:
+            condensed.add_real_node(node)
+        for members in (shared + left, shared + right):
+            virtual = condensed.add_virtual_node()
+            for member in members:
+                condensed.add_edge(condensed.internal(member), virtual)
+                condensed.add_edge(virtual, condensed.internal(member))
+        dedup2 = deduplicate_dedup2(condensed)
+        assert dedup2.is_duplicate_free()
+        assert edge_set_without_self_loops(dedup2) == edge_set_without_self_loops(
+            CDupGraph(condensed)
+        )
+        # membership + virtual-virtual edges stay close to the C-DUP size
+        assert dedup2.num_structure_edges() <= condensed.num_condensed_edges
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_symmetric_graphs(self, seed):
+        condensed = build_symmetric_condensed(seed, num_real=30, num_virtual=12, max_size=8)
+        dedup2 = deduplicate_dedup2(condensed)
+        assert dedup2.is_duplicate_free()
+        assert edge_set_without_self_loops(dedup2) == edge_set_without_self_loops(
+            CDupGraph(condensed)
+        )
+
+    def test_input_not_mutated(self, figure1_condensed):
+        edges = figure1_condensed.num_condensed_edges
+        deduplicate_dedup2(figure1_condensed)
+        assert figure1_condensed.num_condensed_edges == edges
+
+    def test_isolated_vertices_preserved(self):
+        condensed = CondensedGraph()
+        condensed.add_real_node("loner")
+        condensed.add_real_node("a")
+        condensed.add_real_node("b")
+        virtual = condensed.add_virtual_node()
+        for member in ("a", "b"):
+            condensed.add_edge(condensed.internal(member), virtual)
+            condensed.add_edge(virtual, condensed.internal(member))
+        dedup2 = deduplicate_dedup2(condensed)
+        assert dedup2.has_vertex("loner")
+        assert list(dedup2.get_neighbors("loner")) == []

@@ -1,0 +1,70 @@
+"""Tests for expansion helpers (repro.dedup.expand)."""
+
+import pytest
+
+from repro.dedup.expand import (
+    count_expanded_edges,
+    expand,
+    expand_virtual_node,
+    expansion_ratio,
+)
+from repro.graph import CondensedGraph, expanded_from_condensed, logically_equivalent
+
+
+class TestExpand:
+    def test_expand_matches_analysis_helper(self, figure1_condensed):
+        assert logically_equivalent(
+            expand(figure1_condensed), expanded_from_condensed(figure1_condensed)
+        )
+
+    def test_count_matches_expansion(self, directed_condensed):
+        assert count_expanded_edges(directed_condensed) == expand(directed_condensed).num_edges()
+
+    def test_expansion_ratio(self, figure1_condensed):
+        ratio = expansion_ratio(figure1_condensed)
+        assert ratio == pytest.approx(
+            count_expanded_edges(figure1_condensed) / figure1_condensed.num_condensed_edges
+        )
+
+    def test_expansion_ratio_empty_graph(self):
+        assert expansion_ratio(CondensedGraph()) == 1.0
+
+    def test_expand_preserves_properties(self):
+        condensed = CondensedGraph()
+        condensed.add_real_node("a", name="Alice")
+        assert expand(condensed).get_property("a", "name") == "Alice"
+
+
+class TestExpandVirtualNode:
+    def test_expansion_is_equivalence_preserving(self, figure1_condensed):
+        condensed = figure1_condensed.copy()
+        reference = expanded_from_condensed(condensed)
+        virtual = next(iter(condensed.virtual_nodes()))
+        added = expand_virtual_node(condensed, virtual)
+        assert added > 0
+        assert virtual not in set(condensed.virtual_nodes())
+        assert logically_equivalent(expanded_from_condensed(condensed), reference)
+
+    def test_small_virtual_node_costs_nothing_extra(self):
+        condensed = CondensedGraph()
+        a = condensed.add_real_node("a")
+        b = condensed.add_real_node("b")
+        virtual = condensed.add_virtual_node()
+        condensed.add_edge(a, virtual)
+        condensed.add_edge(virtual, b)
+        # in * out = 1 <= in + out + 1 = 3 -> worth expanding
+        added = expand_virtual_node(condensed, virtual)
+        assert added == 1
+        assert condensed.num_condensed_edges == 1
+
+    def test_expansion_skips_existing_direct_edges(self):
+        condensed = CondensedGraph()
+        a = condensed.add_real_node("a")
+        b = condensed.add_real_node("b")
+        condensed.add_edge(a, b)
+        virtual = condensed.add_virtual_node()
+        condensed.add_edge(a, virtual)
+        condensed.add_edge(virtual, b)
+        added = expand_virtual_node(condensed, virtual)
+        assert added == 0
+        assert condensed.num_condensed_edges == 1

@@ -1,0 +1,138 @@
+"""Tests for the DSL aggregation constructs (Section 3.2's "aggregation")."""
+
+import pytest
+
+from repro.dsl.ast import AggregateConstraint, AggregateTerm, Variable
+from repro.dsl.parser import parse
+from repro.dsl.validator import validate
+from repro.exceptions import DSLSyntaxError, DSLValidationError
+
+WEIGHTED_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2, count(PubID)) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+"""
+
+FILTERED_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID), count(PubID) >= 2.
+"""
+
+PLAIN_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+"""
+
+
+class TestAggregateTermAst:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(DSLValidationError):
+            AggregateTerm("median", Variable("X"))
+
+    def test_output_name(self):
+        assert AggregateTerm("count", Variable("PubID")).output_name == "count_PubID"
+
+    def test_str_round_trip(self):
+        term = AggregateTerm("max", Variable("Year"))
+        assert str(term) == "max(Year)"
+
+
+class TestParsingAggregates:
+    def test_head_aggregate_parses(self):
+        spec = parse(WEIGHTED_QUERY)
+        rule = spec.edge_rules[0]
+        aggregates = rule.head_aggregates()
+        assert len(aggregates) == 1
+        assert aggregates[0] == AggregateTerm("count", Variable("PubID"))
+        assert rule.has_aggregates
+
+    def test_body_constraint_parses(self):
+        spec = parse(FILTERED_QUERY)
+        rule = spec.edge_rules[0]
+        assert rule.aggregate_constraints == (
+            AggregateConstraint(AggregateTerm("count", Variable("PubID")), ">=", 2),
+        )
+        assert rule.has_aggregates
+
+    def test_plain_query_has_no_aggregates(self):
+        spec = parse(PLAIN_QUERY)
+        assert not spec.edge_rules[0].has_aggregates
+
+    def test_case_insensitive_function_name(self):
+        spec = parse(
+            "Nodes(ID) :- Author(ID, Name).\n"
+            "Edges(ID1, ID2, COUNT(P)) :- AuthorPub(ID1, P), AuthorPub(ID2, P)."
+        )
+        assert spec.edge_rules[0].head_aggregates()[0].function == "count"
+
+    def test_multiple_constructs_in_one_rule(self):
+        spec = parse(
+            "Nodes(ID) :- Author(ID, Name).\n"
+            "Edges(ID1, ID2, count(P), max(P)) :- AuthorPub(ID1, P), "
+            "AuthorPub(ID2, P), count(P) >= 2, min(P) > 0."
+        )
+        rule = spec.edge_rules[0]
+        assert len(rule.head_aggregates()) == 2
+        assert len(rule.aggregate_constraints) == 2
+
+    def test_constraint_requires_literal(self):
+        with pytest.raises(DSLSyntaxError):
+            parse(
+                "Nodes(ID) :- Author(ID, Name).\n"
+                "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), count(P) >= X."
+            )
+
+    def test_rule_str_includes_aggregates(self):
+        rule = parse(FILTERED_QUERY).edge_rules[0]
+        assert "count(PubID) >= 2" in str(rule)
+
+
+class TestShapeValidation:
+    def test_aggregate_in_nodes_head_rejected(self):
+        with pytest.raises(DSLValidationError):
+            parse(
+                "Nodes(ID, count(P)) :- AuthorPub(ID, P).\n"
+                "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P)."
+            )
+
+    def test_aggregate_as_edge_endpoint_rejected(self):
+        with pytest.raises(DSLValidationError):
+            parse(
+                "Nodes(ID) :- Author(ID, Name).\n"
+                "Edges(count(P), ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P)."
+            )
+
+    def test_unsafe_aggregated_variable_rejected(self):
+        with pytest.raises(DSLValidationError):
+            parse(
+                "Nodes(ID) :- Author(ID, Name).\n"
+                "Edges(ID1, ID2, count(Missing)) :- AuthorPub(ID1, P), AuthorPub(ID2, P)."
+            )
+
+    def test_unsafe_constraint_variable_rejected(self):
+        with pytest.raises(DSLValidationError):
+            parse(
+                "Nodes(ID) :- Author(ID, Name).\n"
+                "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), count(Missing) > 1."
+            )
+
+
+class TestValidatorClassification:
+    def test_aggregate_rule_is_case_2(self):
+        report = validate(parse(FILTERED_QUERY))
+        assert report.case == 2
+        assert not report.condensable
+        assert any("aggregation" in issue for issue in report.issues)
+
+    def test_plain_rule_stays_case_1(self):
+        report = validate(parse(PLAIN_QUERY))
+        assert report.case == 1
+        assert report.condensable
+
+    def test_mixed_rules_force_case_2(self):
+        query = PLAIN_QUERY + (
+            "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), count(P) >= 3.\n"
+        )
+        report = validate(parse(query))
+        assert report.case == 2
+        # the non-aggregated rule still gets a join chain
+        assert len(report.chains) == 1

@@ -1,0 +1,73 @@
+"""Tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.dsl.lexer import tokenize
+from repro.exceptions import DSLSyntaxError
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source: str) -> list[str]:
+    return [t.value for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestTokenKinds:
+    def test_simple_rule(self):
+        source = "Nodes(ID) :- Author(ID, Name)."
+        assert kinds(source) == [
+            "IDENT", "LPAREN", "IDENT", "RPAREN", "IMPLIES",
+            "IDENT", "LPAREN", "IDENT", "COMMA", "IDENT", "RPAREN", "DOT", "EOF",
+        ]
+
+    def test_underscore_token(self):
+        tokens = tokenize("cast(_, ID)")
+        assert tokens[2].kind == "UNDERSCORE"
+
+    def test_underscore_prefixed_identifier_is_ident(self):
+        tokens = tokenize("_foo")
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "_foo"
+
+    def test_numbers(self):
+        tokens = tokenize("42 -3 2.5")
+        assert [t.value for t in tokens[:3]] == ["42", "-3", "2.5"]
+        assert all(t.kind == "NUMBER" for t in tokens[:3])
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("\"hello\" 'it\\'s'")
+        assert tokens[0].kind == "STRING" and tokens[0].value == "hello"
+        assert tokens[1].value == "it's"
+
+    def test_operators(self):
+        assert values("a >= 3, b < 2, c != 1, d = 5") .count(">=") == 1
+        ops = [t.value for t in tokenize("x >= 1 <= > < != == =") if t.kind == "OP"]
+        assert ops == [">=", "<=", ">", "<", "!=", "==", "="]
+
+    def test_comments_ignored(self):
+        source = "% a comment\nNodes(ID) :- T(ID). # trailing\n"
+        assert "comment" not in " ".join(values(source))
+        assert kinds(source)[-1] == "EOF"
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("A(x)\nB(y)")
+        b_token = [t for t in tokens if t.value == "B"][0]
+        assert b_token.line == 2
+        assert b_token.column == 1
+
+
+class TestLexerErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(DSLSyntaxError):
+            tokenize("Nodes(ID) @ foo")
+
+    def test_unterminated_string(self):
+        with pytest.raises(DSLSyntaxError):
+            tokenize('"never closed')
+
+    def test_error_reports_position(self):
+        with pytest.raises(DSLSyntaxError) as err:
+            tokenize("abc\n  @")
+        assert "line 2" in str(err.value)

@@ -1,0 +1,117 @@
+"""Tests for the DSL parser."""
+
+import pytest
+
+from repro.dsl.ast import Anonymous, Constant, Variable
+from repro.dsl.parser import parse
+from repro.exceptions import DSLSyntaxError, DSLValidationError
+
+COAUTHOR = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+"""
+
+
+class TestParseBasics:
+    def test_coauthor_query(self):
+        spec = parse(COAUTHOR)
+        assert len(spec.node_rules) == 1
+        assert len(spec.edge_rules) == 1
+        nodes = spec.node_rules[0]
+        assert nodes.head.predicate == "Nodes"
+        assert nodes.head.terms == (Variable("ID"), Variable("Name"))
+        edges = spec.edge_rules[0]
+        assert [a.predicate for a in edges.body] == ["AuthorPub", "AuthorPub"]
+
+    def test_multiple_nodes_statements(self):
+        spec = parse(
+            """
+            Nodes(ID, Name) :- Instructor(ID, Name).
+            Nodes(ID, Name) :- Student(ID, Name).
+            Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).
+            """
+        )
+        assert len(spec.node_rules) == 2
+        assert spec.referenced_tables() == ["Instructor", "Student", "TaughtCourse", "TookCourse"]
+
+    def test_anonymous_and_constant_terms(self):
+        spec = parse(
+            """
+            Nodes(ID) :- name(ID, _).
+            Edges(ID1, ID2) :- cast(_, ID1, M, 1), cast(_, ID2, M, "lead").
+            """
+        )
+        edge_atom = spec.edge_rules[0].body[0]
+        assert isinstance(edge_atom.terms[0], Anonymous)
+        assert edge_atom.terms[3] == Constant(1)
+        assert spec.edge_rules[0].body[1].terms[3] == Constant("lead")
+
+    def test_comparison_predicates(self):
+        spec = parse(
+            """
+            Nodes(ID) :- Author(ID, _).
+            Edges(ID1, ID2) :- AP(ID1, P), AP(ID2, P), Pub(P, Y), Y >= 2010.
+            """
+        )
+        comparison = spec.edge_rules[0].comparisons[0]
+        assert comparison.variable == Variable("Y")
+        assert comparison.op == ">="
+        assert comparison.value == 2010
+
+    def test_node_property_names(self):
+        spec = parse(COAUTHOR)
+        assert spec.node_property_names() == ["Name"]
+
+    def test_str_roundtrip_reparses(self):
+        spec = parse(COAUTHOR)
+        spec2 = parse(str(spec))
+        assert str(spec2) == str(spec)
+
+
+class TestParseErrors:
+    def test_missing_dot(self):
+        with pytest.raises(DSLSyntaxError):
+            parse("Nodes(ID) :- Author(ID, Name)")
+
+    def test_unknown_head_predicate(self):
+        with pytest.raises(DSLSyntaxError):
+            parse("Vertices(ID) :- Author(ID, N).")
+
+    def test_missing_body(self):
+        with pytest.raises(DSLSyntaxError):
+            parse("Nodes(ID) :- .")
+
+    def test_no_edges_statement(self):
+        with pytest.raises(DSLValidationError):
+            parse("Nodes(ID) :- Author(ID, N).")
+
+    def test_no_nodes_statement(self):
+        with pytest.raises(DSLValidationError):
+            parse("Edges(A, B) :- R(A, B).")
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(DSLValidationError):
+            parse(
+                """
+                Nodes(ID, Missing) :- Author(ID, Name).
+                Edges(A, B) :- R(A, B).
+                """
+            )
+
+    def test_edges_head_needs_two_terms(self):
+        with pytest.raises(DSLValidationError):
+            parse(
+                """
+                Nodes(ID) :- Author(ID, N).
+                Edges(A) :- R(A, B).
+                """
+            )
+
+    def test_comparison_without_literal(self):
+        with pytest.raises(DSLSyntaxError):
+            parse(
+                """
+                Nodes(ID) :- Author(ID, N).
+                Edges(A, B) :- R(A, B), B > .
+                """
+            )

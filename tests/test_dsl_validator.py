@@ -1,0 +1,105 @@
+"""Tests for DSL semantic validation: acyclicity, chains, Case 1 vs Case 2."""
+
+import pytest
+
+from repro.dsl.parser import parse
+from repro.dsl.validator import derive_chain, is_acyclic, validate
+from repro.exceptions import DSLValidationError
+from repro.relational.database import Database
+
+
+def edges_rule(body: str):
+    spec = parse(f"Nodes(X) :- T(X).\nEdges(ID1, ID2) :- {body}.")
+    return spec.edge_rules[0]
+
+
+class TestAcyclicity:
+    def test_single_atom_is_acyclic(self):
+        assert is_acyclic(edges_rule("R(ID1, ID2)"))
+
+    def test_chain_is_acyclic(self):
+        assert is_acyclic(edges_rule("R(ID1, A), S(A, B), T2(B, ID2)"))
+
+    def test_self_join_is_acyclic(self):
+        assert is_acyclic(edges_rule("AP(ID1, P), AP(ID2, P)"))
+
+    def test_triangle_is_cyclic(self):
+        rule = edges_rule("R(ID1, A), S(A, B), T2(B, ID1), U(ID1, ID2)")
+        # R, S, T2 form a cycle through ID1/A/B
+        assert not is_acyclic(rule)
+
+    def test_tpch_style_query_is_acyclic(self):
+        assert is_acyclic(
+            edges_rule("Orders(OK1, ID1), LineItem(OK1, PK), Orders(OK2, ID2), LineItem(OK2, PK)")
+        )
+
+
+class TestChainDerivation:
+    def test_coauthor_chain(self):
+        chain = derive_chain(edges_rule("AP(ID1, P), AP(ID2, P)"))
+        assert len(chain) == 2
+        assert chain.source_variable == "ID1"
+        assert chain.target_variable == "ID2"
+        assert chain.join_variables == ["P"]
+
+    def test_tpch_chain_order(self):
+        chain = derive_chain(
+            edges_rule("Orders(OK1, ID1), LineItem(OK1, PK), Orders(OK2, ID2), LineItem(OK2, PK)")
+        )
+        predicates = [link.atom.predicate for link in chain.links]
+        assert predicates == ["Orders", "LineItem", "LineItem", "Orders"]
+        assert chain.join_variables == ["OK1", "PK", "OK2"]
+
+    def test_single_atom_chain(self):
+        chain = derive_chain(edges_rule("Follows(ID1, ID2)"))
+        assert len(chain) == 1
+        assert chain.join_variables == []
+
+    def test_disconnected_body_rejected(self):
+        with pytest.raises(DSLValidationError):
+            derive_chain(edges_rule("R(ID1, A), S(B, ID2)"))
+
+    def test_missing_endpoint_rejected(self):
+        with pytest.raises(DSLValidationError):
+            derive_chain(edges_rule("R(ID1, A), S(A, B)"))
+
+
+class TestValidateAgainstDatabase:
+    def make_db(self) -> Database:
+        db = Database("v")
+        db.create_table("Author", [("id", "int"), ("name", "str")])
+        db.create_table("AP", [("aid", "int"), ("pid", "int")])
+        return db
+
+    def test_case1_report(self):
+        spec = parse(
+            "Nodes(ID, Name) :- Author(ID, Name).\nEdges(A, B) :- AP(A, P), AP(B, P)."
+        )
+        report = validate(spec, self.make_db())
+        assert report.case == 1
+        assert report.condensable
+        assert len(report.chains) == 1
+
+    def test_unknown_table_rejected(self):
+        spec = parse("Nodes(ID) :- Missing(ID).\nEdges(A, B) :- AP(A, P), AP(B, P).")
+        with pytest.raises(DSLValidationError):
+            validate(spec, self.make_db())
+
+    def test_arity_mismatch_rejected(self):
+        spec = parse(
+            "Nodes(ID, N, X) :- Author(ID, N, X).\nEdges(A, B) :- AP(A, P), AP(B, P)."
+        )
+        with pytest.raises(DSLValidationError):
+            validate(spec, self.make_db())
+
+    def test_cyclic_rule_reports_case2(self):
+        spec = parse(
+            """
+            Nodes(ID, Name) :- Author(ID, Name).
+            Edges(ID1, ID2) :- AP(ID1, A), AP(A, B), AP(B, ID1), AP(ID1, ID2).
+            """
+        )
+        report = validate(spec)
+        assert report.case == 2
+        assert not report.condensable
+        assert report.issues

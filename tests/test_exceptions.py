@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DeduplicationError,
+    DSLSyntaxError,
+    DSLValidationError,
+    ExtractionError,
+    GraphGenError,
+    QueryError,
+    RepresentationError,
+    SchemaError,
+    VertexCentricError,
+)
+
+
+def test_all_errors_derive_from_graphgen_error():
+    for error_type in (
+        SchemaError,
+        QueryError,
+        DSLSyntaxError,
+        DSLValidationError,
+        ExtractionError,
+        RepresentationError,
+        DeduplicationError,
+        VertexCentricError,
+    ):
+        assert issubclass(error_type, GraphGenError)
+
+
+def test_dsl_syntax_error_formats_location():
+    error = DSLSyntaxError("bad token", line=3, column=7)
+    assert "line 3" in str(error)
+    assert "column 7" in str(error)
+    assert error.line == 3 and error.column == 7
+
+    bare = DSLSyntaxError("bad token")
+    assert "line" not in str(bare)
+
+
+def test_catching_base_class_at_api_boundary(toy_dblp):
+    from repro.core import GraphGen
+
+    gg = GraphGen(toy_dblp)
+    with pytest.raises(GraphGenError):
+        gg.extract("Nodes(ID) :- Author(ID, Name)")  # missing dot + edges
+    with pytest.raises(GraphGenError):
+        gg.extract(
+            "Nodes(ID, Name) :- Author(ID, Name).\nEdges(A, B) :- Missing(A, B).",
+        )

@@ -1,0 +1,132 @@
+"""Tests for the simulated Giraph engine, adapters and programs."""
+
+import pytest
+
+from repro.algorithms import connected_components, degrees, pagerank
+from repro.dedup import deduplicate_dedup1, preprocess_bitmap
+from repro.exceptions import VertexCentricError
+from repro.giraph import (
+    GiraphEngine,
+    GiraphPageRank,
+    GiraphVertex,
+    build_vertices,
+    from_condensed,
+    from_expanded,
+    is_virtual_id,
+    run_giraph,
+)
+from repro.graph import CDupGraph, expanded_from_condensed
+
+from tests.conftest import build_symmetric_condensed
+
+
+@pytest.fixture(scope="module")
+def condensed():
+    return build_symmetric_condensed(seed=31, num_real=40, num_virtual=14, max_size=6)
+
+
+@pytest.fixture(scope="module")
+def expanded(condensed):
+    return expanded_from_condensed(condensed)
+
+
+class TestAdapters:
+    def test_expanded_adapter(self, expanded):
+        vertices = from_expanded(expanded)
+        assert len(vertices) == expanded.num_vertices()
+        assert all(not v.is_virtual for v in vertices.values())
+        some = next(iter(vertices.values()))
+        assert some.data["degree"] == len(some.edges)
+
+    def test_condensed_adapter_includes_virtual_vertices(self, condensed, expanded):
+        dedup1 = deduplicate_dedup1(condensed)
+        vertices = from_condensed(dedup1)
+        virtual = [v for v in vertices.values() if v.is_virtual]
+        real = [v for v in vertices.values() if not v.is_virtual]
+        assert len(virtual) == dedup1.condensed.num_virtual_nodes
+        assert len(real) == expanded.num_vertices()
+        assert all("degree" in v.data for v in real)
+        assert all(is_virtual_id(v.vertex_id) for v in virtual)
+
+    def test_bitmap_adapter_attaches_filters(self, condensed):
+        bitmap = preprocess_bitmap(condensed, algorithm="bitmap2")
+        vertices = from_condensed(bitmap)
+        filtered = [v for v in vertices.values() if v.is_virtual and "allowed" in v.data]
+        assert filtered  # bitmap2 stores at least one per-source filter
+
+    def test_build_vertices_dispatch(self, condensed, expanded):
+        _, condensed_flag = build_vertices(expanded)
+        assert not condensed_flag
+        _, condensed_flag = build_vertices(CDupGraph(condensed))
+        assert condensed_flag
+
+
+class TestEngine:
+    def test_send_to_unknown_vertex_raises(self):
+        engine = GiraphEngine({"a": GiraphVertex("a")})
+
+        class Bad(GiraphPageRank):
+            def compute(self, vertex, messages, ctx):
+                ctx.send("ghost", 1.0)
+
+        with pytest.raises(VertexCentricError):
+            engine.run(Bad(iterations=1), max_supersteps=1)
+
+    def test_metrics_populated(self, expanded):
+        result = run_giraph(expanded, "pagerank", iterations=5)
+        metrics = result.metrics
+        assert metrics.supersteps == 6
+        assert metrics.total_messages == sum(metrics.messages_per_superstep)
+        assert metrics.vertex_count == expanded.num_vertices()
+        assert metrics.estimated_memory_bytes() > 0
+
+    def test_unknown_algorithm_rejected(self, expanded):
+        with pytest.raises(VertexCentricError):
+            run_giraph(expanded, "sssp")
+
+
+class TestProgramsAcrossRepresentations:
+    def test_degree(self, condensed, expanded):
+        reference = degrees(expanded)
+        for graph in (expanded, deduplicate_dedup1(condensed), preprocess_bitmap(condensed)):
+            result = run_giraph(graph, "degree")
+            assert result.values == reference
+
+    def test_pagerank_values_match(self, condensed, expanded):
+        reference = run_giraph(expanded, "pagerank", iterations=12).values
+        for graph in (deduplicate_dedup1(condensed), preprocess_bitmap(condensed)):
+            values = run_giraph(graph, "pagerank", iterations=12).values
+            assert max(abs(values[v] - reference[v]) for v in reference) < 1e-9
+
+    def test_pagerank_supersteps_double_on_condensed(self, condensed, expanded):
+        exp_run = run_giraph(expanded, "pagerank", iterations=8)
+        dedup_run = run_giraph(deduplicate_dedup1(condensed), "pagerank", iterations=8)
+        assert exp_run.metrics.supersteps == 9
+        assert dedup_run.metrics.supersteps == 17
+
+    def test_pagerank_message_aggregation_reduces_messages(self, condensed, expanded):
+        """The paper's key Giraph observation: virtual-node aggregation needs
+        at most ~2 * condensed edges messages per iteration, fewer than the
+        expanded edge count when the graph is dense."""
+        exp_run = run_giraph(expanded, "pagerank", iterations=6)
+        bitmap_run = run_giraph(preprocess_bitmap(condensed), "pagerank", iterations=6)
+        assert bitmap_run.metrics.total_messages < exp_run.metrics.total_messages
+
+    def test_connected_components(self, condensed, expanded):
+        reference = connected_components(expanded)
+        for graph in (expanded, CDupGraph(condensed), preprocess_bitmap(condensed)):
+            values = run_giraph(graph, "connected_components").values
+            groups: dict = {}
+            for vertex, label in values.items():
+                groups.setdefault(label, set()).add(vertex)
+            reference_groups: dict = {}
+            for vertex, label in reference.items():
+                reference_groups.setdefault(label, set()).add(vertex)
+            assert sorted(map(sorted, groups.values())) == sorted(
+                map(sorted, reference_groups.values())
+            )
+
+    def test_pagerank_close_to_power_iteration(self, expanded):
+        giraph_values = run_giraph(expanded, "pagerank", iterations=60).values
+        direct = pagerank(expanded, max_iterations=300, tolerance=1e-14)
+        assert max(abs(giraph_values[v] - direct[v]) for v in direct) < 1e-3

@@ -1,0 +1,101 @@
+"""Tests for the EXP representation (adjacency lists with lazy deletion)."""
+
+import pytest
+
+from repro.exceptions import RepresentationError
+from repro.graph.expanded import ExpandedGraph
+
+
+@pytest.fixture
+def diamond() -> ExpandedGraph:
+    graph = ExpandedGraph()
+    for edge in [(1, 2), (1, 3), (2, 4), (3, 4)]:
+        graph.add_edge(*edge)
+    return graph
+
+
+class TestBasics:
+    def test_vertices_and_edges(self, diamond):
+        assert set(diamond.get_vertices()) == {1, 2, 3, 4}
+        assert diamond.num_vertices() == 4
+        assert diamond.num_edges() == 4
+        assert set(diamond.get_neighbors(1)) == {2, 3}
+        assert diamond.degree(1) == 2
+        assert diamond.in_degree(4) == 2
+
+    def test_exists_edge(self, diamond):
+        assert diamond.exists_edge(1, 2)
+        assert not diamond.exists_edge(2, 1)
+        assert not diamond.exists_edge(1, 99)
+
+    def test_add_vertex_with_properties(self):
+        graph = ExpandedGraph()
+        graph.add_vertex("a", name="Alice")
+        assert graph.get_property("a", "name") == "Alice"
+        graph.set_property("a", "age", 3)
+        assert graph.get_property("a", "age") == 3
+
+    def test_missing_vertex_raises(self, diamond):
+        with pytest.raises(RepresentationError):
+            list(diamond.get_neighbors(99))
+        with pytest.raises(RepresentationError):
+            diamond.get_property(99, "x")
+
+    def test_delete_edge(self, diamond):
+        diamond.delete_edge(1, 2)
+        assert not diamond.exists_edge(1, 2)
+        assert diamond.num_edges() == 3
+        with pytest.raises(RepresentationError):
+            diamond.delete_edge(1, 2)
+
+    def test_from_edges_deduplicates(self):
+        graph = ExpandedGraph.from_edges([(1, 2), (1, 2), (2, 3)], vertices=[9])
+        assert graph.num_edges() == 2
+        assert graph.has_vertex(9)
+        graph2 = ExpandedGraph.from_edges([(1, 2), (1, 2)], deduplicate=False)
+        assert graph2.num_edges() == 2
+
+    def test_edges_iterator(self, diamond):
+        assert set(diamond.edges()) == {(1, 2), (1, 3), (2, 4), (3, 4)}
+
+
+class TestLazyDeletion:
+    def test_logical_deletion_hides_vertex(self, diamond):
+        diamond.delete_vertex(2)
+        assert not diamond.has_vertex(2)
+        assert set(diamond.get_neighbors(1)) == {3}
+        assert diamond.num_vertices() == 3
+        assert diamond.pending_deletions == 1
+        # edges touching a deleted vertex disappear from counts
+        assert diamond.num_edges() == 2
+
+    def test_compaction_physically_removes(self, diamond):
+        diamond.delete_vertex(2)
+        diamond.compact()
+        assert diamond.pending_deletions == 0
+        assert set(diamond.get_vertices()) == {1, 3, 4}
+        assert diamond.num_edges() == 2
+
+    def test_batch_threshold_triggers_compaction(self):
+        graph = ExpandedGraph(lazy_deletion_batch=2)
+        for edge in [(1, 2), (2, 3), (3, 4), (4, 5)]:
+            graph.add_edge(*edge)
+        graph.delete_vertex(2)
+        assert graph.pending_deletions == 1
+        graph.delete_vertex(3)
+        # second deletion crosses the batch size and compacts
+        assert graph.pending_deletions == 0
+        assert set(graph.get_vertices()) == {1, 4, 5}
+
+    def test_deleted_vertex_operations_raise(self, diamond):
+        diamond.delete_vertex(2)
+        with pytest.raises(RepresentationError):
+            diamond.degree(2)
+        with pytest.raises(RepresentationError):
+            diamond.delete_vertex(2)
+
+    def test_readding_deleted_vertex_resurrects_empty(self, diamond):
+        diamond.delete_vertex(2)
+        diamond.add_vertex(2)
+        assert diamond.has_vertex(2)
+        assert list(diamond.get_neighbors(2)) == []

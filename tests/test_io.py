@@ -1,0 +1,111 @@
+"""Tests for serialization and NetworkX interoperability."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphGenError
+from repro.graph import CDupGraph, ExpandedGraph, expanded_from_condensed, logically_equivalent
+from repro.io import (
+    from_networkx,
+    neighbors_match,
+    read_condensed_json,
+    read_edge_list,
+    to_networkx,
+    write_adjacency_json,
+    write_condensed_json,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def small_graph() -> ExpandedGraph:
+    return ExpandedGraph.from_edges([(1, 2), (2, 3), (3, 1), (1, 3)])
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, small_graph):
+        path = tmp_path / "edges.tsv"
+        written = write_edge_list(small_graph, path)
+        assert written == small_graph.num_edges()
+        loaded = read_edge_list(path)
+        assert logically_equivalent(loaded, small_graph)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n1\t2\n2\t3\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges() == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphGenError):
+            read_edge_list(path)
+
+    def test_string_ids_preserved_when_not_numeric(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice\tbob\n")
+        graph = read_edge_list(path)
+        assert graph.exists_edge("alice", "bob")
+
+
+class TestJsonFormats:
+    def test_adjacency_json(self, tmp_path, small_graph):
+        path = tmp_path / "adj.json"
+        write_adjacency_json(small_graph, path)
+        assert path.exists() and path.stat().st_size > 0
+
+    def test_condensed_roundtrip(self, tmp_path, figure1_condensed):
+        path = tmp_path / "condensed.json"
+        write_condensed_json(figure1_condensed, path)
+        loaded = read_condensed_json(path)
+        assert loaded.num_real_nodes == figure1_condensed.num_real_nodes
+        assert loaded.num_virtual_nodes == figure1_condensed.num_virtual_nodes
+        assert logically_equivalent(CDupGraph(loaded), CDupGraph(figure1_condensed))
+
+    def test_condensed_roundtrip_preserves_properties(self, tmp_path):
+        from repro.graph import CondensedGraph
+
+        condensed = CondensedGraph()
+        condensed.add_real_node("a", name="Alice")
+        path = tmp_path / "c.json"
+        write_condensed_json(condensed, path)
+        loaded = read_condensed_json(path)
+        node = loaded.internal("a")
+        assert loaded.node_properties[node]["name"] == "Alice"
+
+
+class TestNetworkx:
+    def test_to_networkx_directed(self, figure1_condensed):
+        graph = CDupGraph(figure1_condensed)
+        nx_graph = to_networkx(graph)
+        assert isinstance(nx_graph, nx.DiGraph)
+        assert nx_graph.number_of_nodes() == graph.num_vertices()
+        assert nx_graph.number_of_edges() == graph.num_edges()
+        for vertex in graph.get_vertices():
+            assert neighbors_match(graph, nx_graph, vertex)
+
+    def test_to_networkx_undirected(self, small_graph):
+        undirected = to_networkx(small_graph, directed=False)
+        assert isinstance(undirected, nx.Graph)
+        assert undirected.number_of_edges() == 3  # 1->3 and 3->1 merge
+
+    def test_from_networkx_directed(self):
+        source = nx.DiGraph()
+        source.add_edge("a", "b")
+        source.add_node("c", color="red")
+        graph = from_networkx(source)
+        assert graph.exists_edge("a", "b")
+        assert not graph.exists_edge("b", "a")
+        assert graph.get_property("c", "color") == "red"
+
+    def test_from_networkx_undirected_becomes_bidirectional(self):
+        source = nx.Graph()
+        source.add_edge(1, 2)
+        graph = from_networkx(source)
+        assert graph.exists_edge(1, 2) and graph.exists_edge(2, 1)
+
+    def test_roundtrip_through_networkx(self, figure1_condensed):
+        expanded = expanded_from_condensed(figure1_condensed)
+        back = from_networkx(to_networkx(expanded))
+        assert logically_equivalent(expanded, back)

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+These cover the pipeline-level guarantees:
+
+* the condensed graph built by the extractor is always equivalent to the
+  expanded graph built by running the full join, for random databases;
+* C-DUP neighbor iteration never yields duplicates, for random condensed
+  graphs, even though the structure has duplicate paths;
+* DEDUP-1 output is duplication-free and equivalent, with the Graph API
+  contract (degree == len(neighbors), exists_edge consistent with neighbors)
+  holding on every representation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ExtractionOptions, GraphGen
+from repro.dedup import deduplicate_dedup1, preprocess_bitmap
+from repro.graph import (
+    CDupGraph,
+    CondensedGraph,
+    expanded_from_condensed,
+    logical_edge_set,
+    logically_equivalent,
+)
+from repro.relational.database import Database
+
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def author_pub_database(draw):
+    """A random tiny DBLP-shaped database."""
+    num_authors = draw(st.integers(2, 12))
+    num_pubs = draw(st.integers(1, 8))
+    pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, num_authors - 1), st.integers(0, num_pubs - 1)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    db = Database("prop_dblp")
+    db.create_table("Author", [("id", "int"), ("name", "str")], primary_key="id")
+    db.create_table("AuthorPub", [("aid", "int"), ("pid", "int")])
+    db.insert("Author", [(a, f"a{a}") for a in range(num_authors)])
+    db.insert("AuthorPub", sorted(pairs))
+    return db
+
+
+@st.composite
+def random_condensed(draw):
+    """A random single-layer condensed graph (possibly with direct edges)."""
+    num_real = draw(st.integers(2, 15))
+    graph = CondensedGraph()
+    for node in range(num_real):
+        graph.add_real_node(node)
+    num_virtual = draw(st.integers(0, 6))
+    for label in range(num_virtual):
+        in_side = draw(st.lists(st.integers(0, num_real - 1), min_size=1, max_size=5, unique=True))
+        out_side = draw(st.lists(st.integers(0, num_real - 1), min_size=1, max_size=5, unique=True))
+        virtual = graph.add_virtual_node(("v", label))
+        for node in in_side:
+            graph.add_edge(graph.internal(node), virtual)
+        for node in out_side:
+            graph.add_edge(virtual, graph.internal(node))
+    direct = draw(
+        st.sets(
+            st.tuples(st.integers(0, num_real - 1), st.integers(0, num_real - 1)),
+            max_size=10,
+        )
+    )
+    for source, target in direct:
+        graph.add_edge(graph.internal(source), graph.internal(target))
+    return graph
+
+
+COAUTHOR = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+"""
+
+
+# --------------------------------------------------------------------------- #
+# pipeline-level invariants
+# --------------------------------------------------------------------------- #
+@settings(max_examples=30, deadline=None)
+@given(author_pub_database(), st.booleans(), st.booleans())
+def test_property_condensed_extraction_equals_full_join(db, force_virtual, preprocess):
+    threshold = 0.0001 if force_virtual else 2.0
+    gg = GraphGen(db, threshold_factor=threshold, preprocess=preprocess, estimator="exact")
+    result = gg.extract_with_report(COAUTHOR, representation="cdup")
+    reference = GraphGen(
+        db, options=ExtractionOptions(threshold_factor=1e12)
+    ).extract(COAUTHOR, representation="exp")
+    assert logically_equivalent(result.graph, reference)
+    # the condensed structure never stores more edges than the base tables have rows
+    assert result.report.condensed_edges <= 2 * db.total_rows()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_condensed())
+def test_property_cdup_iteration_has_no_duplicates(condensed):
+    graph = CDupGraph(condensed)
+    for vertex in graph.get_vertices():
+        neighbors = list(graph.get_neighbors(vertex))
+        assert len(neighbors) == len(set(neighbors))
+        assert set(neighbors) == {
+            condensed.external(t) for t in condensed.neighbor_set(condensed.internal(vertex))
+        }
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_condensed(), st.sampled_from(["greedy_virtual_first", "naive_real_first"]))
+def test_property_dedup1_and_bitmap_preserve_graph(condensed, algorithm):
+    reference = expanded_from_condensed(condensed)
+    dedup1 = deduplicate_dedup1(condensed, algorithm=algorithm, seed=0)
+    bitmap = preprocess_bitmap(condensed, algorithm="bitmap2")
+    assert not dedup1.condensed.has_duplication()
+    assert logically_equivalent(dedup1, reference)
+    assert logically_equivalent(bitmap, reference)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_condensed())
+def test_property_graph_api_contract(condensed):
+    """degree == number of neighbors, exists_edge consistent, num_edges sums."""
+    for graph in (CDupGraph(condensed.copy()), expanded_from_condensed(condensed)):
+        edge_set = logical_edge_set(graph)
+        total = 0
+        for vertex in graph.get_vertices():
+            neighbors = list(graph.get_neighbors(vertex))
+            assert graph.degree(vertex) == len(neighbors)
+            total += len(neighbors)
+            for neighbor in neighbors:
+                assert graph.exists_edge(vertex, neighbor)
+        assert graph.num_edges() == total == len(edge_set)

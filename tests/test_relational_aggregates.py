@@ -1,0 +1,217 @@
+"""Tests for grouping / aggregation over conjunctive-query results."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import QueryError
+from repro.relational.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    AggregateQuery,
+    AggregateSpec,
+    HavingClause,
+    aggregate_to_sql,
+    evaluate_aggregate,
+    group_by,
+)
+from repro.relational.database import Database
+from repro.relational.query import ConjunctiveQuery, QueryAtom
+from repro.relational.sqlite_backend import SQLiteBackend
+
+
+@pytest.fixture
+def authorship_db() -> Database:
+    """Authors sharing publications; the canonical aggregation workload."""
+    db = Database("agg")
+    db.create_table("AuthorPub", [("aid", "int"), ("pid", "int")])
+    # pairs (a, b) share: (1,2)->2 papers, (1,3)->1, (2,3)->1
+    db.insert(
+        "AuthorPub",
+        [(1, 10), (2, 10), (3, 10), (1, 11), (2, 11), (1, 12)],
+    )
+    return db
+
+
+def _coauthor_inner() -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        head_vars=["A", "B", "P"],
+        atoms=[QueryAtom("AuthorPub", ("A", "P")), QueryAtom("AuthorPub", ("B", "P"))],
+        name="pairs",
+    )
+
+
+class TestAggregateSpec:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("median", "X")
+
+    def test_output_name_default_and_alias(self):
+        assert AggregateSpec("count", "P").output_name == "count_P"
+        assert AggregateSpec("count", "P", alias="papers").output_name == "papers"
+
+    @pytest.mark.parametrize("function", sorted(AGGREGATE_FUNCTIONS))
+    def test_every_function_computes(self, function):
+        values = [3, 1, 2, 2]
+        result = AggregateSpec(function, "X").compute(values)
+        expected = {
+            "count": 4,
+            "count_distinct": 3,
+            "sum": 8,
+            "avg": 2.0,
+            "min": 1,
+            "max": 3,
+        }[function]
+        assert result == expected
+
+
+class TestHavingClause:
+    def test_bad_operator_rejected(self):
+        with pytest.raises(QueryError):
+            HavingClause(AggregateSpec("count", "P"), "LIKE", 2)
+
+    def test_evaluate(self):
+        clause = HavingClause(AggregateSpec("count", "P"), ">=", 2)
+        assert clause.evaluate(2)
+        assert not clause.evaluate(1)
+
+    def test_type_mismatch_is_false(self):
+        clause = HavingClause(AggregateSpec("min", "P"), ">", 5)
+        assert clause.evaluate("string") is False
+
+
+class TestAggregateQueryValidation:
+    def test_group_by_must_be_in_head(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(
+                query=_coauthor_inner(),
+                group_by=["Z"],
+                aggregates=[AggregateSpec("count", "P")],
+            )
+
+    def test_aggregated_variable_must_be_in_head(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(
+                query=_coauthor_inner(),
+                group_by=["A", "B"],
+                aggregates=[AggregateSpec("count", "Q")],
+            )
+
+    def test_having_must_reference_computed_aggregate(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(
+                query=_coauthor_inner(),
+                group_by=["A", "B"],
+                aggregates=[AggregateSpec("count", "P")],
+                having=[HavingClause(AggregateSpec("sum", "P"), ">", 1)],
+            )
+
+    def test_output_columns(self):
+        query = AggregateQuery(
+            query=_coauthor_inner(),
+            group_by=["A", "B"],
+            aggregates=[AggregateSpec("count", "P")],
+        )
+        assert query.output_columns == ["A", "B", "count_P"]
+
+
+class TestGroupBy:
+    def test_groups_and_projects(self):
+        rows = [(1, "x", 10), (1, "y", 20), (2, "z", 30)]
+        groups = group_by(rows, key_positions=[0], value_positions=[2])
+        assert groups == {(1,): [(10,), (20,)], (2,): [(30,)]}
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 100)), max_size=50)
+    )
+    @settings(max_examples=50)
+    def test_group_sizes_sum_to_input(self, rows):
+        groups = group_by(rows, key_positions=[0], value_positions=[1])
+        assert sum(len(v) for v in groups.values()) == len(rows)
+
+
+class TestEvaluateAggregate:
+    def test_count_shared_publications(self, authorship_db):
+        query = AggregateQuery(
+            query=_coauthor_inner(),
+            group_by=["A", "B"],
+            aggregates=[AggregateSpec("count", "P")],
+        )
+        rows = dict(((a, b), c) for a, b, c in evaluate_aggregate(authorship_db, query))
+        assert rows[(1, 2)] == 2
+        assert rows[(2, 1)] == 2
+        assert rows[(1, 3)] == 1
+        assert rows[(1, 1)] == 3  # self-pair: one witness per own paper
+
+    def test_having_filters_groups(self, authorship_db):
+        spec = AggregateSpec("count", "P")
+        query = AggregateQuery(
+            query=_coauthor_inner(),
+            group_by=["A", "B"],
+            aggregates=[spec],
+            having=[HavingClause(spec, ">=", 2)],
+        )
+        rows = evaluate_aggregate(authorship_db, query)
+        pairs = {(a, b) for a, b, _ in rows}
+        assert (1, 2) in pairs and (2, 1) in pairs
+        assert (1, 3) not in pairs and (3, 1) not in pairs
+
+    def test_multiple_aggregates(self, authorship_db):
+        query = AggregateQuery(
+            query=_coauthor_inner(),
+            group_by=["A", "B"],
+            aggregates=[
+                AggregateSpec("count", "P"),
+                AggregateSpec("min", "P"),
+                AggregateSpec("max", "P"),
+            ],
+        )
+        rows = {(a, b): rest for a, b, *rest in evaluate_aggregate(authorship_db, query)}
+        assert rows[(1, 2)] == [2, 10, 11]
+
+    def test_deterministic_order(self, authorship_db):
+        query = AggregateQuery(
+            query=_coauthor_inner(),
+            group_by=["A", "B"],
+            aggregates=[AggregateSpec("count", "P")],
+        )
+        first = evaluate_aggregate(authorship_db, query)
+        second = evaluate_aggregate(authorship_db, query)
+        assert first == second
+
+    def test_matches_sqlite_group_by(self, authorship_db):
+        """The generated GROUP BY SQL returns the same groups on SQLite."""
+        spec = AggregateSpec("count", "P")
+        query = AggregateQuery(
+            query=_coauthor_inner(),
+            group_by=["A", "B"],
+            aggregates=[spec],
+            having=[HavingClause(spec, ">=", 2)],
+        )
+        expected = set(evaluate_aggregate(authorship_db, query))
+        with SQLiteBackend(authorship_db).load() as backend:
+            rows = backend.execute_sql(aggregate_to_sql(authorship_db, query))
+        actual = {tuple(row) for row in rows}
+        assert actual == expected
+
+
+class TestAggregateSQL:
+    def test_sql_contains_group_by_and_having(self, authorship_db):
+        spec = AggregateSpec("count", "P")
+        query = AggregateQuery(
+            query=_coauthor_inner(),
+            group_by=["A", "B"],
+            aggregates=[spec],
+            having=[HavingClause(spec, ">=", 2)],
+        )
+        sql = aggregate_to_sql(authorship_db, query)
+        assert "GROUP BY A, B" in sql
+        assert "HAVING count_P >= 2" in sql
+        assert "count(P) AS count_P" in sql
+
+    def test_count_distinct_renders_distinct(self, authorship_db):
+        query = AggregateQuery(
+            query=_coauthor_inner(),
+            group_by=["A", "B"],
+            aggregates=[AggregateSpec("count_distinct", "P")],
+        )
+        sql = aggregate_to_sql(authorship_db, query)
+        assert "count(DISTINCT P)" in sql

@@ -1,0 +1,70 @@
+"""Tests for repro.relational.catalog (the planner's statistics source)."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.database import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database("stats")
+    db.create_table("R", [("k", "int"), ("v", "int")])
+    db.create_table("S", [("k", "int"), ("w", "int")])
+    db.insert("R", [(i % 5, i) for i in range(50)])       # k has 5 distinct values
+    db.insert("S", [(i % 10, i) for i in range(100)])     # k has 10 distinct values
+    return db
+
+
+class TestColumnStats:
+    def test_row_count_and_distinct(self, db):
+        assert db.catalog.row_count("R") == 50
+        assert db.catalog.n_distinct("R", "k") == 5
+        assert db.catalog.n_distinct("R", "v") == 50
+
+    def test_selectivity_definition(self, db):
+        # Table 6 definition: distinct / rows
+        assert db.catalog.selectivity("R", "k") == pytest.approx(5 / 50)
+        assert db.catalog.selectivity("S", "k") == pytest.approx(10 / 100)
+
+    def test_avg_rows_per_value(self, db):
+        stats = db.catalog.column_stats("R", "k")
+        assert stats.avg_rows_per_value == pytest.approx(10.0)
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SchemaError):
+            db.catalog.column_stats("R", "nope")
+
+    def test_refresh_after_insert(self, db):
+        db.insert("R", [(99, 999)])
+        assert db.catalog.n_distinct("R", "k") == 6
+
+
+class TestJoinEstimates:
+    def test_estimated_join_output_uses_max_distinct(self, db):
+        # |R| * |S| / max(d_R, d_S) = 50 * 100 / 10
+        assert db.catalog.estimated_join_output("R", "k", "S", "k") == pytest.approx(500.0)
+
+    def test_large_output_join_decision(self, db):
+        # threshold = 2 * (50 + 100) = 300 < 500 -> large output
+        assert db.catalog.is_large_output_join("R", "k", "S", "k")
+        # a very permissive factor flips the decision
+        assert not db.catalog.is_large_output_join("R", "k", "S", "k", threshold_factor=10.0)
+
+    def test_key_like_join_is_small(self, db):
+        # joining on R.v (all distinct) is essentially a key join
+        assert not db.catalog.is_large_output_join("R", "v", "S", "w")
+
+    def test_empty_table_estimate(self):
+        db = Database("empty")
+        db.create_table("E", [("a", "int")])
+        db.create_table("F", [("a", "int")])
+        assert db.catalog.estimated_join_output("E", "a", "F", "a") == 0.0
+        stats = db.catalog.column_stats("E", "a")
+        assert stats.selectivity == 0.0
+        assert stats.avg_rows_per_value == 0.0
+
+    def test_summary_contains_all_tables(self, db):
+        summary = db.catalog.summary()
+        assert summary["R"]["__rows__"] == 50
+        assert summary["S"]["k"] == 10

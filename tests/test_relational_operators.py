@@ -1,0 +1,66 @@
+"""Tests for the physical operators in repro.relational.operators."""
+
+import pytest
+
+from repro.relational.operators import (
+    count,
+    distinct,
+    hash_join,
+    nested_loop_join,
+    project,
+    scan,
+    select,
+    semi_join,
+)
+
+
+class TestUnaryOperators:
+    def test_scan_yields_tuples(self):
+        assert list(scan([[1, 2], (3, 4)])) == [(1, 2), (3, 4)]
+
+    def test_select(self):
+        rows = [(1, "a"), (2, "b"), (3, "a")]
+        assert list(select(rows, lambda r: r[1] == "a")) == [(1, "a"), (3, "a")]
+
+    def test_project(self):
+        rows = [(1, "a", True), (2, "b", False)]
+        assert list(project(rows, [2, 0])) == [(True, 1), (False, 2)]
+
+    def test_distinct_preserves_first_seen_order(self):
+        rows = [(1,), (2,), (1,), (3,), (2,)]
+        assert list(distinct(rows)) == [(1,), (2,), (3,)]
+
+    def test_count(self):
+        assert count(iter([(1,), (2,)])) == 2
+        assert count([]) == 0
+
+
+class TestJoins:
+    LEFT = [(1, "x"), (2, "y"), (3, "z")]
+    RIGHT = [("x", 10), ("x", 11), ("z", 12)]
+
+    def test_hash_join_single_key(self):
+        result = sorted(hash_join(self.LEFT, self.RIGHT, 1, 0))
+        assert result == [(1, "x", "x", 10), (1, "x", "x", 11), (3, "z", "z", 12)]
+
+    def test_hash_join_matches_nested_loop(self):
+        expected = sorted(nested_loop_join(self.LEFT, self.RIGHT, lambda l, r: l[1] == r[0]))
+        assert sorted(hash_join(self.LEFT, self.RIGHT, 1, 0)) == expected
+
+    def test_hash_join_multi_key(self):
+        left = [(1, "a", 1), (2, "b", 2)]
+        right = [("a", 1, "hit"), ("a", 2, "miss")]
+        result = list(hash_join(left, right, (1, 2), (0, 1)))
+        assert result == [(1, "a", 1, "a", 1, "hit")]
+
+    def test_hash_join_key_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            list(hash_join(self.LEFT, self.RIGHT, (0, 1), 0))
+
+    def test_hash_join_empty_sides(self):
+        assert list(hash_join([], self.RIGHT, 0, 0)) == []
+        assert list(hash_join(self.LEFT, [], 0, 0)) == []
+
+    def test_semi_join(self):
+        result = list(semi_join(self.LEFT, self.RIGHT, 1, 0))
+        assert result == [(1, "x"), (3, "z")]

@@ -1,0 +1,97 @@
+"""Tests for SQL generation and the SQLite backend (cross-engine parity)."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.relational.database import Database
+from repro.relational.query import Comparison, ConjunctiveQuery, Const, QueryAtom, evaluate
+from repro.relational.sql import create_table_sql, to_sql
+from repro.relational.sqlite_backend import SQLiteBackend
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database("sqltest")
+    db.create_table("Author", [("id", "int"), ("name", "str")], primary_key="id")
+    db.create_table("AuthorPub", [("aid", "int"), ("pid", "int")])
+    db.insert("Author", [(1, "alice"), (2, "bob"), (3, "o'malley")])
+    db.insert("AuthorPub", [(1, 10), (2, 10), (3, 11), (1, 11)])
+    return db
+
+
+COAUTHOR = ConjunctiveQuery(
+    ["ID1", "ID2"],
+    [QueryAtom("AuthorPub", ("ID1", "P")), QueryAtom("AuthorPub", ("ID2", "P"))],
+)
+
+
+class TestSqlGeneration:
+    def test_basic_select(self, db):
+        query = ConjunctiveQuery(["ID", "Name"], [QueryAtom("Author", ("ID", "Name"))])
+        sql = to_sql(db, query)
+        assert sql == "SELECT DISTINCT A.id AS ID, A.name AS Name FROM Author A;"
+
+    def test_self_join_aliases(self, db):
+        sql = to_sql(db, COAUTHOR)
+        assert "AuthorPub A" in sql and "AuthorPub B" in sql
+        assert "A.pid = B.pid" in sql
+
+    def test_constant_and_comparison_literals(self, db):
+        query = ConjunctiveQuery(
+            ["ID"],
+            [QueryAtom("Author", ("ID", Const("o'malley")))],
+        )
+        sql = to_sql(db, query)
+        assert "= 'o''malley'" in sql  # quotes are escaped
+
+        query2 = ConjunctiveQuery(
+            ["ID1"],
+            [QueryAtom("AuthorPub", ("ID1", "P"))],
+            [Comparison("P", ">=", 11)],
+        )
+        assert "A.pid >= 11" in to_sql(db, query2)
+
+    def test_no_distinct_option(self, db):
+        query = ConjunctiveQuery(["ID"], [QueryAtom("Author", ("ID", None))])
+        assert "DISTINCT" not in to_sql(db, query, use_distinct=False)
+
+    def test_arity_mismatch_raises(self, db):
+        query = ConjunctiveQuery(["X"], [QueryAtom("Author", ("X",))])
+        with pytest.raises(QueryError):
+            to_sql(db, query)
+
+    def test_create_table_sql(self, db):
+        sql = create_table_sql(db, "Author")
+        assert sql == "CREATE TABLE Author (id INTEGER, name TEXT);"
+
+
+class TestSQLiteBackend:
+    def test_row_counts_and_distinct(self, db):
+        with SQLiteBackend(db) as backend:
+            assert backend.row_count("AuthorPub") == 4
+            assert backend.n_distinct("AuthorPub", "pid") == 2
+
+    def test_query_parity_with_python_executor(self, db):
+        with SQLiteBackend(db) as backend:
+            assert set(backend.evaluate(COAUTHOR)) == set(evaluate(db, COAUTHOR))
+
+    def test_parity_with_selection(self, db):
+        query = ConjunctiveQuery(
+            ["ID1", "ID2"],
+            [QueryAtom("AuthorPub", ("ID1", "P")), QueryAtom("AuthorPub", ("ID2", "P"))],
+            [Comparison("P", "=", 10)],
+        )
+        with SQLiteBackend(db) as backend:
+            assert set(backend.evaluate(query)) == set(evaluate(db, query))
+
+    def test_bad_sql_raises_query_error(self, db):
+        with SQLiteBackend(db) as backend:
+            with pytest.raises(QueryError):
+                backend.execute_sql("SELECT nonsense FROM nothing")
+
+    def test_load_is_idempotent(self, db):
+        backend = SQLiteBackend(db)
+        backend.load()
+        backend.load()
+        assert backend.row_count("Author") == 3
+        backend.close()

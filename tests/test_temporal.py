@@ -1,0 +1,120 @@
+"""Tests for the temporal graph analytics helpers."""
+
+import pytest
+
+from repro.core import GraphGen
+from repro.exceptions import GraphGenError
+from repro.graph.expanded import ExpandedGraph
+from repro.relational.database import Database
+from repro.temporal import extract_snapshots, snapshot_diff, temporal_metrics
+
+
+@pytest.fixture
+def yearly_dblp() -> Database:
+    """A DBLP-style database with publication years for temporal slicing."""
+    db = Database("yearly")
+    db.create_table("Author", [("id", "int"), ("name", "str")], primary_key="id")
+    db.create_table("Pub", [("pid", "int"), ("year", "int")], primary_key="pid")
+    db.create_table("AuthorPub", [("aid", "int"), ("pid", "int")])
+    db.insert("Author", [(i, f"author_{i}") for i in range(1, 6)])
+    db.insert("Pub", [(1, 2015), (2, 2015), (3, 2016), (4, 2016)])
+    # 2015: {1,2} and {2,3}; 2016: {1,2,3} and {4,5}
+    db.insert(
+        "AuthorPub",
+        [(1, 1), (2, 1), (2, 2), (3, 2), (1, 3), (2, 3), (3, 3), (4, 4), (5, 4)],
+    )
+    return db
+
+
+TEMPORAL_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), Pub(P, Year), Year = {period}.
+"""
+
+
+def _graph(edges, vertices=()):
+    directed = []
+    for u, v in edges:
+        directed.append((u, v))
+        directed.append((v, u))
+    return ExpandedGraph.from_edges(directed, vertices=vertices)
+
+
+class TestExtractSnapshots:
+    def test_one_graph_per_period(self, yearly_dblp):
+        gg = GraphGen(yearly_dblp)
+        snapshots = extract_snapshots(gg, TEMPORAL_QUERY, periods=[2015, 2016])
+        assert set(snapshots) == {2015, 2016}
+        g2015, g2016 = snapshots[2015], snapshots[2016]
+        assert g2015.exists_edge(1, 2) and g2015.exists_edge(2, 3)
+        assert not g2015.exists_edge(1, 3)
+        assert g2016.exists_edge(1, 3)
+        assert g2016.exists_edge(4, 5)
+
+    def test_mapping_periods_with_custom_parameters(self, yearly_dblp):
+        gg = GraphGen(yearly_dblp)
+        snapshots = extract_snapshots(
+            gg, TEMPORAL_QUERY, periods={"early": {"period": 2015}, "late": {"period": 2016}}
+        )
+        assert set(snapshots) == {"early", "late"}
+
+    def test_missing_template_parameter_raises(self, yearly_dblp):
+        gg = GraphGen(yearly_dblp)
+        with pytest.raises(GraphGenError):
+            extract_snapshots(gg, TEMPORAL_QUERY, periods={"p": {"year": 2015}})
+
+
+class TestSnapshotDiff:
+    def test_added_and_removed(self):
+        old = _graph([(1, 2), (2, 3)])
+        new = _graph([(1, 2), (3, 4)], vertices=[2])
+        diff = snapshot_diff(old, new)
+        assert (3, 4) in diff.added_edges and (4, 3) in diff.added_edges
+        assert (2, 3) in diff.removed_edges
+        assert diff.added_vertices == {4}
+        assert diff.removed_vertices == set()
+        assert diff.common_vertices == 3
+
+    def test_identical_graphs(self):
+        graph = _graph([(1, 2)])
+        diff = snapshot_diff(graph, graph)
+        assert diff.vertex_jaccard == 1.0
+        assert diff.edge_jaccard == 1.0
+        assert not diff.added_edges and not diff.removed_edges
+
+    def test_empty_graphs(self):
+        diff = snapshot_diff(ExpandedGraph(), ExpandedGraph())
+        assert diff.vertex_jaccard == 1.0
+        assert diff.edge_jaccard == 1.0
+
+    def test_jaccard_values(self):
+        old = _graph([(1, 2)])
+        new = _graph([(1, 2), (2, 3)])
+        diff = snapshot_diff(old, new)
+        # edges: old {12,21}, new {12,21,23,32} -> jaccard 2/4
+        assert diff.edge_jaccard == pytest.approx(0.5)
+        assert diff.vertex_jaccard == pytest.approx(2 / 3)
+
+
+class TestTemporalMetrics:
+    def test_rows_in_order_with_turnover(self, yearly_dblp):
+        gg = GraphGen(yearly_dblp)
+        snapshots = extract_snapshots(gg, TEMPORAL_QUERY, periods=[2015, 2016])
+        rows = temporal_metrics(snapshots)
+        assert [row["period"] for row in rows] == [2015, 2016]
+        assert "edge_jaccard" not in rows[0]
+        assert rows[1]["previous_period"] == 2015
+        assert 0.0 <= rows[1]["edge_jaccard"] <= 1.0
+        assert rows[1]["new_edges"] > 0
+
+    def test_density_single_vertex(self):
+        graph = ExpandedGraph()
+        graph.add_vertex("a")
+        rows = temporal_metrics({"only": graph})
+        assert rows[0]["density"] == 0.0
+
+    def test_growing_graph_density(self):
+        sparse = _graph([(1, 2)], vertices=[3, 4])
+        dense = _graph([(1, 2), (1, 3), (2, 3), (1, 4), (2, 4), (3, 4)])
+        rows = temporal_metrics({"t0": sparse, "t1": dense})
+        assert rows[1]["density"] > rows[0]["density"]

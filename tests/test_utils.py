@@ -1,0 +1,115 @@
+"""Tests for the utility helpers (timing, memory model, seeded RNG)."""
+
+import time
+
+import pytest
+
+from repro.utils import (
+    SeededRandom,
+    Timer,
+    deep_size_of,
+    estimate_adjacency_bytes,
+    estimate_bitmap_bytes,
+    format_bytes,
+    timed,
+    time_call,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_accumulates_across_runs(self):
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        first = timer.elapsed
+        timer.start()
+        timer.stop()
+        assert timer.elapsed >= first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_timed_context_records_into_sink(self):
+        sink: dict[str, float] = {}
+        with timed("section", sink):
+            pass
+        assert "section" in sink and sink["section"] >= 0.0
+
+    def test_time_call(self):
+        result, seconds = time_call(lambda: 41 + 1)
+        assert result == 42 and seconds >= 0.0
+
+
+class TestMemoryModel:
+    def test_adjacency_estimate_monotone(self):
+        small = estimate_adjacency_bytes(10, 20)
+        large = estimate_adjacency_bytes(10, 200)
+        assert large > small
+        with pytest.raises(ValueError):
+            estimate_adjacency_bytes(-1, 0)
+
+    def test_bitmap_estimate(self):
+        assert estimate_bitmap_bytes([]) == 0
+        assert estimate_bitmap_bytes([(4, 16)]) > 0
+        with pytest.raises(ValueError):
+            estimate_bitmap_bytes([(-1, 8)])
+
+    def test_deep_size_handles_shared_references(self):
+        shared = [1, 2, 3]
+        container = {"a": shared, "b": shared}
+        assert deep_size_of(container) > 0
+        # a cycle must not recurse forever
+        cyclic: list = []
+        cyclic.append(cyclic)
+        assert deep_size_of(cyclic) > 0
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert "GiB" in format_bytes(3 * 1024**3)
+
+
+class TestSeededRandom:
+    def test_reproducible(self):
+        a = SeededRandom(3)
+        b = SeededRandom(3)
+        assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+    def test_sample_larger_than_population(self):
+        rng = SeededRandom(1)
+        assert sorted(rng.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_gauss_int_clamps(self):
+        rng = SeededRandom(2)
+        values = [rng.gauss_int(2, 5, minimum=1) for _ in range(200)]
+        assert min(values) >= 1
+
+    def test_zipf_int_range_and_skew(self):
+        rng = SeededRandom(4)
+        values = [rng.zipf_int(1.5, 50) for _ in range(2000)]
+        assert all(1 <= v <= 50 for v in values)
+        # skew towards small values
+        assert sum(1 for v in values if v <= 10) > sum(1 for v in values if v > 40)
+        with pytest.raises(ValueError):
+            rng.zipf_int(1.0, 0)
+
+    def test_spawn_independent_but_deterministic(self):
+        parent_a = SeededRandom(9)
+        parent_b = SeededRandom(9)
+        child_a = parent_a.spawn()
+        child_b = parent_b.spawn()
+        assert child_a.randint(0, 1000) == child_b.randint(0, 1000)

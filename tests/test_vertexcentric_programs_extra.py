@@ -1,0 +1,85 @@
+"""Tests for the SSSP and label-propagation vertex-centric programs."""
+
+import pytest
+
+from repro.algorithms.bfs import bfs_distances
+from repro.dedup import deduplicate_dedup1, preprocess_bitmap
+from repro.graph.cdup import CDupGraph
+from repro.graph.expanded import ExpandedGraph
+from repro.vertexcentric import run_label_propagation, run_sssp
+
+
+def _undirected(edges):
+    directed = []
+    for u, v in edges:
+        directed.append((u, v))
+        directed.append((v, u))
+    return ExpandedGraph.from_edges(directed)
+
+
+@pytest.fixture
+def two_cliques_bridge():
+    """Two 4-cliques {0..3} and {10..13} joined by the edge 3-10."""
+    edges = []
+    for group in (range(0, 4), range(10, 14)):
+        members = list(group)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                edges.append((u, v))
+    edges.append((3, 10))
+    return _undirected(edges)
+
+
+class TestSSSPProgram:
+    def test_matches_bfs_distances(self, two_cliques_bridge):
+        distances, stats = run_sssp(two_cliques_bridge, source=0)
+        expected = bfs_distances(two_cliques_bridge, 0)
+        for vertex, distance in expected.items():
+            assert distances[vertex] == distance
+        assert stats.halted_early
+
+    def test_unreachable_vertices_are_none(self):
+        graph = _undirected([(0, 1)])
+        graph.add_vertex(9)
+        distances, _ = run_sssp(graph, source=0)
+        assert distances[9] is None
+        assert distances[1] == 1
+
+    def test_runs_on_every_representation(self, figure1_condensed):
+        representations = [
+            CDupGraph(figure1_condensed),
+            deduplicate_dedup1(figure1_condensed.copy()),
+            preprocess_bitmap(figure1_condensed.copy()),
+        ]
+        expected = bfs_distances(representations[0], 1)
+        for graph in representations:
+            distances, _ = run_sssp(graph, source=1)
+            for vertex, distance in expected.items():
+                assert distances[vertex] == distance
+
+
+class TestLabelPropagationProgram:
+    def test_two_cliques_form_two_communities(self, two_cliques_bridge):
+        communities, stats = run_label_propagation(two_cliques_bridge, max_supersteps=30)
+        left = {communities[v] for v in range(0, 4)}
+        right = {communities[v] for v in range(10, 14)}
+        assert len(left) == 1
+        assert len(right) == 1
+        assert stats.supersteps <= 30
+
+    def test_isolated_vertex_keeps_own_label(self):
+        graph = _undirected([(0, 1)])
+        graph.add_vertex(42)
+        communities, _ = run_label_propagation(graph)
+        assert communities[42] is not None
+        assert communities[42] not in (communities[0], communities[1])
+
+    def test_deterministic_across_runs(self, two_cliques_bridge):
+        first, _ = run_label_propagation(two_cliques_bridge)
+        second, _ = run_label_propagation(two_cliques_bridge)
+        assert first == second
+
+    def test_runs_on_condensed_representation(self, figure1_condensed):
+        communities, _ = run_label_propagation(CDupGraph(figure1_condensed))
+        # the co-author graph is connected, labels exist for every author
+        assert set(communities) == {1, 2, 3, 4, 5, 6}
