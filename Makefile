@@ -1,0 +1,23 @@
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test bench smoke all help
+
+help:
+	@echo "make test   - fast unit/integration suite (tests/)"
+	@echo "make bench  - paper benchmark reproductions (benchmarks/, slow)"
+	@echo "make smoke  - seconds-fast sanity subset (kernel, parity, algorithms)"
+	@echo "make all    - everything (tier-1 equivalent)"
+
+test:
+	$(PYTEST) -q tests/
+
+bench:
+	$(PYTEST) -q benchmarks/
+
+smoke:
+	$(PYTEST) -q tests/test_kernel.py tests/test_representation_parity.py \
+		tests/test_algorithms.py tests/test_graph_representations.py
+
+all:
+	$(PYTEST) -q

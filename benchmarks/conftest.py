@@ -30,6 +30,18 @@ from repro.datasets import (
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ with the ``bench`` marker, so the
+    fast default is ``pytest tests/`` (or ``-m 'not bench'``) and benchmarks
+    stay opt-in via ``make bench``."""
+    for item in items:
+        if str(item.path).startswith(str(_BENCH_DIR)):
+            item.add_marker(pytest.mark.bench)
+
+
 def record_rows(artefact: str, title: str, rows: Iterable[Mapping[str, object]]) -> None:
     """Append a formatted table of ``rows`` to the artefact's results file."""
     rows = list(rows)

@@ -1,66 +1,60 @@
-"""Breadth-first search over the Graph API.
+"""Breadth-first search over the CSR execution kernel.
 
 BFS is one of the paper's three benchmark algorithms; it is also
 duplicate-insensitive, i.e. it returns correct results even when run directly
 on C-DUP without deduplication (Section 4.1).
+
+Each public function encodes the graph into its cached
+:class:`~repro.graph.kernel.CSRGraph` snapshot, runs an integer-frontier
+kernel, and decodes at the boundary.  Repeated BFS calls on the same graph —
+the Figure 11 workload runs 50 sources — share one snapshot, so only the
+first call pays the encoding cost.  Discovery order matches the pre-kernel
+FIFO implementation exactly (level-synchronous expansion in target order).
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.exceptions import RepresentationError
 from repro.graph.api import Graph, VertexId
+from repro.graph.kernel import (
+    bfs_distances_kernel,
+    bfs_order_kernel,
+    bfs_parents_kernel,
+)
+
+
+def _encode_source(graph: Graph, source: VertexId) -> tuple:
+    csr = graph.snapshot()
+    if not csr.has_vertex(source):
+        raise RepresentationError(f"BFS source {source!r} is not in the graph")
+    return csr, csr.index(source)
 
 
 def bfs_distances(graph: Graph, source: VertexId, max_depth: int | None = None) -> dict[VertexId, int]:
     """Hop distance from ``source`` to every reachable vertex (including itself)."""
-    if not graph.has_vertex(source):
-        raise RepresentationError(f"BFS source {source!r} is not in the graph")
-    distances: dict[VertexId, int] = {source: 0}
-    queue: deque[VertexId] = deque([source])
-    while queue:
-        current = queue.popleft()
-        depth = distances[current]
-        if max_depth is not None and depth >= max_depth:
-            continue
-        for neighbor in graph.get_neighbors(current):
-            if neighbor not in distances:
-                distances[neighbor] = depth + 1
-                queue.append(neighbor)
-    return distances
+    csr, src = _encode_source(graph, source)
+    distances = bfs_distances_kernel(csr, src, max_depth=max_depth)
+    ids = csr.external_ids
+    return {ids[v]: d for v, d in enumerate(distances) if d >= 0}
 
 
 def bfs_order(graph: Graph, source: VertexId) -> list[VertexId]:
     """Vertices in BFS visit order starting from ``source``."""
-    if not graph.has_vertex(source):
-        raise RepresentationError(f"BFS source {source!r} is not in the graph")
-    visited: set[VertexId] = {source}
-    order: list[VertexId] = [source]
-    queue: deque[VertexId] = deque([source])
-    while queue:
-        current = queue.popleft()
-        for neighbor in graph.get_neighbors(current):
-            if neighbor not in visited:
-                visited.add(neighbor)
-                order.append(neighbor)
-                queue.append(neighbor)
-    return order
+    csr, src = _encode_source(graph, source)
+    ids = csr.external_ids
+    return [ids[v] for v in bfs_order_kernel(csr, src)]
 
 
 def bfs_tree(graph: Graph, source: VertexId) -> dict[VertexId, VertexId | None]:
     """Parent pointers of a BFS tree rooted at ``source`` (root maps to None)."""
-    if not graph.has_vertex(source):
-        raise RepresentationError(f"BFS source {source!r} is not in the graph")
-    parents: dict[VertexId, VertexId | None] = {source: None}
-    queue: deque[VertexId] = deque([source])
-    while queue:
-        current = queue.popleft()
-        for neighbor in graph.get_neighbors(current):
-            if neighbor not in parents:
-                parents[neighbor] = current
-                queue.append(neighbor)
-    return parents
+    csr, src = _encode_source(graph, source)
+    parents = bfs_parents_kernel(csr, src)
+    ids = csr.external_ids
+    return {
+        ids[v]: (None if p == -1 else ids[p])
+        for v, p in enumerate(parents)
+        if p != -2
+    }
 
 
 def reachable_set(graph: Graph, source: VertexId) -> set[VertexId]:
@@ -70,11 +64,18 @@ def reachable_set(graph: Graph, source: VertexId) -> set[VertexId]:
 
 def shortest_path(graph: Graph, source: VertexId, target: VertexId) -> list[VertexId] | None:
     """A shortest (unweighted) path from ``source`` to ``target``; None if unreachable."""
-    parents = bfs_tree(graph, source)
-    if target not in parents:
+    csr, src = _encode_source(graph, source)
+    if not csr.has_vertex(target):
         return None
-    path: list[VertexId] = [target]
-    while parents[path[-1]] is not None:
-        path.append(parents[path[-1]])  # type: ignore[arg-type]
+    parents = bfs_parents_kernel(csr, src)
+    dst = csr.index(target)
+    if parents[dst] == -2:
+        return None
+    ids = csr.external_ids
+    path = [ids[dst]]
+    current = dst
+    while parents[current] != -1:
+        current = parents[current]
+        path.append(ids[current])
     path.reverse()
     return path

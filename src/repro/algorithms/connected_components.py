@@ -1,43 +1,54 @@
-"""Connected components (weak connectivity) over the Graph API.
+"""Connected components (weak connectivity) over the CSR execution kernel.
 
 Connected components is duplicate-insensitive, so the paper runs it directly
 on C-DUP and even exploits the condensed topology in the Giraph port for a
 speed-up (Section 6.4).
+
+The kernel is an integer union-find (path halving + union by size) over the
+dense snapshot indexes; component labels are assigned in vertex discovery
+order exactly as the pre-kernel implementation did, so results are identical.
 """
 
 from __future__ import annotations
 
 from repro.graph.api import Graph, VertexId
+from repro.graph.kernel import CSRGraph
 
 
-class _UnionFind:
-    """Standard union-find with path compression and union by size."""
+def _components_kernel(csr: CSRGraph) -> list[int]:
+    """Component index (0-based, ordered by first vertex) per dense index."""
+    n = csr.n
+    parent = list(range(n))
+    size = [1] * n
+    offsets = csr.offsets_list
+    targets = csr.targets_list
 
-    def __init__(self) -> None:
-        self._parent: dict[VertexId, VertexId] = {}
-        self._size: dict[VertexId, int] = {}
+    def find(item: int) -> int:
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]  # path halving
+            item = parent[item]
+        return item
 
-    def add(self, item: VertexId) -> None:
-        if item not in self._parent:
-            self._parent[item] = item
-            self._size[item] = 1
+    for u in range(n):
+        for e in range(offsets[u], offsets[u + 1]):
+            ra = find(u)
+            rb = find(targets[e])
+            if ra == rb:
+                continue
+            if size[ra] < size[rb]:
+                ra, rb = rb, ra
+            parent[rb] = ra
+            size[ra] += size[rb]
 
-    def find(self, item: VertexId) -> VertexId:
-        root = item
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[item] != root:
-            self._parent[item], item = root, self._parent[item]
-        return root
-
-    def union(self, a: VertexId, b: VertexId) -> None:
-        ra, rb = self.find(a), self.find(b)
-        if ra == rb:
-            return
-        if self._size[ra] < self._size[rb]:
-            ra, rb = rb, ra
-        self._parent[rb] = ra
-        self._size[ra] += self._size[rb]
+    labels = [0] * n
+    component_of_root: dict[int, int] = {}
+    for v in range(n):
+        root = find(v)
+        label = component_of_root.get(root)
+        if label is None:
+            label = component_of_root[root] = len(component_of_root)
+        labels[v] = label
+    return labels
 
 
 def connected_components(graph: Graph) -> dict[VertexId, int]:
@@ -45,44 +56,34 @@ def connected_components(graph: Graph) -> dict[VertexId, int]:
 
     Edges are treated as undirected (weak connectivity).
     """
-    uf = _UnionFind()
-    for vertex in graph.get_vertices():
-        uf.add(vertex)
-    for vertex in graph.get_vertices():
-        for neighbor in graph.get_neighbors(vertex):
-            uf.add(neighbor)
-            uf.union(vertex, neighbor)
-
-    labels: dict[VertexId, int] = {}
-    component_of_root: dict[VertexId, int] = {}
-    for vertex in graph.get_vertices():
-        root = uf.find(vertex)
-        if root not in component_of_root:
-            component_of_root[root] = len(component_of_root)
-        labels[vertex] = component_of_root[root]
-    return labels
+    csr = graph.snapshot()
+    return csr.decode(_components_kernel(csr))
 
 
 def component_sizes(graph: Graph) -> list[int]:
     """Sizes of all components, largest first."""
-    labels = connected_components(graph)
+    labels = _components_kernel(graph.snapshot())
     counts: dict[int, int] = {}
-    for label in labels.values():
+    for label in labels:
         counts[label] = counts.get(label, 0) + 1
     return sorted(counts.values(), reverse=True)
 
 
 def num_components(graph: Graph) -> int:
-    return len(set(connected_components(graph).values()))
+    csr = graph.snapshot()
+    labels = _components_kernel(csr)
+    return len(set(labels))
 
 
 def largest_component(graph: Graph) -> set[VertexId]:
     """The vertex set of the largest component (empty set for empty graphs)."""
-    labels = connected_components(graph)
+    csr = graph.snapshot()
+    labels = _components_kernel(csr)
     if not labels:
         return set()
     counts: dict[int, int] = {}
-    for label in labels.values():
+    for label in labels:
         counts[label] = counts.get(label, 0) + 1
     biggest = max(counts, key=lambda label: counts[label])
-    return {vertex for vertex, label in labels.items() if label == biggest}
+    ids = csr.external_ids
+    return {ids[v] for v, label in enumerate(labels) if label == biggest}

@@ -1,8 +1,12 @@
 """Degree computation.
 
 Trivial on EXP; on condensed representations it exercises the neighbor
-iterator, which is exactly why the paper uses it as one of its three
+machinery, which is exactly why the paper uses it as one of its three
 benchmark algorithms (Figures 11 and 13, Table 3, Table 4).
+
+Whole-graph variants read degrees straight off the CSR snapshot's offset
+array; :func:`degree_of` keeps the single-vertex Graph-API path so that one
+lookup never forces a full snapshot of a cold graph.
 """
 
 from __future__ import annotations
@@ -12,29 +16,31 @@ from repro.graph.api import Graph, VertexId
 
 def degrees(graph: Graph) -> dict[VertexId, int]:
     """Out-degree of every vertex (logical, duplicates removed)."""
-    return {vertex: graph.degree(vertex) for vertex in graph.get_vertices()}
+    csr = graph.snapshot()
+    return csr.decode(csr.degrees())
 
 
 def degree_of(graph: Graph, vertex: VertexId) -> int:
     """Out-degree of a single vertex."""
+    csr = graph.cached_snapshot()
+    if csr is not None:
+        return csr.out_degree(csr.index(vertex))
     return graph.degree(vertex)
 
 
 def average_degree(graph: Graph) -> float:
     """Mean out-degree (0.0 for an empty graph)."""
-    total = 0
-    count = 0
-    for vertex in graph.get_vertices():
-        total += graph.degree(vertex)
-        count += 1
-    return total / count if count else 0.0
+    csr = graph.snapshot()
+    if csr.n == 0:
+        return 0.0
+    return csr.num_edges / csr.n
 
 
 def max_degree_vertex(graph: Graph) -> tuple[VertexId, int] | None:
     """The vertex with the largest out-degree, or ``None`` for an empty graph."""
+    csr = graph.snapshot()
     best: tuple[VertexId, int] | None = None
-    for vertex in graph.get_vertices():
-        degree = graph.degree(vertex)
+    for index, degree in enumerate(csr.degrees()):
         if best is None or degree > best[1]:
-            best = (vertex, degree)
+            best = (csr.external_ids[index], degree)
     return best

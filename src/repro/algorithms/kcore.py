@@ -1,4 +1,4 @@
-"""k-core decomposition over the Graph API.
+"""k-core decomposition over the CSR execution kernel.
 
 The paper motivates GraphGen with "complex analysis tasks like community
 detection, dense subgraph detection" that need random access to the graph and
@@ -8,25 +8,49 @@ vertex has degree at least ``k``, and a vertex's *core number* is the largest
 ``k`` for which it belongs to the k-core.
 
 Edges are treated as undirected (the co-occurrence graphs GraphGen extracts
-are symmetric); for directed inputs the union of in- and out-neighbors is
-approximated by the out-neighborhood, which is exact for symmetric graphs.
+are symmetric); the peeling kernel runs over the snapshot's symmetrised
+dense-index adjacency with flat degree/core lists.
 """
 
 from __future__ import annotations
 
 from repro.graph.api import Graph, VertexId
+from repro.graph.kernel import CSRGraph
 
 
-def _undirected_adjacency(graph: Graph) -> dict[VertexId, set[VertexId]]:
-    """Symmetrised adjacency (u~v if u->v or v->u), without self-loops."""
-    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in graph.get_vertices()}
-    for vertex in graph.get_vertices():
-        for neighbor in graph.get_neighbors(vertex):
-            if neighbor == vertex:
+def _core_numbers_kernel(csr: CSRGraph) -> list[int]:
+    """Core number per dense index (Batagelj–Zaveršnik peeling)."""
+    adjacency = csr.undirected_sets()
+    n = csr.n
+    if n == 0:
+        return []
+    degrees = [len(neighbors) for neighbors in adjacency]
+    max_degree = max(degrees, default=0)
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for vertex, degree in enumerate(degrees):
+        buckets[degree].append(vertex)
+
+    cores = [0] * n
+    removed = bytearray(n)
+    current = 0
+    for degree in range(max_degree + 1):
+        bucket = buckets[degree]
+        while bucket:
+            vertex = bucket.pop()
+            if removed[vertex] or degrees[vertex] != degree:
                 continue
-            adjacency.setdefault(vertex, set()).add(neighbor)
-            adjacency.setdefault(neighbor, set()).add(vertex)
-    return adjacency
+            current = max(current, degree)
+            cores[vertex] = current
+            removed[vertex] = 1
+            for neighbor in adjacency[vertex]:
+                if removed[neighbor]:
+                    continue
+                if degrees[neighbor] > degree:
+                    degrees[neighbor] -= 1
+                    buckets[degrees[neighbor]].append(neighbor)
+    # vertices skipped because their recorded degree was stale get re-processed
+    # through the bucket they were re-appended to; isolated vertices stay 0
+    return cores
 
 
 def core_numbers(graph: Graph) -> dict[VertexId, int]:
@@ -34,53 +58,24 @@ def core_numbers(graph: Graph) -> dict[VertexId, int]:
 
     Runs in ``O(V + E)`` after the adjacency has been symmetrised.
     """
-    adjacency = _undirected_adjacency(graph)
-    degrees = {vertex: len(neighbors) for vertex, neighbors in adjacency.items()}
-    # bucket queue over degrees
-    if not degrees:
-        return {}
-    max_degree = max(degrees.values())
-    buckets: list[list[VertexId]] = [[] for _ in range(max_degree + 1)]
-    for vertex, degree in degrees.items():
-        buckets[degree].append(vertex)
-
-    cores: dict[VertexId, int] = {}
-    removed: set[VertexId] = set()
-    current = 0
-    for degree in range(max_degree + 1):
-        bucket = buckets[degree]
-        while bucket:
-            vertex = bucket.pop()
-            if vertex in removed or degrees[vertex] != degree:
-                continue
-            current = max(current, degree)
-            cores[vertex] = current
-            removed.add(vertex)
-            for neighbor in adjacency[vertex]:
-                if neighbor in removed:
-                    continue
-                if degrees[neighbor] > degree:
-                    degrees[neighbor] -= 1
-                    buckets[degrees[neighbor]].append(neighbor)
-    # vertices skipped because their recorded degree was stale get re-processed
-    # through the bucket they were re-appended to, so every vertex ends up in
-    # ``cores``; isolated vertices have core number 0.
-    for vertex in adjacency:
-        cores.setdefault(vertex, 0)
-    return cores
+    csr = graph.snapshot()
+    return csr.decode(_core_numbers_kernel(csr))
 
 
 def k_core(graph: Graph, k: int) -> set[VertexId]:
     """Vertices of the k-core (maximal subgraph of minimum degree >= k)."""
     if k < 0:
         raise ValueError("k must be non-negative")
-    return {vertex for vertex, core in core_numbers(graph).items() if core >= k}
+    csr = graph.snapshot()
+    cores = _core_numbers_kernel(csr)
+    ids = csr.external_ids
+    return {ids[v] for v, core in enumerate(cores) if core >= k}
 
 
 def degeneracy(graph: Graph) -> int:
     """The graph's degeneracy (the largest k with a non-empty k-core)."""
-    cores = core_numbers(graph)
-    return max(cores.values()) if cores else 0
+    cores = _core_numbers_kernel(graph.snapshot())
+    return max(cores, default=0)
 
 
 def degeneracy_ordering(graph: Graph) -> list[VertexId]:
@@ -89,8 +84,10 @@ def degeneracy_ordering(graph: Graph) -> list[VertexId]:
     A degeneracy ordering is the standard preprocessing step for clique
     enumeration and greedy colouring on the extracted graphs.
     """
-    cores = core_numbers(graph)
-    return sorted(cores, key=lambda vertex: (cores[vertex], repr(vertex)))
+    csr = graph.snapshot()
+    cores = _core_numbers_kernel(csr)
+    ids = csr.external_ids
+    return sorted(ids, key=lambda vertex: (cores[csr.index(vertex)], repr(vertex)))
 
 
 def densest_core(graph: Graph) -> tuple[int, set[VertexId]]:
@@ -98,8 +95,10 @@ def densest_core(graph: Graph) -> tuple[int, set[VertexId]]:
 
     Returns ``(0, set of all vertices)`` for an edgeless graph.
     """
-    cores = core_numbers(graph)
+    csr = graph.snapshot()
+    cores = _core_numbers_kernel(csr)
     if not cores:
         return 0, set()
-    k = max(cores.values())
-    return k, {vertex for vertex, core in cores.items() if core == k}
+    k = max(cores)
+    ids = csr.external_ids
+    return k, {ids[v] for v, core in enumerate(cores) if core == k}

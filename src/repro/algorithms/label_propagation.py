@@ -2,8 +2,12 @@
 
 The paper motivates GraphGen with "complex analysis tasks like community
 detection ... which require random and arbitrary access to the graph"; label
-propagation is the classic lightweight community-detection algorithm and runs
-against the plain Graph API, so it works on every representation.
+propagation is the classic lightweight community-detection algorithm.
+
+The kernel propagates dense integer labels over the CSR snapshot; the
+deterministic tie-break (most frequent label, then smallest ``repr``) is
+evaluated on the external IDs' reprs so the output matches the pre-kernel
+Graph-API implementation exactly, shuffle order included.
 """
 
 from __future__ import annotations
@@ -25,27 +29,32 @@ def label_propagation(
     ``max_iterations`` rounds.
     """
     rng = SeededRandom(seed)
-    vertices = list(graph.get_vertices())
-    labels: dict[VertexId, VertexId] = {v: v for v in vertices}
-    neighbors: dict[VertexId, list[VertexId]] = {v: list(graph.get_neighbors(v)) for v in vertices}
+    csr = graph.snapshot()
+    n = csr.n
+    offsets = csr.offsets_list
+    targets = csr.targets_list
+    reprs = [repr(external) for external in csr.external_ids]
+    labels = list(range(n))
 
     for _ in range(max_iterations):
         changed = 0
-        for vertex in rng.shuffle(list(vertices)):
-            adjacent = neighbors[vertex]
-            if not adjacent:
+        for vertex in rng.shuffle(list(range(n))):
+            start = offsets[vertex]
+            end = offsets[vertex + 1]
+            if start == end:
                 continue
-            counts: dict[VertexId, int] = {}
-            for neighbor in adjacent:
-                label = labels.get(neighbor, neighbor)
+            counts: dict[int, int] = {}
+            for e in range(start, end):
+                label = labels[targets[e]]
                 counts[label] = counts.get(label, 0) + 1
-            best = sorted(counts.items(), key=lambda item: (-item[1], repr(item[0])))[0][0]
+            best = sorted(counts.items(), key=lambda item: (-item[1], reprs[item[0]]))[0][0]
             if best != labels[vertex]:
                 labels[vertex] = best
                 changed += 1
         if changed == 0:
             break
-    return labels
+    ids = csr.external_ids
+    return {ids[v]: ids[label] for v, label in enumerate(labels)}
 
 
 def communities(graph: Graph, max_iterations: int = 20, seed: int = 0) -> list[set[VertexId]]:

@@ -1,14 +1,18 @@
-"""Single-source shortest paths (unweighted and weighted by hop count helpers).
+"""Single-source shortest paths (unweighted) plus eccentricity / diameter
+estimates, executed on the CSR kernel.
 
-These are thin wrappers around BFS plus an eccentricity / diameter estimate
-used by the examples; graph algorithms here only use the Graph API so they run
-on every representation.
+The sampled estimators run the integer BFS kernel once per sampled source
+over the shared snapshot and aggregate distances without materialising
+per-source dictionaries.  Sampling draws from the snapshot's external-ID list
+(the canonical ``get_vertices`` order), keeping the chosen sources identical
+to the pre-kernel implementation for a given seed.
 """
 
 from __future__ import annotations
 
 from repro.algorithms.bfs import bfs_distances
 from repro.graph.api import Graph, VertexId
+from repro.graph.kernel import bfs_distances_kernel
 from repro.utils.rand import SeededRandom
 
 
@@ -19,23 +23,29 @@ def single_source_shortest_paths(graph: Graph, source: VertexId) -> dict[VertexI
 
 def eccentricity(graph: Graph, vertex: VertexId) -> int:
     """Largest hop distance from ``vertex`` to any reachable vertex."""
-    distances = bfs_distances(graph, vertex)
-    return max(distances.values()) if distances else 0
+    csr = graph.snapshot()
+    distances = bfs_distances_kernel(csr, csr.index(vertex))
+    return max(distances, default=0) if csr.n else 0
 
 
 def approximate_diameter(graph: Graph, samples: int = 10, seed: int = 0) -> int:
     """Lower bound on the diameter from BFS at ``samples`` random vertices."""
-    vertices = list(graph.get_vertices())
+    csr = graph.snapshot()
+    vertices = csr.external_ids
     if not vertices:
         return 0
     rng = SeededRandom(seed)
     chosen = rng.sample(vertices, min(samples, len(vertices)))
-    return max(eccentricity(graph, vertex) for vertex in chosen)
+    return max(
+        max(bfs_distances_kernel(csr, csr.index(vertex)), default=0)
+        for vertex in chosen
+    )
 
 
 def average_path_length(graph: Graph, samples: int = 10, seed: int = 0) -> float:
     """Average hop distance over BFS trees rooted at sampled vertices."""
-    vertices = list(graph.get_vertices())
+    csr = graph.snapshot()
+    vertices = csr.external_ids
     if not vertices:
         return 0.0
     rng = SeededRandom(seed)
@@ -43,8 +53,9 @@ def average_path_length(graph: Graph, samples: int = 10, seed: int = 0) -> float
     total = 0.0
     count = 0
     for vertex in chosen:
-        distances = bfs_distances(graph, vertex)
-        reachable = [d for node, d in distances.items() if node != vertex]
-        total += sum(reachable)
-        count += len(reachable)
+        source = csr.index(vertex)
+        for node, distance in enumerate(bfs_distances_kernel(csr, source)):
+            if node != source and distance > 0:
+                total += distance
+                count += 1
     return total / count if count else 0.0

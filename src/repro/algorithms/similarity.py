@@ -6,7 +6,9 @@ entities; these functions are the building blocks of "who should collaborate
 next" style analyses the paper's introduction motivates.
 
 All measures use out-neighborhoods, which equal the undirected neighborhoods
-on the symmetric graphs GraphGen extracts.
+on the symmetric graphs GraphGen extracts.  Neighborhoods are dense-index
+sets read off the CSR snapshot, so pairwise scoring is integer set
+intersection; external IDs only appear at the decode boundary.
 """
 
 from __future__ import annotations
@@ -15,25 +17,36 @@ import math
 from itertools import combinations
 
 from repro.graph.api import Graph, VertexId
+from repro.graph.kernel import CSRGraph
 
 
-def _neighborhood(graph: Graph, vertex: VertexId) -> set[VertexId]:
-    return {neighbor for neighbor in graph.get_neighbors(vertex) if neighbor != vertex}
+def _neighborhood_index(csr: CSRGraph, index: int) -> set[int]:
+    """Out-neighborhood of a dense index, excluding the vertex itself."""
+    neighborhood = csr.neighbor_set(index)
+    neighborhood.discard(index)
+    return neighborhood
 
 
 def common_neighbors(graph: Graph, u: VertexId, v: VertexId) -> set[VertexId]:
     """Vertices adjacent to both ``u`` and ``v`` (excluding ``u``/``v`` themselves)."""
-    shared = _neighborhood(graph, u) & _neighborhood(graph, v)
-    return shared - {u, v}
+    csr = graph.snapshot()
+    iu, iv = csr.index(u), csr.index(v)
+    shared = _neighborhood_index(csr, iu) & _neighborhood_index(csr, iv)
+    shared.discard(iu)
+    shared.discard(iv)
+    ids = csr.external_ids
+    return {ids[i] for i in shared}
 
 
 def jaccard_coefficient(graph: Graph, u: VertexId, v: VertexId) -> float:
     """``|N(u) ∩ N(v)| / |N(u) ∪ N(v)|`` (0.0 when both neighborhoods are empty)."""
-    nu, nv = _neighborhood(graph, u), _neighborhood(graph, v)
-    union = nu | nv
+    csr = graph.snapshot()
+    nu = _neighborhood_index(csr, csr.index(u))
+    nv = _neighborhood_index(csr, csr.index(v))
+    union = len(nu | nv)
     if not union:
         return 0.0
-    return len(nu & nv) / len(union)
+    return len(nu & nv) / union
 
 
 def adamic_adar(graph: Graph, u: VertexId, v: VertexId) -> float:
@@ -41,9 +54,14 @@ def adamic_adar(graph: Graph, u: VertexId, v: VertexId) -> float:
 
     Common neighbors of degree <= 1 contribute nothing (their log is 0).
     """
+    csr = graph.snapshot()
+    iu, iv = csr.index(u), csr.index(v)
+    shared = _neighborhood_index(csr, iu) & _neighborhood_index(csr, iv)
+    shared.discard(iu)
+    shared.discard(iv)
     score = 0.0
-    for shared in common_neighbors(graph, u, v):
-        degree = len(_neighborhood(graph, shared))
+    for index in shared:
+        degree = len(_neighborhood_index(csr, index))
         if degree > 1:
             score += 1.0 / math.log(degree)
     return score
@@ -51,7 +69,10 @@ def adamic_adar(graph: Graph, u: VertexId, v: VertexId) -> float:
 
 def preferential_attachment(graph: Graph, u: VertexId, v: VertexId) -> int:
     """``|N(u)| * |N(v)|`` — the preferential-attachment link-prediction score."""
-    return len(_neighborhood(graph, u)) * len(_neighborhood(graph, v))
+    csr = graph.snapshot()
+    return len(_neighborhood_index(csr, csr.index(u))) * len(
+        _neighborhood_index(csr, csr.index(v))
+    )
 
 
 SCORES = {
@@ -82,12 +103,16 @@ def link_predictions(
         ) from None
 
     if candidates is None:
+        csr = graph.snapshot()
+        ids = csr.external_ids
+        neighbor_sets = [csr.neighbor_set(i) for i in range(csr.n)]
         candidates = []
         seen: set[tuple[VertexId, VertexId]] = set()
-        for vertex in graph.get_vertices():
-            neighborhood = _neighborhood(graph, vertex)
+        for index in range(csr.n):
+            neighborhood = [ids[i] for i in _neighborhood_index(csr, index)]
             for a, b in combinations(sorted(neighborhood, key=repr), 2):
-                if graph.exists_edge(a, b) or graph.exists_edge(b, a):
+                ia, ib = csr.index(a), csr.index(b)
+                if ib in neighbor_sets[ia] or ia in neighbor_sets[ib]:
                     continue
                 key = (a, b)
                 if key not in seen:

@@ -1,89 +1,75 @@
-"""Triangle counting and clustering coefficients.
+"""Triangle counting and clustering coefficients over the CSR kernel.
 
 Edges are treated as undirected (the out-adjacency is symmetrised first) and
 self-loops are ignored.  Triangle counting is a representative "dense
 subgraph" style workload that exercises neighbor-set intersection rather than
 plain iteration, complementing PageRank and BFS in the example applications.
+
+All functions start from the snapshot's cached symmetrised adjacency
+(:meth:`~repro.graph.kernel.CSRGraph.undirected_sets`) and intersect sets of
+dense integers; the degree-ordered counting scheme is unchanged, with the
+dense index itself serving as the vertex rank.
 """
 
 from __future__ import annotations
 
+from itertools import combinations
+
 from repro.graph.api import Graph, VertexId
-
-
-def _undirected_adjacency(graph: Graph) -> dict[VertexId, set[VertexId]]:
-    """Symmetrised adjacency with self-loops dropped."""
-    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in graph.get_vertices()}
-    for u in list(adjacency):
-        for v in graph.get_neighbors(u):
-            if v == u:
-                continue
-            adjacency.setdefault(v, set())
-            adjacency[u].add(v)
-            adjacency[v].add(u)
-    return adjacency
 
 
 def count_triangles(graph: Graph) -> int:
     """Number of distinct triangles (each counted once)."""
-    adjacency = _undirected_adjacency(graph)
-    order = {vertex: index for index, vertex in enumerate(adjacency)}
+    adjacency = graph.snapshot().undirected_sets()
     total = 0
-    for u, rank_u in order.items():
-        higher_u = {v for v in adjacency[u] if order[v] > rank_u}
+    for u, neighbors in enumerate(adjacency):
+        higher_u = {v for v in neighbors if v > u}
         for v in higher_u:
-            higher_v = {w for w in adjacency[v] if order[w] > order[v]}
-            total += len(higher_u & higher_v)
+            total += sum(1 for w in adjacency[v] if w > v and w in higher_u)
     return total
 
 
 def triangles_per_vertex(graph: Graph) -> dict[VertexId, int]:
     """Number of triangles each vertex participates in."""
-    adjacency = _undirected_adjacency(graph)
-    order = {vertex: index for index, vertex in enumerate(adjacency)}
-    counts: dict[VertexId, int] = {v: 0 for v in adjacency}
-    for u, rank_u in order.items():
-        higher_u = {v for v in adjacency[u] if order[v] > rank_u}
+    csr = graph.snapshot()
+    adjacency = csr.undirected_sets()
+    counts = [0] * csr.n
+    for u, neighbors in enumerate(adjacency):
+        higher_u = {v for v in neighbors if v > u}
         for v in higher_u:
-            higher_v = {w for w in adjacency[v] if order[w] > order[v]}
-            for w in higher_u & higher_v:
-                counts[u] += 1
-                counts[v] += 1
-                counts[w] += 1
-    return counts
+            for w in adjacency[v]:
+                if w > v and w in higher_u:
+                    counts[u] += 1
+                    counts[v] += 1
+                    counts[w] += 1
+    return csr.decode(counts)
 
 
 def clustering_coefficient(graph: Graph, vertex: VertexId) -> float:
     """Local clustering coefficient of ``vertex`` (0.0 when degree < 2)."""
-    adjacency = _undirected_adjacency(graph)
-    neighbors = adjacency.get(vertex, set())
+    csr = graph.snapshot()
+    adjacency = csr.undirected_sets()
+    if not csr.has_vertex(vertex):
+        return 0.0
+    neighbors = adjacency[csr.index(vertex)]
     degree = len(neighbors)
     if degree < 2:
         return 0.0
-    links = 0
-    neighbor_list = sorted(neighbors, key=repr)
-    for i, a in enumerate(neighbor_list):
-        for b in neighbor_list[i + 1 :]:
-            if b in adjacency[a]:
-                links += 1
+    links = sum(1 for a, b in combinations(neighbors, 2) if b in adjacency[a])
     return 2.0 * links / (degree * (degree - 1))
 
 
 def average_clustering(graph: Graph) -> float:
     """Mean local clustering coefficient over all vertices."""
-    adjacency = _undirected_adjacency(graph)
+    csr = graph.snapshot()
+    adjacency = csr.undirected_sets()
     if not adjacency:
         return 0.0
     total = 0.0
-    for vertex, neighbors in adjacency.items():
+    for neighbors in adjacency:
         degree = len(neighbors)
         if degree < 2:
             continue
-        links = 0
-        neighbor_list = sorted(neighbors, key=repr)
-        for i, a in enumerate(neighbor_list):
-            for b in neighbor_list[i + 1 :]:
-                if b in adjacency[a]:
-                    links += 1
+        links = sum(1 for a, b in combinations(neighbors, 2) if b in adjacency[a])
         total += 2.0 * links / (degree * (degree - 1))
     return total / len(adjacency)

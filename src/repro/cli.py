@@ -25,6 +25,8 @@ from typing import Any, Callable, Sequence
 from repro.algorithms import (
     bfs_distances,
     connected_components,
+    core_numbers,
+    count_triangles,
     degrees,
     pagerank,
 )
@@ -83,7 +85,7 @@ BUILTIN_DATASETS: dict[str, tuple[Callable[[float, int], Database], str]] = {
     ),
 }
 
-ALGORITHMS = ("degree", "pagerank", "components", "bfs")
+ALGORITHMS = ("degree", "pagerank", "components", "bfs", "kcore", "triangles")
 
 
 # --------------------------------------------------------------------------- #
@@ -201,40 +203,72 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_degree(graph, args, out) -> None:
+    scores = degrees(graph)
+    rows = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
+    _print_rows(rows, ("vertex", "degree"), out)
+
+
+def _run_pagerank(graph, args, out) -> None:
+    scores = pagerank(graph)
+    rows = [
+        (vertex, f"{score:.6f}")
+        for vertex, score in sorted(
+            scores.items(), key=lambda item: (-item[1], repr(item[0]))
+        )[: args.top]
+    ]
+    _print_rows(rows, ("vertex", "pagerank"), out)
+
+
+def _run_components(graph, args, out) -> None:
+    labels = connected_components(graph)
+    sizes: dict[int, int] = {}
+    for label in labels.values():
+        sizes[label] = sizes.get(label, 0) + 1
+    rows = sorted(sizes.items(), key=lambda item: -item[1])[: args.top]
+    print(f"components: {len(sizes)}", file=out)
+    _print_rows(rows, ("component", "size"), out)
+
+
+def _run_bfs(graph, args, out) -> None:
+    if args.source is None:
+        raise GraphGenError("--source is required for the bfs algorithm")
+    source = _parse_vertex(graph, args.source)
+    distances = bfs_distances(graph, source)
+    rows = sorted(distances.items(), key=lambda item: (item[1], repr(item[0])))[: args.top]
+    print(f"reachable vertices: {len(distances)}", file=out)
+    _print_rows(rows, ("vertex", "distance"), out)
+
+
+def _run_kcore(graph, args, out) -> None:
+    cores = core_numbers(graph)
+    rows = sorted(cores.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
+    print(f"degeneracy: {max(cores.values(), default=0)}", file=out)
+    _print_rows(rows, ("vertex", "core"), out)
+
+
+def _run_triangles(graph, args, out) -> None:
+    del args  # whole-graph count; --top does not apply
+    print(f"triangles: {count_triangles(graph)}", file=out)
+
+
+#: algorithm name -> runner(graph, args, out); all runners execute on the
+#: graph's CSR snapshot through repro.algorithms
+ALGORITHM_RUNNERS = {
+    "degree": _run_degree,
+    "pagerank": _run_pagerank,
+    "components": _run_components,
+    "bfs": _run_bfs,
+    "kcore": _run_kcore,
+    "triangles": _run_triangles,
+}
+
+
 def _cmd_analyze(args: argparse.Namespace, out) -> int:
     db = _resolve_database(args)
     query = _resolve_query(args)
     graph = GraphGen(db).extract(query, representation=args.representation)
-
-    if args.algorithm == "degree":
-        scores = degrees(graph)
-        rows = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
-        _print_rows(rows, ("vertex", "degree"), out)
-    elif args.algorithm == "pagerank":
-        scores = pagerank(graph)
-        rows = [
-            (vertex, f"{score:.6f}")
-            for vertex, score in sorted(
-                scores.items(), key=lambda item: (-item[1], repr(item[0]))
-            )[: args.top]
-        ]
-        _print_rows(rows, ("vertex", "pagerank"), out)
-    elif args.algorithm == "components":
-        labels = connected_components(graph)
-        sizes: dict[int, int] = {}
-        for label in labels.values():
-            sizes[label] = sizes.get(label, 0) + 1
-        rows = sorted(sizes.items(), key=lambda item: -item[1])[: args.top]
-        print(f"components: {len(sizes)}", file=out)
-        _print_rows(rows, ("component", "size"), out)
-    else:  # bfs
-        if args.source is None:
-            raise GraphGenError("--source is required for the bfs algorithm")
-        source = _parse_vertex(graph, args.source)
-        distances = bfs_distances(graph, source)
-        rows = sorted(distances.items(), key=lambda item: (item[1], repr(item[0])))[: args.top]
-        print(f"reachable vertices: {len(distances)}", file=out)
-        _print_rows(rows, ("vertex", "distance"), out)
+    ALGORITHM_RUNNERS[args.algorithm](graph, args, out)
     return 0
 
 

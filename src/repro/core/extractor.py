@@ -156,17 +156,23 @@ class Extractor:
         graph: CondensedGraph,
         report: ExtractionReport,
     ) -> None:
-        # virtual nodes are shared across segments of the same rule: one per
-        # (join attribute, value); Step 4 creates them lazily as values appear
-        virtual_of: dict[tuple[str, Hashable], int] = {}
+        # virtual nodes live on the *boundaries* between consecutive segments
+        # of the rule's chain: one node per (boundary, join value), created
+        # lazily as values appear (Step 4).  Keying by boundary index — not by
+        # join-attribute name — keeps the condensed graph a DAG even when the
+        # same variable spans several boundaries (e.g. a filter segment
+        # ``P -> P``): attribute-keyed sharing would fuse the two layers into
+        # one virtual node, producing a self-edge (an infinite traversal
+        # cycle) and unsound paths that bypass the middle segment.
+        virtual_of: dict[tuple[int, Hashable], int] = {}
 
-        def virtual_for(attribute: str, value: Hashable) -> int:
-            key = (attribute, value)
+        def virtual_for(boundary: int, attribute: str, value: Hashable) -> int:
+            key = (boundary, value)
             if key not in virtual_of:
-                virtual_of[key] = graph.add_virtual_node(key)
+                virtual_of[key] = graph.add_virtual_node((attribute, value))
             return virtual_of[key]
 
-        for segment in plan.segments:
+        for index, segment in enumerate(plan.segments):
             rows = executor.run(segment.query)
             report.queries_executed += 1
             # segment queries are DISTINCT, so edges cannot repeat within a
@@ -174,7 +180,7 @@ class Extractor:
             # collide with edges produced by other rules and need the check
             allow_duplicate = not (segment.starts_at_source and segment.ends_at_target)
             for left_value, right_value in rows:
-                # resolve the left endpoint
+                # resolve the left endpoint (in-boundary of segment ``index``)
                 if segment.starts_at_source:
                     if not graph.has_external(left_value):
                         if self._options.skip_unknown_endpoints:
@@ -183,8 +189,8 @@ class Extractor:
                         graph.add_real_node(left_value)
                     source = graph.internal(left_value)
                 else:
-                    source = virtual_for(segment.in_variable, left_value)
-                # resolve the right endpoint
+                    source = virtual_for(index - 1, segment.in_variable, left_value)
+                # resolve the right endpoint (out-boundary of segment ``index``)
                 if segment.ends_at_target:
                     if not graph.has_external(right_value):
                         if self._options.skip_unknown_endpoints:
@@ -193,7 +199,7 @@ class Extractor:
                         graph.add_real_node(right_value)
                     target = graph.internal(right_value)
                 else:
-                    target = virtual_for(segment.out_variable, right_value)
+                    target = virtual_for(index, segment.out_variable, right_value)
                 graph.add_edge(source, target, allow_duplicate=allow_duplicate)
 
     # ------------------------------------------------------------------ #

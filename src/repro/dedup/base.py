@@ -65,8 +65,26 @@ def resolve_ordering(ordering: str | OrderingFn) -> OrderingFn:
         ) from None
 
 
+def bits(mask: int) -> set[int]:
+    """Decode a bitmask into the set of set-bit positions."""
+    result: set[int] = set()
+    while mask:
+        low = mask & -mask
+        result.add(low.bit_length() - 1)
+        mask ^= low
+    return result
+
+
 class DedupState:
-    """A condensed graph plus its per-source coverage counters."""
+    """A condensed graph plus its per-source coverage counters.
+
+    Besides the coverage map, the state lazily caches each virtual node's
+    in/out real-neighbor sets as *integer bitmasks over internal real-node
+    IDs* (the same trick the BITMAP representation uses for traversal).
+    Overlap tests between virtual nodes — the innermost operation of every
+    deduplication algorithm — become single big-int ANDs instead of building
+    two Python sets per probe.
+    """
 
     def __init__(self, condensed: CondensedGraph, require_single_layer: bool = True) -> None:
         if require_single_layer and not condensed.is_single_layer():
@@ -78,6 +96,8 @@ class DedupState:
         self.cg = condensed
         #: cover[u][w] = number of condensed paths from u_s to w_t
         self.cover: dict[int, dict[int, int]] = {}
+        #: virtual node -> (in_mask, out_mask) over internal real IDs (lazy)
+        self._vmask: dict[int, tuple[int, int]] = {}
         self._build_cover()
 
     # ------------------------------------------------------------------ #
@@ -112,15 +132,45 @@ class DedupState:
         """O(V): real out-nodes of ``virtual``."""
         return self.cg.virtual_out_real(virtual)
 
+    # ------------------------------------------------------------------ #
+    # bitmask caches over the virtual nodes' real neighborhoods
+    # ------------------------------------------------------------------ #
+    def _masks(self, virtual: int) -> tuple[int, int]:
+        masks = self._vmask.get(virtual)
+        if masks is None:
+            in_mask = 0
+            for node in self.cg.pred[virtual]:
+                if node >= 0:
+                    in_mask |= 1 << node
+            out_mask = 0
+            for node in self.cg.succ[virtual]:
+                if node >= 0:
+                    out_mask |= 1 << node
+            masks = self._vmask[virtual] = (in_mask, out_mask)
+        return masks
+
+    def in_mask(self, virtual: int) -> int:
+        """I(V) as a bitmask over internal real IDs."""
+        return self._masks(virtual)[0]
+
+    def out_mask(self, virtual: int) -> int:
+        """O(V) as a bitmask over internal real IDs."""
+        return self._masks(virtual)[1]
+
+    def _invalidate_virtual(self, virtual: int) -> None:
+        self._vmask.pop(virtual, None)
+
     def out_overlap(self, first: int, second: int) -> set[int]:
-        return set(self.out_real(first)) & set(self.out_real(second))
+        return bits(self.out_mask(first) & self.out_mask(second))
 
     def in_overlap(self, first: int, second: int) -> set[int]:
-        return set(self.in_real(first)) & set(self.in_real(second))
+        return bits(self.in_mask(first) & self.in_mask(second))
 
     def has_duplication_between(self, first: int, second: int) -> bool:
         """True if some pair (u, w) is covered through both virtual nodes."""
-        return bool(self.in_overlap(first, second)) and bool(self.out_overlap(first, second))
+        in_first, out_first = self._masks(first)
+        in_second, out_second = self._masks(second)
+        return bool(in_first & in_second) and bool(out_first & out_second)
 
     # ------------------------------------------------------------------ #
     # primitive rewrites (all equivalence-preserving)
@@ -140,6 +190,7 @@ class DedupState:
                 self._inc(u, target, +1)
                 compensations += 1
         self.cg.remove_edge(virtual, target)
+        self._invalidate_virtual(virtual)
         return compensations
 
     def remove_real_to_virtual_edge(self, source: int, virtual: int) -> int:
@@ -157,6 +208,7 @@ class DedupState:
                 self._inc(source, target, +1)
                 compensations += 1
         self.cg.remove_edge(source, virtual)
+        self._invalidate_virtual(virtual)
         return compensations
 
     def remove_direct_edge(self, source: int, target: int) -> None:
@@ -183,6 +235,7 @@ class DedupState:
         * a direct real→real edge whose pair is also covered through a virtual
           node is redundant.
         """
+        self._vmask.clear()  # parallel-edge removal touches arbitrary nodes
         # parallel edges out of any node
         for node in list(self.cg.succ):
             targets = self.cg.out(node)

@@ -29,11 +29,14 @@ def _best_removal(
     the processed virtual nodes in ``duplicated``.
     """
     best: tuple[float, int, int, int] | None = None  # (ratio, benefit, owner, target)
-    for other in duplicated:
+    out_virtual = state.out_mask(virtual)
+    out_masks = [state.out_mask(other) for other in duplicated]
+    for other, out_other in zip(duplicated, out_masks):
         overlap = state.out_overlap(virtual, other)
         for target in overlap:
-            benefit_new = sum(
-                1 for candidate in duplicated if target in state.out_overlap(virtual, candidate)
+            bit = 1 << target
+            benefit_new = (
+                sum(1 for mask in out_masks if mask & bit) if out_virtual & bit else 0
             )
             cost_new = state.compensation_cost(virtual, target)
             ratio_new = benefit_new / (cost_new + 1)
@@ -63,15 +66,15 @@ def deduplicate(
 
     virtuals = apply_ordering(state, single_layer_virtual_nodes(working), ordering, seed=seed)
     processed: list[int] = []
+    has_duplication = state.has_duplication_between
     for virtual in virtuals:
-        while True:
-            duplicated = [
-                other for other in processed if state.has_duplication_between(virtual, other)
-            ]
-            if not duplicated:
-                break
+        # edge removals only ever shrink overlaps, so the duplicated set can
+        # be filtered incrementally instead of rescanning all processed nodes
+        duplicated = [other for other in processed if has_duplication(virtual, other)]
+        while duplicated:
             owner, target = _best_removal(state, virtual, duplicated)
             state.remove_virtual_out_edge(owner, target)
+            duplicated = [other for other in duplicated if has_duplication(virtual, other)]
         processed.append(virtual)
 
     return Dedup1Graph(working, trusted=True)

@@ -34,10 +34,18 @@ def _virtual_id(virtual: int) -> tuple[str, int]:
 
 
 def from_expanded(graph: Graph) -> dict[Hashable, GiraphVertex]:
-    """EXP input format: real vertices with fully materialised neighbor lists."""
+    """EXP input format: real vertices with fully materialised neighbor lists.
+
+    Built off the graph's CSR snapshot — one bulk encode instead of a
+    ``get_neighbors`` traversal per vertex.
+    """
+    csr = graph.snapshot()
+    ids = csr.external_ids
+    offsets = csr.offsets_list
+    targets = csr.targets_list
     vertices: dict[Hashable, GiraphVertex] = {}
-    for vertex in graph.get_vertices():
-        neighbors = list(graph.get_neighbors(vertex))
+    for index, vertex in enumerate(ids):
+        neighbors = [ids[targets[e]] for e in range(offsets[index], offsets[index + 1])]
         vertices[vertex] = GiraphVertex(
             vertex_id=vertex,
             edges=neighbors,
@@ -88,8 +96,16 @@ def _condensed_vertices(condensed: CondensedGraph) -> dict[Hashable, GiraphVerte
 def _attach_degrees(
     vertices: dict[Hashable, GiraphVertex], representation: CondensedBackedGraph
 ) -> None:
-    for vertex in representation.get_vertices():
-        vertices[vertex].data["degree"] = representation.degree(vertex)
+    """Precompute every real vertex's logical degree off the CSR snapshot.
+
+    One bulk expansion of the virtual layer replaces a full condensed
+    traversal per vertex (the pre-kernel cost of this step was quadratic in
+    the neighborhood size).
+    """
+    csr = representation.snapshot()
+    offsets = csr.offsets_list
+    for index, vertex in enumerate(csr.external_ids):
+        vertices[vertex].data["degree"] = offsets[index + 1] - offsets[index]
 
 
 def _attach_bitmap_filters(

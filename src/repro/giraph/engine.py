@@ -9,8 +9,15 @@ single-process Pregel-style engine with
   per-vertex data,
 * superstep execution with message delivery in the following superstep,
 * vote-to-halt semantics (a vertex is reactivated by an incoming message),
+* Pregel-style sum aggregators (contributed during superstep ``k``, visible
+  in superstep ``k + 1``; used by PageRank's dangling-mass correction),
 * metrics: messages per superstep, total messages, supersteps, and an
   analytic memory estimate for vertices + edges + peak message buffer.
+
+Internally the engine assigns every vertex a dense integer index at
+construction — the same compressed layout the CSR kernel uses — and schedules
+supersteps over flat inbox/halted arrays; vertex identifiers only appear at
+the ``send`` boundary and in the program-facing API, which is unchanged.
 
 The engine knows nothing about condensed representations; the adapters in
 :mod:`repro.giraph.adapters` build the vertex sets for each representation and
@@ -85,6 +92,14 @@ class GiraphContext:
     def vote_to_halt(self, vertex_id: Hashable) -> None:
         self._engine.vote_to_halt(vertex_id)
 
+    def aggregate(self, name: str, value: float) -> None:
+        """Add ``value`` to the named sum aggregator for the next superstep."""
+        self._engine.aggregate(name, value)
+
+    def get_aggregate(self, name: str, default: float = 0.0) -> float:
+        """The named aggregator's total from the previous superstep."""
+        return self._engine.get_aggregate(name, default)
+
 
 class GiraphProgram(ABC):
     """A vertex program for the simulated Giraph engine."""
@@ -98,16 +113,28 @@ class GiraphProgram(ABC):
 
 
 class GiraphEngine:
-    """Synchronous BSP execution over a fixed vertex set."""
+    """Synchronous BSP execution over a fixed vertex set.
+
+    Vertices are compiled into a dense index space once; superstep scheduling
+    (active-set computation, message routing, halting) runs over flat lists
+    indexed by those integers.
+    """
 
     def __init__(self, vertices: dict[Hashable, GiraphVertex]) -> None:
         self._vertices = vertices
-        self.num_real_vertices = sum(1 for v in vertices.values() if not v.is_virtual)
+        #: dense layout shared by inbox/outbox/halted arrays
+        self._ids: list[Hashable] = list(vertices)
+        self._index: dict[Hashable, int] = {vid: i for i, vid in enumerate(self._ids)}
+        self._ordered: list[GiraphVertex] = [vertices[vid] for vid in self._ids]
+        self.num_real_vertices = sum(1 for v in self._ordered if not v.is_virtual)
         self.superstep = 0
-        self._inbox: dict[Hashable, list[Any]] = {}
-        self._outbox: dict[Hashable, list[Any]] = {}
-        self._halted: set[Hashable] = set()
+        n = len(self._ids)
+        self._inbox: list[list[Any] | None] = [None] * n
+        self._outbox: list[list[Any] | None] = [None] * n
+        self._halted = bytearray(n)
         self._messages_sent_this_superstep = 0
+        self._aggregate_previous: dict[str, float] = {}
+        self._aggregate_next: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -126,43 +153,58 @@ class GiraphEngine:
 
     # ------------------------------------------------------------------ #
     def send(self, target: Hashable, message: Any) -> None:
-        if target not in self._vertices:
+        index = self._index.get(target)
+        if index is None:
             raise VertexCentricError(f"message sent to unknown vertex {target!r}")
-        self._outbox.setdefault(target, []).append(message)
+        box = self._outbox[index]
+        if box is None:
+            box = self._outbox[index] = []
+        box.append(message)
         self._messages_sent_this_superstep += 1
 
     def vote_to_halt(self, vertex_id: Hashable) -> None:
-        self._halted.add(vertex_id)
+        self._halted[self._index[vertex_id]] = 1
+
+    def aggregate(self, name: str, value: float) -> None:
+        self._aggregate_next[name] = self._aggregate_next.get(name, 0.0) + value
+
+    def get_aggregate(self, name: str, default: float = 0.0) -> float:
+        return self._aggregate_previous.get(name, default)
 
     # ------------------------------------------------------------------ #
     def run(self, program: GiraphProgram, max_supersteps: int = 200) -> GiraphMetrics:
         metrics = GiraphMetrics(
             vertex_count=len(self._vertices),
-            virtual_vertex_count=sum(1 for v in self._vertices.values() if v.is_virtual),
-            edge_count=sum(len(v.edges) for v in self._vertices.values()),
+            virtual_vertex_count=sum(1 for v in self._ordered if v.is_virtual),
+            edge_count=sum(len(v.edges) for v in self._ordered),
         )
         limit = max_supersteps
         if program.max_supersteps is not None:
             limit = min(limit, program.max_supersteps)
 
         context = GiraphContext(self)
+        compute = program.compute
+        n = len(self._ids)
         self.superstep = 0
-        self._inbox = {}
-        self._halted = set()
+        self._inbox = [None] * n
+        self._halted = bytearray(n)
+        self._aggregate_previous = {}
         while self.superstep < limit:
-            active = [
-                vid
-                for vid in self._vertices
-                if vid not in self._halted or vid in self._inbox
-            ]
+            inbox = self._inbox
+            halted = self._halted
+            active = [i for i in range(n) if not halted[i] or inbox[i] is not None]
             if not active:
                 break
-            self._outbox = {}
+            self._outbox = [None] * n
             self._messages_sent_this_superstep = 0
-            for vid in active:
-                self._halted.discard(vid)
-                messages = self._inbox.get(vid, [])
-                program.compute(self._vertices[vid], messages, context)
+            self._aggregate_next = {}
+            ordered = self._ordered
+            for i in active:
+                halted[i] = 0
+                messages = inbox[i]
+                # fresh list when there are no messages: programs may use the
+                # argument as scratch space
+                compute(ordered[i], messages if messages is not None else [], context)
                 metrics.compute_calls += 1
             metrics.messages_per_superstep.append(self._messages_sent_this_superstep)
             metrics.total_messages += self._messages_sent_this_superstep
@@ -170,6 +212,7 @@ class GiraphEngine:
                 metrics.peak_message_buffer, self._messages_sent_this_superstep
             )
             self._inbox = self._outbox
+            self._aggregate_previous = self._aggregate_next
             self.superstep += 1
             metrics.supersteps = self.superstep
         return metrics

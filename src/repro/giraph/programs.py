@@ -109,13 +109,20 @@ class GiraphPageRank(GiraphProgram):
         if ctx.superstep == 0:
             vertex.value = 1.0 / n
         else:
-            vertex.value = (1.0 - self.damping) / n + self.damping * sum(messages)
+            dangling_mass = ctx.get_aggregate("dangling")
+            vertex.value = (1.0 - self.damping) / n + self.damping * (
+                sum(messages) + dangling_mass / n
+            )
         if ctx.superstep < self.iterations:
             degree = vertex.data.get("degree") or len(vertex.edges)
             if degree:
                 share = vertex.value / degree
                 for target in vertex.edges:
                     ctx.send(target, share)
+            else:
+                # dangling: redistribute this superstep's rank to everybody
+                # in the next one through the aggregator
+                ctx.aggregate("dangling", vertex.value)
         else:
             ctx.vote_to_halt(vertex.vertex_id)
 
@@ -148,7 +155,10 @@ class GiraphPageRank(GiraphProgram):
             else:
                 forwarded = sum(value for kind, value in messages if kind == "v")
                 buffered = vertex.data.pop("direct_buffer", 0.0)
-                vertex.value = (1.0 - self.damping) / n + self.damping * (forwarded + buffered)
+                dangling_mass = ctx.get_aggregate("dangling")
+                vertex.value = (1.0 - self.damping) / n + self.damping * (
+                    forwarded + buffered + dangling_mass / n
+                )
             if iteration < self.iterations:
                 degree = vertex.data.get("degree", 0)
                 if degree:
@@ -165,6 +175,10 @@ class GiraphPageRank(GiraphProgram):
             # even superstep (virtual-forwarded shares arrive there directly)
             direct = sum(value for kind, value in messages if kind == "d")
             vertex.data["direct_buffer"] = vertex.data.get("direct_buffer", 0.0) + direct
+            # dangling: contribute on the odd superstep so the mass becomes
+            # visible exactly at the next even superstep (one per iteration)
+            if not vertex.data.get("degree", 0) and iteration < self.iterations:
+                ctx.aggregate("dangling", vertex.value)
 
 
 # --------------------------------------------------------------------------- #

@@ -10,6 +10,7 @@
 """
 
 from repro.graph.api import Graph, PropertyStore, VertexId, logical_edge_set, check_same_vertex_set
+from repro.graph.kernel import CSRGraph
 from repro.graph.condensed import CondensedGraph, condensed_from_edges
 from repro.graph.condensed_base import CondensedBackedGraph
 from repro.graph.expanded import ExpandedGraph
@@ -33,6 +34,7 @@ __all__ = [
     "VertexId",
     "logical_edge_set",
     "check_same_vertex_set",
+    "CSRGraph",
     "CondensedGraph",
     "condensed_from_edges",
     "CondensedBackedGraph",

@@ -108,12 +108,24 @@ def representation_stats(graph: Graph) -> RepresentationStats:
     )
 
 
-def logically_equivalent(first: Graph, second: Graph) -> bool:
+def logically_equivalent(
+    first: Graph, second: Graph, ignore_self_loops: bool = False
+) -> bool:
     """True if the two representations expose exactly the same logical graph
-    (same vertex set, same de-duplicated edge set)."""
+    (same vertex set, same de-duplicated edge set).
+
+    ``ignore_self_loops`` compares the edge sets modulo ``v -> v`` edges; use
+    it when one side is a DEDUP-2 representation, which by design cannot
+    represent self-loops (see :mod:`repro.graph.dedup2`).
+    """
     if set(first.get_vertices()) != set(second.get_vertices()):
         return False
-    return logical_edge_set(first) == logical_edge_set(second)
+    first_edges = logical_edge_set(first)
+    second_edges = logical_edge_set(second)
+    if ignore_self_loops:
+        first_edges = {(u, v) for (u, v) in first_edges if u != v}
+        second_edges = {(u, v) for (u, v) in second_edges if u != v}
+    return first_edges == second_edges
 
 
 def expanded_from_condensed(condensed: CondensedGraph) -> ExpandedGraph:

@@ -18,9 +18,12 @@ database (e.g. author IDs), never internal indexes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Iterator
 
 from repro.exceptions import RepresentationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.kernel import CSRGraph
 
 VertexId = Hashable
 
@@ -87,6 +90,61 @@ class Graph(ABC):
         not store edge properties return ``default``.
         """
         return default
+
+    # ------------------------------------------------------------------ #
+    # bulk snapshot hook (the seam between the logical API and the CSR
+    # execution kernel; see repro.graph.kernel)
+    # ------------------------------------------------------------------ #
+    #: per-instance structural version; mutators call _bump_version() so the
+    #: cached CSR snapshot can be invalidated (class attribute as default)
+    _graph_version: int = 0
+    #: (token, CSRGraph) of the last snapshot, or None
+    _csr_cache: tuple[Any, "CSRGraph"] | None = None
+
+    def snapshot_edges(self) -> Iterator[tuple[VertexId, list[VertexId]]]:
+        """Bulk iteration: yield ``(vertex, out-neighbor list)`` per vertex.
+
+        The default implementation walks ``get_vertices`` / ``get_neighbors``;
+        representations override it with flat scans over their physical
+        storage.  Order is the representation's canonical vertex order and
+        per-vertex neighbor order — :class:`~repro.graph.kernel.CSRGraph`
+        preserves both.
+        """
+        for vertex in self.get_vertices():
+            yield vertex, list(self.get_neighbors(vertex))
+
+    def snapshot(self) -> "CSRGraph":
+        """The CSR snapshot of this graph's logical edge set (cached).
+
+        The snapshot is rebuilt lazily after any structural mutation
+        (tracked through the representation's version counters); repeated
+        algorithm calls on an unmodified graph share one set of arrays.
+        """
+        from repro.graph.kernel import CSRGraph
+
+        token = self._snapshot_token()
+        cached = self._csr_cache
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        snap = CSRGraph.from_graph(self)
+        self._csr_cache = (token, snap)
+        return snap
+
+    def cached_snapshot(self) -> "CSRGraph | None":
+        """The current CSR snapshot if one is cached and still valid, else
+        ``None`` — without triggering a (possibly expensive) build."""
+        cached = self._csr_cache
+        if cached is not None and cached[0] == self._snapshot_token():
+            return cached[1]
+        return None
+
+    def _snapshot_token(self) -> Any:
+        """Value that changes whenever the logical structure may have changed."""
+        return self._graph_version
+
+    def _bump_version(self) -> None:
+        """Record a structural mutation (invalidates the snapshot cache)."""
+        self._graph_version += 1
 
     # ------------------------------------------------------------------ #
     # derived conveniences (concrete)

@@ -17,6 +17,10 @@ from typing import Iterator
 from repro.graph.condensed import CondensedGraph
 from repro.graph.condensed_base import CondensedBackedGraph
 
+#: shared empty per-source bitmap dict (avoids an allocation per virtual node
+#: in the snapshot fast path)
+_EMPTY: dict[int, int] = {}
+
 
 class BitmapGraph(CondensedBackedGraph):
     """Graph API over a condensed graph augmented with traversal bitmaps."""
@@ -35,6 +39,7 @@ class BitmapGraph(CondensedBackedGraph):
     def set_bitmap(self, virtual: int, source: int, bitmask: int) -> None:
         """Attach/overwrite the bitmap of ``virtual`` for ``source``."""
         self._bitmaps.setdefault(virtual, {})[source] = bitmask
+        self._bump_version()  # bitmaps steer traversal, so snapshots depend on them
 
     def get_bitmap(self, virtual: int, source: int) -> int | None:
         return self._bitmaps.get(virtual, {}).get(source)
@@ -44,6 +49,7 @@ class BitmapGraph(CondensedBackedGraph):
 
     def remove_bitmap(self, virtual: int, source: int) -> None:
         self._bitmaps.get(virtual, {}).pop(source, None)
+        self._bump_version()
 
     def iter_bitmaps(self):
         """Yield ``(virtual, source, bitmask)`` for every stored bitmap."""
@@ -93,6 +99,32 @@ class BitmapGraph(CondensedBackedGraph):
                 for position, target in enumerate(targets):
                     if bitmap & (1 << position):
                         stack.append(target)
+
+    def _internal_neighbors_list(self, node: int) -> list[int]:
+        # snapshot fast path: bitmap-guided walk without generator overhead
+        succ = self._cg.succ
+        bitmaps = self._bitmaps
+        visited_virtual: set[int] = set()
+        result: list[int] = []
+        push = result.append
+        stack = list(succ[node])
+        while stack:
+            current = stack.pop()
+            if current >= 0:
+                push(current)
+                continue
+            if current in visited_virtual:
+                continue
+            visited_virtual.add(current)
+            targets = succ[current]
+            bitmap = bitmaps.get(current, _EMPTY).get(node)
+            if bitmap is None:
+                stack.extend(targets)
+            else:
+                for position, target in enumerate(targets):
+                    if bitmap >> position & 1:
+                        stack.append(target)
+        return result
 
     def num_edges(self) -> int:
         return sum(self.degree(v) for v in self.get_vertices())

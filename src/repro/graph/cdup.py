@@ -39,6 +39,26 @@ class CDupGraph(CondensedBackedGraph):
             else:
                 stack.extend(self._cg.out(current))
 
+    def _internal_neighbors_list(self, node: int) -> list[int]:
+        # snapshot fast path: same on-the-fly deduplicating walk, but as a
+        # tight loop over the raw adjacency dict instead of a generator
+        succ = self._cg.succ
+        seen: set[int] = set()
+        add = seen.add
+        result: list[int] = []
+        push = result.append
+        stack = list(succ[node])
+        extend = stack.extend
+        while stack:
+            current = stack.pop()
+            if current >= 0:
+                if current not in seen:
+                    add(current)
+                    push(current)
+            else:
+                extend(succ[current])
+        return result
+
     # ------------------------------------------------------------------ #
     def duplication_ratio(self) -> float:
         """Average number of redundant paths per logical edge (0.0 = clean).

@@ -35,6 +35,9 @@ class CondensedGraph:
     """Condensed representation of an extracted graph (possibly duplicated)."""
 
     def __init__(self) -> None:
+        #: structural version; bumped by every mutation so Graph wrappers can
+        #: invalidate their cached CSR snapshots (repro.graph.kernel)
+        self.version = 0
         # external id <-> internal non-negative index for real nodes
         self._internal_of: dict[Hashable, int] = {}
         self._external_of: dict[int, Hashable] = {}
@@ -66,6 +69,7 @@ class CondensedGraph:
             return node
         node = self._next_real
         self._next_real += 1
+        self.version += 1
         self._internal_of[external_id] = node
         self._external_of[node] = external_id
         self.succ[node] = []
@@ -78,6 +82,7 @@ class CondensedGraph:
         """Add a fresh virtual node; returns its (negative) internal ID."""
         node = self._next_virtual
         self._next_virtual -= 1
+        self.version += 1
         self.virtual_labels[node] = label
         self.succ[node] = []
         self.pred[node] = []
@@ -87,6 +92,7 @@ class CondensedGraph:
         """Remove a virtual node and all its incident edges."""
         if not self.is_virtual(virtual):
             raise RepresentationError(f"{virtual} is not a virtual node")
+        self.version += 1
         for target in list(self.succ.get(virtual, [])):
             self.pred[target].remove(virtual)
         for source in list(self.pred.get(virtual, [])):
@@ -99,6 +105,7 @@ class CondensedGraph:
         """Remove a real node and all edges incident to either of its copies."""
         if self.is_virtual(node) or node not in self._external_of:
             raise RepresentationError(f"{node} is not a real node of this graph")
+        self.version += 1
         for target in list(self.succ.get(node, [])):
             self.pred[target].remove(node)
         for source in list(self.pred.get(node, [])):
@@ -150,12 +157,14 @@ class CondensedGraph:
             return False
         self.succ[source].append(target)
         self.pred[target].append(source)
+        self.version += 1
         return True
 
     def remove_edge(self, source: int, target: int) -> None:
         try:
             self.succ[source].remove(target)
             self.pred[target].remove(source)
+            self.version += 1
         except (KeyError, ValueError):
             raise RepresentationError(
                 f"edge {source}->{target} is not in the condensed graph"

@@ -56,6 +56,30 @@ class CondensedBackedGraph(Graph):
         ``node`` with duplicates removed.  Subclasses override."""
         raise NotImplementedError
 
+    def _internal_neighbors_list(self, node: int) -> list[int]:
+        """Logical out-neighbors of ``node`` as a list of internal IDs.
+
+        Semantically ``list(self._internal_neighbors(node))``; subclasses
+        override it with non-generator traversals for the CSR snapshot fast
+        path (one call per vertex, no per-edge generator resumption).
+        """
+        return list(self._internal_neighbors(node))
+
+    # ------------------------------------------------------------------ #
+    # bulk snapshot fast path: expand the virtual layer in internal space
+    # ------------------------------------------------------------------ #
+    def snapshot_edges(self) -> Iterator[tuple[VertexId, list[VertexId]]]:
+        external = self._cg.external
+        for node in self._cg.real_nodes():
+            yield external(node), [
+                external(t) for t in self._internal_neighbors_list(node)
+            ]
+
+    def _snapshot_token(self):
+        # the wrapper's own version covers bitmap/auxiliary mutations; the
+        # condensed version covers direct mutation of the shared structure
+        return (self._graph_version, self._cg.version)
+
     def get_neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
         if not self._cg.has_external(vertex):
             raise self._missing_vertex(vertex)

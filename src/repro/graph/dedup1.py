@@ -44,5 +44,20 @@ class Dedup1Graph(CondensedBackedGraph):
             else:
                 stack.extend(self._cg.out(current))
 
+    def _internal_neighbors_list(self, node: int) -> list[int]:
+        # snapshot fast path: the invariant makes this a plain DFS flatten
+        succ = self._cg.succ
+        result: list[int] = []
+        push = result.append
+        stack = list(succ[node])
+        extend = stack.extend
+        while stack:
+            current = stack.pop()
+            if current >= 0:
+                push(current)
+            else:
+                extend(succ[current])
+        return result
+
     def num_edges(self) -> int:
         return sum(self.degree(v) for v in self.get_vertices())

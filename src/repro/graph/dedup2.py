@@ -47,13 +47,16 @@ class Dedup2Graph(Graph):
     # construction (used by the DEDUP-2 greedy algorithm and tests)
     # ------------------------------------------------------------------ #
     def add_vertex(self, vertex: VertexId, **properties: Any) -> None:
-        self._vertex_virtuals.setdefault(vertex, [])
+        if vertex not in self._vertex_virtuals:
+            self._vertex_virtuals[vertex] = []
+            self._bump_version()
         self._properties.set_many(vertex, properties)
 
     def new_virtual_node(self, members: list[VertexId] | None = None) -> int:
         """Create a virtual node (optionally with initial members); return its id."""
         virtual = self._next_virtual
         self._next_virtual += 1
+        self._bump_version()
         self._members[virtual] = []
         self._virtual_adj[virtual] = set()
         for member in members or []:
@@ -66,12 +69,14 @@ class Dedup2Graph(Graph):
         if vertex not in self._members[virtual]:
             self._members[virtual].append(vertex)
             self._vertex_virtuals[vertex].append(virtual)
+            self._bump_version()
 
     def remove_member(self, virtual: int, vertex: VertexId) -> None:
         self._check_virtual(virtual)
         if vertex in self._members[virtual]:
             self._members[virtual].remove(vertex)
             self._vertex_virtuals[vertex].remove(virtual)
+            self._bump_version()
 
     def connect_virtual(self, first: int, second: int) -> None:
         """Add an undirected edge between two virtual nodes."""
@@ -81,10 +86,12 @@ class Dedup2Graph(Graph):
             raise RepresentationError("cannot connect a virtual node to itself")
         self._virtual_adj[first].add(second)
         self._virtual_adj[second].add(first)
+        self._bump_version()
 
     def disconnect_virtual(self, first: int, second: int) -> None:
         self._virtual_adj.get(first, set()).discard(second)
         self._virtual_adj.get(second, set()).discard(first)
+        self._bump_version()
 
     def remove_virtual_node(self, virtual: int) -> None:
         self._check_virtual(virtual)
@@ -94,6 +101,7 @@ class Dedup2Graph(Graph):
             self.disconnect_virtual(virtual, other)
         del self._members[virtual]
         del self._virtual_adj[virtual]
+        self._bump_version()
 
     # ------------------------------------------------------------------ #
     # inspection helpers
@@ -188,6 +196,7 @@ class Dedup2Graph(Graph):
             self.remove_member(virtual, vertex)
         del self._vertex_virtuals[vertex]
         self._properties.drop_vertex(vertex)
+        self._bump_version()
 
     # ------------------------------------------------------------------ #
     def get_property(self, vertex: VertexId, key: str, default: Any = None) -> Any:

@@ -59,6 +59,19 @@ class ExpandedGraph(Graph):
         return graph
 
     # ------------------------------------------------------------------ #
+    # bulk snapshot fast path: flatten the adjacency dict directly
+    # ------------------------------------------------------------------ #
+    def snapshot_edges(self) -> Iterator[tuple[VertexId, list[VertexId]]]:
+        deleted = self._deleted
+        if not deleted:
+            for vertex, neighbors in self._out.items():
+                yield vertex, list(neighbors)
+            return
+        for vertex, neighbors in self._out.items():
+            if vertex not in deleted:
+                yield vertex, [n for n in neighbors if n not in deleted]
+
+    # ------------------------------------------------------------------ #
     # Graph API
     # ------------------------------------------------------------------ #
     def get_vertices(self) -> Iterator[VertexId]:
@@ -90,12 +103,14 @@ class ExpandedGraph(Graph):
         if vertex not in self._out:
             self._out[vertex] = []
             self._in[vertex] = []
+            self._bump_version()
         self._properties.set_many(vertex, properties)
 
     def delete_vertex(self, vertex: VertexId) -> None:
         self._check_vertex(vertex)
         self._deleted.add(vertex)
         self._properties.drop_vertex(vertex)
+        self._bump_version()
         if len(self._deleted) >= self._lazy_deletion_batch:
             self.compact()
 
@@ -105,6 +120,7 @@ class ExpandedGraph(Graph):
         self._out[source].append(target)
         self._in[target].append(source)
         self._edge_count += 1
+        self._bump_version()
 
     def delete_edge(self, source: VertexId, target: VertexId) -> None:
         self._check_vertex(source)
@@ -116,6 +132,7 @@ class ExpandedGraph(Graph):
             raise RepresentationError(f"edge {source!r}->{target!r} does not exist") from None
         self._edge_properties.pop((source, target), None)
         self._edge_count -= 1
+        self._bump_version()
 
     # ------------------------------------------------------------------ #
     # properties

@@ -13,6 +13,13 @@ This reproduction keeps the same API (an :class:`Executor` with a single
 chunks sequentially — CPython threads would add overhead without parallelism,
 and every comparison in the paper is relative between representations on the
 same engine.
+
+Supersteps are scheduled over the graph's CSR snapshot
+(:meth:`repro.graph.api.Graph.snapshot`): neighbor iteration and degrees come
+from the flat offset/target arrays instead of per-vertex ``get_neighbors``
+calls, so a PageRank superstep over a condensed representation no longer
+re-traverses the virtual layer for every vertex.  The ``compute`` API is
+unchanged and continues to see external vertex IDs.
 """
 
 from __future__ import annotations
@@ -28,9 +35,12 @@ from repro.graph.api import Graph, VertexId
 class VertexContext:
     """Everything a ``compute`` function may touch for one vertex."""
 
-    def __init__(self, coordinator: "VertexCentric", vertex: VertexId) -> None:
+    __slots__ = ("_coordinator", "vertex", "_index")
+
+    def __init__(self, coordinator: "VertexCentric", vertex: VertexId, index: int) -> None:
         self._coordinator = coordinator
         self.vertex = vertex
+        self._index = index
 
     # ------------------------------------------------------------------ #
     @property
@@ -42,10 +52,18 @@ class VertexContext:
         return self._coordinator.graph
 
     def neighbors(self) -> Iterator[VertexId]:
-        return self._coordinator.graph.get_neighbors(self.vertex)
+        """External IDs of the vertex's out-neighbors, off the CSR snapshot."""
+        csr = self._coordinator.csr
+        ids = csr.external_ids
+        targets = csr.targets_list
+        offsets = csr.offsets_list
+        index = self._index
+        return (ids[targets[e]] for e in range(offsets[index], offsets[index + 1]))
 
     def degree(self) -> int:
-        return self._coordinator.degree(self.vertex)
+        csr = self._coordinator.csr
+        index = self._index
+        return csr.offsets_list[index + 1] - csr.offsets_list[index]
 
     def num_vertices(self) -> int:
         return self._coordinator.num_vertices
@@ -70,6 +88,18 @@ class VertexContext:
         """Wake a halted vertex up for the next superstep."""
         self._coordinator.activate(vertex)
 
+    # ------------------------------------------------------------------ #
+    # Pregel-style aggregators: contributions are summed during a superstep
+    # and visible to every vertex in the next one
+    # ------------------------------------------------------------------ #
+    def aggregate(self, name: str, value: float) -> None:
+        """Add ``value`` to the named sum aggregator for the next superstep."""
+        self._coordinator.aggregate(name, value)
+
+    def get_aggregate(self, name: str, default: float = 0.0) -> float:
+        """The named aggregator's total from the previous superstep."""
+        return self._coordinator.get_aggregate(name, default)
+
 
 class Executor(ABC):
     """User programs implement this single-method interface (paper's API)."""
@@ -91,14 +121,20 @@ class RunStatistics:
 
 
 class VertexCentric:
-    """Coordinator for vertex-centric execution over any representation."""
+    """Coordinator for vertex-centric execution over any representation.
+
+    The coordinator takes the graph's CSR snapshot once at construction; all
+    supersteps run over that snapshot's dense arrays.
+    """
 
     def __init__(self, graph: Graph, num_workers: int = 4, chunk_size: int | None = None) -> None:
         if num_workers < 1:
             raise VertexCentricError("num_workers must be at least 1")
         self.graph = graph
-        self._vertices = list(graph.get_vertices())
-        self.num_vertices = len(self._vertices)
+        #: the shared physical core every superstep is scheduled over
+        self.csr = graph.snapshot()
+        self._vertices = self.csr.external_ids
+        self.num_vertices = self.csr.n
         self._num_workers = num_workers
         self._chunk_size = chunk_size or max(1, self.num_vertices // num_workers)
 
@@ -107,7 +143,8 @@ class VertexCentric:
         self._next: dict[VertexId, dict[str, Any]] = {v: {} for v in self._vertices}
         self._halted: set[VertexId] = set()
         self._woken: set[VertexId] = set()
-        self._degree_cache: dict[VertexId, int] = {}
+        self._aggregate_previous: dict[str, float] = {}
+        self._aggregate_next: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # value buffers
@@ -127,11 +164,10 @@ class VertexCentric:
 
     # ------------------------------------------------------------------ #
     def degree(self, vertex: VertexId) -> int:
-        """Cached logical out-degree (the paper precomputes degrees because
-        condensed representations cannot read them off the adjacency list)."""
-        if vertex not in self._degree_cache:
-            self._degree_cache[vertex] = self.graph.degree(vertex)
-        return self._degree_cache[vertex]
+        """Logical out-degree, read off the CSR snapshot's offset array."""
+        index = self.csr.index(vertex)
+        offsets = self.csr.offsets_list
+        return offsets[index + 1] - offsets[index]
 
     def vote_to_halt(self, vertex: VertexId) -> None:
         self._halted.add(vertex)
@@ -139,19 +175,32 @@ class VertexCentric:
     def activate(self, vertex: VertexId) -> None:
         self._woken.add(vertex)
 
+    def aggregate(self, name: str, value: float) -> None:
+        self._aggregate_next[name] = self._aggregate_next.get(name, 0.0) + value
+
+    def get_aggregate(self, name: str, default: float = 0.0) -> float:
+        return self._aggregate_previous.get(name, default)
+
     # ------------------------------------------------------------------ #
-    def _chunks(self, vertices: list[VertexId]) -> Iterator[list[VertexId]]:
-        for start in range(0, len(vertices), self._chunk_size):
-            yield vertices[start : start + self._chunk_size]
+    def _chunks(self, indexes: list[int]) -> Iterator[list[int]]:
+        for start in range(0, len(indexes), self._chunk_size):
+            yield indexes[start : start + self._chunk_size]
 
     def run(self, executor: Executor, max_supersteps: int = 100) -> RunStatistics:
         """Run ``executor.compute`` until every vertex halts or the limit hits."""
         if not isinstance(executor, Executor):
             raise VertexCentricError("executor must implement the Executor interface")
         stats = RunStatistics()
+        ids = self.csr.external_ids
         self.superstep = 0
+        self._aggregate_previous = {}
+        self._aggregate_next = {}
         while self.superstep < max_supersteps:
-            active = [v for v in self._vertices if v not in self._halted]
+            halted = self._halted
+            if halted:
+                active = [i for i in range(self.num_vertices) if ids[i] not in halted]
+            else:
+                active = list(range(self.num_vertices))
             if not active:
                 stats.halted_early = True
                 break
@@ -159,12 +208,15 @@ class VertexCentric:
             # carry forward values so untouched keys persist between supersteps
             self._next = {v: dict(data) for v, data in self._previous.items()}
             self._woken = set()
+            self._aggregate_next = {}
+            compute = executor.compute
             for chunk in self._chunks(active):
                 stats.chunk_count += 1
-                for vertex in chunk:
-                    executor.compute(VertexContext(self, vertex))
+                for index in chunk:
+                    compute(VertexContext(self, ids[index], index))
                     stats.compute_calls += 1
             self._previous = self._next
+            self._aggregate_previous = self._aggregate_next
             self._halted -= self._woken
             self.superstep += 1
             stats.supersteps = self.superstep

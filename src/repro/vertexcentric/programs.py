@@ -24,7 +24,13 @@ class DegreeProgram(Executor):
 
 
 class PageRankProgram(Executor):
-    """Classic synchronous PageRank with a fixed number of iterations."""
+    """Classic synchronous PageRank with a fixed number of iterations.
+
+    Dangling vertices (out-degree zero) redistribute their rank uniformly
+    through a sum aggregator, matching the direct kernel's correction: the
+    mass they hold after superstep ``k`` reaches every vertex in superstep
+    ``k + 1``.
+    """
 
     def __init__(self, iterations: int = 20, damping: float = 0.85) -> None:
         self.iterations = iterations
@@ -32,11 +38,14 @@ class PageRankProgram(Executor):
 
     def compute(self, ctx: VertexContext) -> None:
         n = ctx.num_vertices()
+        degree = ctx.degree()
         if ctx.superstep == 0:
             ctx.set_value(1.0 / n, key="rank")
             # the paper precomputes degrees before running PageRank because
             # condensed representations cannot read them for free
-            ctx.set_value(ctx.degree(), key="degree")
+            ctx.set_value(degree, key="degree")
+            if degree == 0:
+                ctx.aggregate("dangling", 1.0 / n)
             return
         # gather: pull the previous rank of every in-contributing neighbor.
         # The framework is GAS-style, so we emulate "incoming" contributions
@@ -50,7 +59,11 @@ class PageRankProgram(Executor):
             if not neighbor_degree:
                 continue
             total += neighbor_rank / neighbor_degree
-        ctx.set_value((1.0 - self.damping) / n + self.damping * total, key="rank")
+        dangling_mass = ctx.get_aggregate("dangling")
+        rank = (1.0 - self.damping) / n + self.damping * (total + dangling_mass / n)
+        ctx.set_value(rank, key="rank")
+        if degree == 0:
+            ctx.aggregate("dangling", rank)
         if ctx.superstep >= self.iterations:
             ctx.vote_to_halt()
 

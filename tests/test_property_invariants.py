@@ -96,8 +96,11 @@ def test_property_condensed_extraction_equals_full_join(db, force_virtual, prepr
         db, options=ExtractionOptions(threshold_factor=1e12)
     ).extract(COAUTHOR, representation="exp")
     assert logically_equivalent(result.graph, reference)
-    # the condensed structure never stores more edges than the base tables have rows
-    assert result.report.condensed_edges <= 2 * db.total_rows()
+    # linear-size guarantee: virtual-node encoding stores at most two edges
+    # per base-table row; direct (deduplicated) materialisation stores at most
+    # the logical edge count.  The extractor may mix the two regimes per
+    # virtual node, so the sum bounds every plan it can choose.
+    assert result.report.condensed_edges <= 2 * db.total_rows() + reference.num_edges()
 
 
 @settings(max_examples=40, deadline=None)

@@ -1,0 +1,196 @@
+"""Representation-parity suite: every algorithm, every representation.
+
+Each algorithm must return identical results on EXP, C-DUP, DEDUP-1 and
+BITMAP (exact equality for integer/discrete outputs, 1e-12 per-vertex for
+floating-point ones — neighbor *order* differs between representations, so
+float summation order may differ in the last bits).
+
+DEDUP-2 by design drops self-loops — and every symmetric condensed graph with
+a non-trivial virtual node has them (``u → V → u``) — so DEDUP-2 results are
+checked against the *self-loop-free projection* of the same logical graph,
+materialised as an EXP graph.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    average_clustering,
+    bfs_distances,
+    closeness_centrality,
+    connected_components,
+    core_numbers,
+    count_triangles,
+    degrees,
+    jaccard_coefficient,
+    label_propagation,
+    pagerank,
+    triangles_per_vertex,
+)
+from repro.dedup import deduplicate_dedup1, deduplicate_dedup2, preprocess_bitmap
+from repro.dedup.expand import expand
+from repro.graph import CDupGraph, ExpandedGraph, logical_edge_set
+
+from tests.conftest import build_directed_condensed, build_symmetric_condensed
+
+
+@pytest.fixture(scope="module")
+def symmetric_family():
+    """representation -> graph, all exposing the same symmetric logical graph."""
+    condensed = build_symmetric_condensed(seed=31, num_real=40, num_virtual=14, max_size=7)
+    return {
+        "EXP": expand(condensed.copy()),
+        "C-DUP": CDupGraph(condensed.copy()),
+        "DEDUP-1": deduplicate_dedup1(condensed.copy(), seed=5),
+        "BITMAP": preprocess_bitmap(condensed.copy()),
+    }
+
+
+@pytest.fixture(scope="module")
+def directed_family():
+    """Same for a non-symmetric condensed graph (no DEDUP-2 here)."""
+    condensed = build_directed_condensed(seed=31, num_real=40, num_virtual=14, max_size=7)
+    return {
+        "EXP": expand(condensed.copy()),
+        "C-DUP": CDupGraph(condensed.copy()),
+        "DEDUP-1": deduplicate_dedup1(condensed.copy(), seed=5),
+        "BITMAP": preprocess_bitmap(condensed.copy()),
+    }
+
+
+@pytest.fixture(scope="module")
+def dedup2_pair():
+    """(DEDUP-2 graph, self-loop-free EXP projection of the same graph)."""
+    condensed = build_symmetric_condensed(seed=31, num_real=40, num_virtual=14, max_size=7)
+    dedup2 = deduplicate_dedup2(condensed)
+    exp = expand(condensed)
+    projection = ExpandedGraph.from_edges(
+        [(u, v) for (u, v) in logical_edge_set(exp) if u != v],
+        vertices=exp.get_vertices(),
+    )
+    return dedup2, projection
+
+
+def _assert_float_maps_equal(maps: dict[str, dict], tolerance: float = 1e-12) -> None:
+    names = list(maps)
+    reference = maps[names[0]]
+    for name in names[1:]:
+        other = maps[name]
+        assert set(other) == set(reference), f"{name}: vertex set differs"
+        worst = max(abs(other[v] - reference[v]) for v in reference)
+        assert worst <= tolerance, f"{name}: diverges from {names[0]} by {worst}"
+
+
+FAMILIES = ("symmetric_family", "directed_family")
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestParityAcrossRepresentations:
+    def test_degrees(self, family, request):
+        graphs = request.getfixturevalue(family)
+        results = {name: degrees(graph) for name, graph in graphs.items()}
+        assert all(result == results["EXP"] for result in results.values())
+
+    def test_bfs_distances(self, family, request):
+        graphs = request.getfixturevalue(family)
+        sources = sorted(graphs["EXP"].get_vertices(), key=repr)[:8]
+        for source in sources:
+            results = {
+                name: bfs_distances(graph, source) for name, graph in graphs.items()
+            }
+            assert all(result == results["EXP"] for result in results.values())
+
+    def test_connected_components(self, family, request):
+        graphs = request.getfixturevalue(family)
+        results = {name: connected_components(graph) for name, graph in graphs.items()}
+        assert all(result == results["EXP"] for result in results.values())
+
+    def test_pagerank(self, family, request):
+        graphs = request.getfixturevalue(family)
+        _assert_float_maps_equal(
+            {name: pagerank(graph, max_iterations=60) for name, graph in graphs.items()}
+        )
+
+    def test_label_propagation(self, family, request):
+        graphs = request.getfixturevalue(family)
+        results = {name: label_propagation(graph, seed=2) for name, graph in graphs.items()}
+        assert all(result == results["EXP"] for result in results.values())
+
+    def test_core_numbers(self, family, request):
+        graphs = request.getfixturevalue(family)
+        results = {name: core_numbers(graph) for name, graph in graphs.items()}
+        assert all(result == results["EXP"] for result in results.values())
+
+    def test_triangles(self, family, request):
+        graphs = request.getfixturevalue(family)
+        counts = {name: count_triangles(graph) for name, graph in graphs.items()}
+        assert len(set(counts.values())) == 1
+        per_vertex = {name: triangles_per_vertex(graph) for name, graph in graphs.items()}
+        assert all(result == per_vertex["EXP"] for result in per_vertex.values())
+
+    def test_closeness_centrality(self, family, request):
+        graphs = request.getfixturevalue(family)
+        _assert_float_maps_equal(
+            {name: closeness_centrality(graph) for name, graph in graphs.items()}
+        )
+
+    def test_average_clustering(self, family, request):
+        graphs = request.getfixturevalue(family)
+        values = {name: average_clustering(graph) for name, graph in graphs.items()}
+        reference = values["EXP"]
+        assert all(abs(value - reference) <= 1e-12 for value in values.values())
+
+    def test_jaccard_sample_pairs(self, family, request):
+        graphs = request.getfixturevalue(family)
+        vertices = sorted(graphs["EXP"].get_vertices(), key=repr)[:6]
+        pairs = [(a, b) for i, a in enumerate(vertices) for b in vertices[i + 1 :]]
+        for u, v in pairs:
+            scores = {
+                name: jaccard_coefficient(graph, u, v) for name, graph in graphs.items()
+            }
+            assert len({round(score, 15) for score in scores.values()}) == 1
+
+
+class TestDedup2Parity:
+    """DEDUP-2 must agree with the self-loop-free projection of the graph."""
+
+    def test_degrees(self, dedup2_pair):
+        dedup2, projection = dedup2_pair
+        assert degrees(dedup2) == degrees(projection)
+
+    def test_bfs_distances(self, dedup2_pair):
+        dedup2, projection = dedup2_pair
+        for source in sorted(projection.get_vertices(), key=repr)[:8]:
+            assert bfs_distances(dedup2, source) == bfs_distances(projection, source)
+
+    def test_connected_components_partition(self, dedup2_pair):
+        dedup2, projection = dedup2_pair
+
+        def groups(labels):
+            by_label: dict = {}
+            for vertex, label in labels.items():
+                by_label.setdefault(label, set()).add(vertex)
+            return sorted(map(sorted, by_label.values()))
+
+        assert groups(connected_components(dedup2)) == groups(
+            connected_components(projection)
+        )
+
+    def test_pagerank(self, dedup2_pair):
+        dedup2, projection = dedup2_pair
+        ours = pagerank(dedup2, max_iterations=60)
+        reference = pagerank(projection, max_iterations=60)
+        assert max(abs(ours[v] - reference[v]) for v in reference) <= 1e-12
+
+    def test_triangles_and_cores(self, dedup2_pair):
+        dedup2, projection = dedup2_pair
+        assert count_triangles(dedup2) == count_triangles(projection)
+        assert core_numbers(dedup2) == core_numbers(projection)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_logical_edge_sets_agree(family, request):
+    """Sanity: the parity families really expose one logical graph."""
+    graphs = request.getfixturevalue(family)
+    reference = logical_edge_set(graphs["EXP"])
+    for name, graph in graphs.items():
+        assert logical_edge_set(graph) == reference, name
