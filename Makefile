@@ -1,16 +1,20 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench smoke all help
+.PHONY: test test-fast bench smoke all help
 
 help:
-	@echo "make test   - fast unit/integration suite (tests/)"
-	@echo "make bench  - paper benchmark reproductions (benchmarks/, slow)"
-	@echo "make smoke  - seconds-fast sanity subset (kernel, parity, algorithms)"
-	@echo "make all    - everything (tier-1 equivalent)"
+	@echo "make test      - fast unit/integration suite (tests/)"
+	@echo "make test-fast - same, minus slow-marked stress tests (~tier-1 loop)"
+	@echo "make bench     - paper benchmark reproductions (benchmarks/, slow)"
+	@echo "make smoke     - seconds-fast sanity subset (kernel, parity, algorithms)"
+	@echo "make all       - everything (tier-1 equivalent)"
 
 test:
 	$(PYTEST) -q tests/
+
+test-fast:
+	$(PYTEST) -q tests/ -m "not slow"
 
 bench:
 	$(PYTEST) -q benchmarks/

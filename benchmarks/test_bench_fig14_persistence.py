@@ -1,0 +1,151 @@
+"""Figure 14 (new) — snapshot persistence and process-parallel supersteps.
+
+The SIGMOD contest analyses the paper cites observe that for many graph
+workloads *snapshot build time dominates query time*.  This module measures
+the two mechanisms PR 2 adds against that wall, on the Synthetic_1 condensed
+dataset:
+
+* **persistence** — cold CSR extraction (expanding the virtual layer) vs.
+  loading a persisted snapshot file, mmap'd zero-copy and array-copy, with
+  and without hash verification.  The warm mmap load must beat the cold
+  build: that is the pay-once-per-dataset claim.
+* **parallel supersteps** — vertex-centric PageRank and BFS serial vs.
+  ``parallelism=2/4`` worker processes over the shared snapshot file.  The
+  timings are recorded for the table; the asserted property is bit-identical
+  results (the container may have a single core, so no speed-up is claimed).
+
+Results land in ``benchmarks/results/fig14_snapshot_persistence.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import SMALL_SPECS, generate_from_spec
+from repro.graph import CDupGraph, CSRGraph
+from repro.graph.snapshot_store import load_snapshot, save_snapshot
+from repro.vertexcentric.programs import run_pagerank, run_sssp
+
+from benchmarks.conftest import once, record_rows
+
+_ROWS: list[dict[str, object]] = []
+
+PAGERANK_ITERATIONS = 10
+
+
+def _record(phase: str, variant: str, seconds: float, note: str = "") -> None:
+    _ROWS.append(
+        {
+            "phase": phase,
+            "variant": variant,
+            "seconds": round(seconds, 6),
+            "note": note,
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def cdup_graph():
+    return CDupGraph(generate_from_spec(SMALL_SPECS["synthetic_1"]))
+
+
+@pytest.fixture(scope="module")
+def snapshot_file(cdup_graph, tmp_path_factory):
+    """The persisted snapshot every warm-load benchmark maps."""
+    path = tmp_path_factory.mktemp("fig14") / "synthetic_1.csr"
+    save_snapshot(cdup_graph.snapshot(), path)
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# cold extraction vs. warm load
+# --------------------------------------------------------------------------- #
+def test_cold_snapshot_build(benchmark, cdup_graph):
+    snap = once(benchmark, CSRGraph.from_graph, cdup_graph)
+    _record(
+        "persistence",
+        "cold build (virtual-layer expansion)",
+        benchmark.stats.stats.mean,
+        f"n={snap.n} m={snap.num_edges}",
+    )
+    assert snap.n > 0 and snap.num_edges > 0
+
+
+@pytest.mark.parametrize(
+    "variant,kwargs",
+    [
+        ("warm mmap load (no verify)", {"mmap": True, "verify": False}),
+        ("warm mmap load (verified)", {"mmap": True, "verify": True}),
+        ("warm copy load (no verify)", {"mmap": False, "verify": False}),
+    ],
+)
+def test_warm_snapshot_load(benchmark, cdup_graph, snapshot_file, variant, kwargs):
+    loaded = once(benchmark, load_snapshot, snapshot_file, **kwargs)
+    _record("persistence", variant, benchmark.stats.stats.mean)
+    reference = cdup_graph.snapshot()
+    assert loaded.n == reference.n and loaded.num_edges == reference.num_edges
+    assert loaded.content_hash == reference.content_hash
+
+
+# --------------------------------------------------------------------------- #
+# serial vs. parallel supersteps
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def serial_pagerank(cdup_graph):
+    return run_pagerank(cdup_graph, iterations=PAGERANK_ITERATIONS)[0]
+
+
+@pytest.fixture(scope="module")
+def serial_bfs(cdup_graph):
+    source = cdup_graph.snapshot().external_ids[0]
+    return source, run_sssp(cdup_graph, source)[0]
+
+
+@pytest.mark.parametrize("parallelism", [1, 2, 4])
+def test_pagerank_supersteps(
+    benchmark, cdup_graph, snapshot_file, serial_pagerank, parallelism
+):
+    ranks, _ = once(
+        benchmark,
+        run_pagerank,
+        cdup_graph,
+        iterations=PAGERANK_ITERATIONS,
+        parallelism=parallelism,
+        snapshot_path=str(snapshot_file) if parallelism > 1 else None,
+    )
+    label = "serial" if parallelism == 1 else f"{parallelism} workers"
+    _record("pagerank", label, benchmark.stats.stats.mean)
+    assert ranks == serial_pagerank  # bit-identical, not approximately equal
+
+
+@pytest.mark.parametrize("parallelism", [1, 2, 4])
+def test_bfs_supersteps(benchmark, cdup_graph, snapshot_file, serial_bfs, parallelism):
+    source, reference = serial_bfs
+    distances, _ = once(
+        benchmark,
+        run_sssp,
+        cdup_graph,
+        source,
+        parallelism=parallelism,
+        snapshot_path=str(snapshot_file) if parallelism > 1 else None,
+    )
+    label = "serial" if parallelism == 1 else f"{parallelism} workers"
+    _record("bfs", label, benchmark.stats.stats.mean)
+    assert distances == reference
+
+
+# --------------------------------------------------------------------------- #
+# summary
+# --------------------------------------------------------------------------- #
+def test_figure14_summary():
+    record_rows(
+        "fig14_snapshot_persistence",
+        "Figure 14: snapshot persistence and parallel supersteps (Synthetic_1, C-DUP)",
+        _ROWS,
+    )
+    by_variant = {str(row["variant"]): float(row["seconds"]) for row in _ROWS}
+    cold = by_variant["cold build (virtual-layer expansion)"]
+    warm = by_variant["warm mmap load (no verify)"]
+    # the pay-once-per-dataset claim: mapping the persisted file must be much
+    # cheaper than re-expanding the virtual layer
+    assert warm < cold, f"warm mmap load ({warm}s) not faster than cold build ({cold}s)"

@@ -8,6 +8,8 @@ be extracted, inspected and analyzed without writing a script::
     python -m repro.cli extract --dataset dblp --output coauthors.tsv
     python -m repro.cli explain --data ./my_csv_db --query-file coauthors.dl
     python -m repro.cli analyze --dataset tpch --algorithm pagerank --top 5
+    python -m repro.cli analyze --dataset dblp --algorithm pagerank \
+        --snapshot-cache ./snapshots --parallel 4
 
 Databases come either from a directory of CSV files (see
 :mod:`repro.relational.csv_io`) or from one of the built-in synthetic dataset
@@ -31,6 +33,7 @@ from repro.algorithms import (
     pagerank,
 )
 from repro.core.graphgen import GraphGen, REPRESENTATIONS
+from repro.graph.snapshot_store import SnapshotStore, ensure_saved
 from repro.datasets import (
     COACTOR_QUERY,
     COAUTHOR_QUERY,
@@ -43,6 +46,12 @@ from repro.datasets import (
 )
 from repro.exceptions import GraphGenError
 from repro.graphgenpy import FORMATS, GraphGenPy
+from repro.vertexcentric.programs import (
+    run_connected_components,
+    run_degree,
+    run_pagerank,
+    run_sssp,
+)
 from repro.relational.csv_io import read_database
 from repro.relational.database import Database
 
@@ -123,6 +132,25 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--algorithm", choices=ALGORITHMS, default="degree")
             sub.add_argument("--top", type=int, default=10, help="number of result rows to print")
             sub.add_argument("--source", help="source vertex for BFS (as text)")
+            sub.add_argument(
+                "--snapshot-cache",
+                metavar="DIR",
+                help="directory of persisted CSR snapshots, keyed by "
+                "dataset/query/representation; the extracted graph's snapshot "
+                "is written there (only when missing or stale, detected by "
+                "content hash) and --parallel workers mmap the cached file",
+            )
+            sub.add_argument(
+                "--parallel",
+                type=int,
+                default=1,
+                metavar="N",
+                help="run degree/pagerank/components/bfs through the superstep "
+                "engine in N worker processes mapping the shared snapshot "
+                "(identical results for any N; pagerank may differ from the "
+                "serial kernel in low-order digits, and non-symmetric graphs "
+                "fall back to the serial kernel with a note)",
+            )
 
     return parser
 
@@ -203,14 +231,62 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parallelism(args) -> int:
+    parallel = getattr(args, "parallel", 1)
+    if parallel < 1:
+        raise GraphGenError("--parallel must be at least 1")
+    return parallel
+
+
+def _parallel_kwargs(args) -> dict:
+    """Keyword arguments routing a vertex-centric runner through the parallel
+    superstep executor over the (possibly cached) snapshot file."""
+    return {
+        "parallelism": _parallelism(args),
+        "snapshot_path": getattr(args, "_snapshot_path", None),
+    }
+
+
+def _use_parallel_engine(graph, args, out, algorithm: str) -> bool:
+    """Whether to route ``algorithm`` through the parallel superstep engine.
+
+    The superstep programs gather from out-neighbors, which matches the
+    serial kernels' semantics only on symmetric graphs (all of the paper's
+    co-occurrence extractions are; arbitrary ``--data`` queries may not be).
+    Degree reads plain out-degrees and is exact on any graph.  On a
+    non-symmetric graph the CLI says so and falls back to the serial kernel
+    rather than silently changing the algorithm's meaning.
+    """
+    if _parallelism(args) <= 1:
+        return False
+    if algorithm == "degree":
+        return True
+    if not graph.snapshot().is_symmetric():
+        print(
+            f"note: the {algorithm} superstep program requires a symmetric "
+            "graph; running serial kernel",
+            file=out,
+        )
+        return False
+    return True
+
+
 def _run_degree(graph, args, out) -> None:
-    scores = degrees(graph)
+    if _use_parallel_engine(graph, args, out, "degree"):
+        scores, _ = run_degree(graph, **_parallel_kwargs(args))
+    else:
+        scores = degrees(graph)
     rows = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
     _print_rows(rows, ("vertex", "degree"), out)
 
 
 def _run_pagerank(graph, args, out) -> None:
-    scores = pagerank(graph)
+    if _use_parallel_engine(graph, args, out, "pagerank"):
+        print("note: pagerank via the superstep engine (20 fixed iterations); "
+              "low-order digits may differ from the serial kernel", file=out)
+        scores, _ = run_pagerank(graph, **_parallel_kwargs(args))
+    else:
+        scores = pagerank(graph)
     rows = [
         (vertex, f"{score:.6f}")
         for vertex, score in sorted(
@@ -220,12 +296,25 @@ def _run_pagerank(graph, args, out) -> None:
     _print_rows(rows, ("vertex", "pagerank"), out)
 
 
+def _canonical_component_labels(labels: dict) -> dict:
+    """Relabel a component partition with 0-based integers in first-appearance
+    order.  ``run_connected_components`` returns values in snapshot vertex
+    order, so on symmetric graphs this reproduces the serial kernel's
+    numbering exactly."""
+    canonical: dict[Any, int] = {}
+    return {vertex: canonical.setdefault(label, len(canonical)) for vertex, label in labels.items()}
+
+
 def _run_components(graph, args, out) -> None:
-    labels = connected_components(graph)
-    sizes: dict[int, int] = {}
+    if _use_parallel_engine(graph, args, out, "components"):
+        raw, _ = run_connected_components(graph, **_parallel_kwargs(args))
+        labels = _canonical_component_labels(raw)
+    else:
+        labels = connected_components(graph)
+    sizes: dict[Any, int] = {}
     for label in labels.values():
         sizes[label] = sizes.get(label, 0) + 1
-    rows = sorted(sizes.items(), key=lambda item: -item[1])[: args.top]
+    rows = sorted(sizes.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
     print(f"components: {len(sizes)}", file=out)
     _print_rows(rows, ("component", "size"), out)
 
@@ -234,13 +323,19 @@ def _run_bfs(graph, args, out) -> None:
     if args.source is None:
         raise GraphGenError("--source is required for the bfs algorithm")
     source = _parse_vertex(graph, args.source)
-    distances = bfs_distances(graph, source)
+    if _use_parallel_engine(graph, args, out, "bfs"):
+        with_unreachable, _ = run_sssp(graph, source, **_parallel_kwargs(args))
+        distances = {v: d for v, d in with_unreachable.items() if d is not None}
+    else:
+        distances = bfs_distances(graph, source)
     rows = sorted(distances.items(), key=lambda item: (item[1], repr(item[0])))[: args.top]
     print(f"reachable vertices: {len(distances)}", file=out)
     _print_rows(rows, ("vertex", "distance"), out)
 
 
 def _run_kcore(graph, args, out) -> None:
+    if _parallelism(args) > 1:
+        print("note: kcore has no superstep program; running serial kernel", file=out)
     cores = core_numbers(graph)
     rows = sorted(cores.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
     print(f"degeneracy: {max(cores.values(), default=0)}", file=out)
@@ -248,7 +343,8 @@ def _run_kcore(graph, args, out) -> None:
 
 
 def _run_triangles(graph, args, out) -> None:
-    del args  # whole-graph count; --top does not apply
+    if _parallelism(args) > 1:
+        print("note: triangles has no superstep program; running serial kernel", file=out)
     print(f"triangles: {count_triangles(graph)}", file=out)
 
 
@@ -264,10 +360,26 @@ ALGORITHM_RUNNERS = {
 }
 
 
+def _snapshot_cache_key(args: argparse.Namespace, query: str) -> str:
+    """Cache key identifying (database origin, query, representation)."""
+    import hashlib
+
+    origin = args.dataset or Path(args.data).resolve().name
+    digest = hashlib.sha256(query.encode("utf-8")).hexdigest()[:12]
+    return f"{origin}_s{args.scale}_r{args.seed}_{args.representation}_{digest}"
+
+
 def _cmd_analyze(args: argparse.Namespace, out) -> int:
     db = _resolve_database(args)
     query = _resolve_query(args)
+    _parallelism(args)  # validate early, before the (expensive) extraction
     graph = GraphGen(db).extract(query, representation=args.representation)
+    if args.snapshot_cache:
+        store = SnapshotStore(args.snapshot_cache)
+        key = _snapshot_cache_key(args, query)
+        # persist the snapshot (content-hash checked: a fresh file is written
+        # only when missing or stale); parallel superstep workers mmap it
+        args._snapshot_path = str(ensure_saved(graph.snapshot(), store.path_for(key)))
     ALGORITHM_RUNNERS[args.algorithm](graph, args, out)
     return 0
 

@@ -47,6 +47,11 @@ class RepresentationError(GraphGenError):
     (e.g. running a dedup-requiring operation on a duplicated graph)."""
 
 
+class SnapshotFormatError(GraphGenError):
+    """A persisted CSR snapshot file is unreadable (wrong magic, unsupported
+    version, truncated sections, or a content-hash mismatch)."""
+
+
 class DeduplicationError(GraphGenError):
     """A deduplication algorithm was given input it cannot handle
     (e.g. a multi-layer graph passed to a single-layer-only algorithm)."""

@@ -19,6 +19,15 @@ construction — the same compressed layout the CSR kernel uses — and schedule
 supersteps over flat inbox/halted arrays; vertex identifiers only appear at
 the ``send`` boundary and in the program-facing API, which is unchanged.
 
+With ``parallelism=N`` (default 1 = serial) supersteps run through the shared
+:class:`~repro.vertexcentric.parallel.ParallelSuperstepExecutor`: the dense
+index range is split into ``N`` fixed contiguous partitions, each owned by a
+persistent forked worker that keeps its partition's vertex state (values,
+``data`` scratch, halt votes) local across supersteps; the master routes
+messages between partitions and re-reduces aggregator contributions in
+partition order, so values, metrics and floating-point aggregates are
+bit-identical to the serial engine.
+
 The engine knows nothing about condensed representations; the adapters in
 :mod:`repro.giraph.adapters` build the vertex sets for each representation and
 the programs in :mod:`repro.giraph.programs` implement the per-representation
@@ -120,8 +129,12 @@ class GiraphEngine:
     indexed by those integers.
     """
 
-    def __init__(self, vertices: dict[Hashable, GiraphVertex]) -> None:
+    def __init__(self, vertices: dict[Hashable, GiraphVertex], parallelism: int = 1) -> None:
+        if parallelism < 1:
+            raise VertexCentricError("parallelism must be at least 1")
         self._vertices = vertices
+        #: number of worker processes for supersteps (1 = serial, the default)
+        self._parallelism = parallelism
         #: dense layout shared by inbox/outbox/halted arrays
         self._ids: list[Hashable] = list(vertices)
         self._index: dict[Hashable, int] = {vid: i for i, vid in enumerate(self._ids)}
@@ -182,6 +195,9 @@ class GiraphEngine:
         if program.max_supersteps is not None:
             limit = min(limit, program.max_supersteps)
 
+        if self._parallelism > 1 and self._ids:
+            return self._run_parallel(program, limit, metrics)
+
         context = GiraphContext(self)
         compute = program.compute
         n = len(self._ids)
@@ -216,3 +232,192 @@ class GiraphEngine:
             self.superstep += 1
             metrics.supersteps = self.superstep
         return metrics
+
+    # ------------------------------------------------------------------ #
+    # process-parallel supersteps (shared executor with repro.vertexcentric)
+    # ------------------------------------------------------------------ #
+    def _run_parallel(
+        self, program: GiraphProgram, limit: int, metrics: GiraphMetrics
+    ) -> GiraphMetrics:
+        """BSP execution over fixed index partitions in worker processes.
+
+        Each forked worker owns a contiguous partition of the dense index
+        range for the whole run: vertex values and per-vertex ``data``
+        scratch stay worker-local, the master only routes messages, merges
+        aggregator contributions (flat left-to-right in partition order —
+        the serial engine's summation order) and tracks termination.  Final
+        vertex values are collected back into the master's vertex objects,
+        so :meth:`values` works exactly as after a serial run.
+        """
+        from repro.vertexcentric.parallel import ParallelSuperstepExecutor
+
+        factory = _GiraphWorkerFactory(
+            self._ordered, self._index, self.num_real_vertices, program
+        )
+        pool = ParallelSuperstepExecutor(self._parallelism, len(self._ids), factory)
+        #: partition id per dense index, for message routing
+        owner = [0] * len(self._ids)
+        for part, (lo, hi) in enumerate(pool.partitions):
+            for i in range(lo, hi):
+                owner[i] = part
+        try:
+            pool.start()
+            self.superstep = 0
+            self._aggregate_previous = {}
+            inbox: dict[int, list[Any]] = {}
+            non_halted = [hi - lo for lo, hi in pool.partitions]
+            while self.superstep < limit:
+                if not inbox and not any(non_halted):
+                    break
+                grouped: list[list[tuple[int, list[Any]]]] = [[] for _ in pool.partitions]
+                for index in sorted(inbox):
+                    grouped[owner[index]].append((index, inbox[index]))
+                payloads = [
+                    (self.superstep, items, self._aggregate_previous) for items in grouped
+                ]
+                results = pool.superstep(payloads)
+
+                inbox = {}
+                aggregate_next: dict[str, float] = {}
+                sent_total = 0
+                for part, (sends, sent, calls, contributions, remaining) in enumerate(results):
+                    metrics.compute_calls += calls
+                    sent_total += sent
+                    non_halted[part] = remaining
+                    # partition order == ascending sender order == serial
+                    # delivery order per target inbox
+                    for target, message in sends:
+                        box = inbox.get(target)
+                        if box is None:
+                            inbox[target] = [message]
+                        else:
+                            box.append(message)
+                    for name, values in contributions.items():
+                        total = aggregate_next.get(name, 0.0)
+                        for value in values:
+                            total = total + value
+                        aggregate_next[name] = total
+                metrics.messages_per_superstep.append(sent_total)
+                metrics.total_messages += sent_total
+                metrics.peak_message_buffer = max(metrics.peak_message_buffer, sent_total)
+                self._aggregate_previous = aggregate_next
+                self.superstep += 1
+                metrics.supersteps = self.superstep
+            # pull final vertex values back into the master's vertex objects
+            ordered = self._ordered
+            for partition_values in pool.collect():
+                for index, value in partition_values:
+                    ordered[index].value = value
+        finally:
+            pool.close()
+        return metrics
+
+
+# --------------------------------------------------------------------------- #
+# parallel chunk workers (run inside forked processes; see _run_parallel)
+# --------------------------------------------------------------------------- #
+class _GiraphChunkWorker:
+    """Owns one contiguous partition of the dense vertex range for a run.
+
+    Duck-types the engine for :class:`GiraphContext`: ``send`` records
+    ordered ``(target_index, message)`` pairs for the master to route,
+    ``vote_to_halt`` updates the partition-local halted array, aggregator
+    contributions are kept as ordered lists for the master's serial-order
+    re-reduction.
+    """
+
+    def __init__(
+        self,
+        ordered: list[GiraphVertex],
+        index: dict[Hashable, int],
+        num_real_vertices: int,
+        program: GiraphProgram,
+        lo: int,
+        hi: int,
+    ) -> None:
+        self._ordered = ordered
+        self._index = index
+        self.num_real_vertices = num_real_vertices
+        self._program = program
+        self.lo = lo
+        self.hi = hi
+        self.superstep = 0
+        self._halted = bytearray(len(ordered))  # only [lo, hi) is meaningful
+        self._sends: list[tuple[int, Any]] = []
+        self._messages_sent = 0
+        self._aggregate_previous: dict[str, float] = {}
+        self._contributions: dict[str, list[float]] = {}
+        self._context = GiraphContext(self)
+
+    # -- the GiraphContext-facing interface ------------------------------ #
+    def send(self, target: Hashable, message: Any) -> None:
+        index = self._index.get(target)
+        if index is None:
+            raise VertexCentricError(f"message sent to unknown vertex {target!r}")
+        self._sends.append((index, message))
+        self._messages_sent += 1
+
+    def vote_to_halt(self, vertex_id: Hashable) -> None:
+        index = self._index[vertex_id]
+        if not (self.lo <= index < self.hi):
+            raise VertexCentricError(
+                "parallel Giraph programs may only halt vertices of their own partition"
+            )
+        self._halted[index] = 1
+
+    def aggregate(self, name: str, value: float) -> None:
+        self._contributions.setdefault(name, []).append(value)
+
+    def get_aggregate(self, name: str, default: float = 0.0) -> float:
+        return self._aggregate_previous.get(name, default)
+
+    # -- executor protocol ----------------------------------------------- #
+    def run_superstep(self, payload):
+        superstep, inbox_items, aggregates = payload
+        self.superstep = superstep
+        self._aggregate_previous = aggregates
+        self._sends = []
+        self._messages_sent = 0
+        self._contributions = {}
+        inbox = dict(inbox_items)
+        halted = self._halted
+        active = [i for i in range(self.lo, self.hi) if not halted[i] or i in inbox]
+        compute = self._program.compute
+        ordered = self._ordered
+        context = self._context
+        calls = 0
+        for i in active:
+            halted[i] = 0
+            messages = inbox.get(i)
+            compute(ordered[i], messages if messages is not None else [], context)
+            calls += 1
+        remaining = sum(1 for i in range(self.lo, self.hi) if not halted[i])
+        return (self._sends, self._messages_sent, calls, self._contributions, remaining)
+
+    def collect(self):
+        return [(i, self._ordered[i].value) for i in range(self.lo, self.hi)]
+
+
+class _GiraphWorkerFactory:
+    """Builds a :class:`_GiraphChunkWorker` inside a forked worker.
+
+    The ordered vertex list and index map are inherited through the fork —
+    no pickling of the (possibly large) vertex set.
+    """
+
+    def __init__(
+        self,
+        ordered: list[GiraphVertex],
+        index: dict[Hashable, int],
+        num_real_vertices: int,
+        program: GiraphProgram,
+    ) -> None:
+        self.ordered = ordered
+        self.index = index
+        self.num_real_vertices = num_real_vertices
+        self.program = program
+
+    def __call__(self, lo: int, hi: int) -> _GiraphChunkWorker:
+        return _GiraphChunkWorker(
+            self.ordered, self.index, self.num_real_vertices, self.program, lo, hi
+        )

@@ -60,14 +60,20 @@ def run_giraph(
     iterations: int = 10,
     damping: float = 0.85,
     max_supersteps: int = 200,
+    parallelism: int = 1,
 ) -> GiraphRunResult:
-    """Run one algorithm on one representation through the simulated Giraph."""
+    """Run one algorithm on one representation through the simulated Giraph.
+
+    ``parallelism=N`` executes supersteps in ``N`` worker processes with
+    results bit-identical to the serial engine (see
+    :meth:`repro.giraph.engine.GiraphEngine._run_parallel`).
+    """
     if algorithm not in ALGORITHMS:
         raise VertexCentricError(
             f"unknown Giraph algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
     vertices, condensed = build_vertices(graph)
-    engine = GiraphEngine(vertices)
+    engine = GiraphEngine(vertices, parallelism=parallelism)
     if algorithm == "degree":
         program: Any = GiraphDegree()
     elif algorithm == "pagerank":

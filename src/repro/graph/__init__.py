@@ -11,6 +11,7 @@
 
 from repro.graph.api import Graph, PropertyStore, VertexId, logical_edge_set, check_same_vertex_set
 from repro.graph.kernel import CSRGraph
+from repro.graph.snapshot_store import SnapshotHeader, SnapshotStore, load_snapshot, save_snapshot
 from repro.graph.condensed import CondensedGraph, condensed_from_edges
 from repro.graph.condensed_base import CondensedBackedGraph
 from repro.graph.expanded import ExpandedGraph
@@ -35,6 +36,10 @@ __all__ = [
     "logical_edge_set",
     "check_same_vertex_set",
     "CSRGraph",
+    "SnapshotHeader",
+    "SnapshotStore",
+    "load_snapshot",
+    "save_snapshot",
     "CondensedGraph",
     "condensed_from_edges",
     "CondensedBackedGraph",

@@ -130,6 +130,18 @@ class Graph(ABC):
         self._csr_cache = (token, snap)
         return snap
 
+    def adopt_snapshot(self, csr: "CSRGraph") -> "CSRGraph":
+        """Install an externally built or loaded snapshot as the cache entry.
+
+        Used by :class:`repro.graph.snapshot_store.SnapshotStore` so that a
+        snapshot loaded (mmap-backed) from disk serves subsequent
+        ``snapshot()`` calls instead of being rebuilt.  The caller asserts
+        that ``csr`` matches the graph's *current* logical structure; the
+        entry is invalidated by the next structural mutation as usual.
+        """
+        self._csr_cache = (self._snapshot_token(), csr)
+        return csr
+
     def cached_snapshot(self) -> "CSRGraph | None":
         """The current CSR snapshot if one is cached and still valid, else
         ``None`` — without triggering a (possibly expensive) build."""

@@ -65,6 +65,8 @@ class CSRGraph:
         "_offsets_list",
         "_targets_list",
         "_undirected",
+        "_buffer_owner",
+        "_content_hash",
     )
 
     def __init__(
@@ -80,11 +82,26 @@ class CSRGraph:
         self._index: dict[VertexId, int] = {
             external: index for index, external in enumerate(external_ids)
         }
+        if len(self._index) != len(external_ids):
+            seen: set = set()
+            duplicates: list[VertexId] = []
+            for external in external_ids:
+                if external in seen and external not in duplicates:
+                    duplicates.append(external)
+                seen.add(external)
+            raise RepresentationError(
+                "duplicate external vertex IDs in snapshot: "
+                + ", ".join(repr(d) for d in duplicates[:5])
+                + ("..." if len(duplicates) > 5 else "")
+            )
         #: the Graph this snapshot was taken from (for property reads)
         self.source = source
         self._offsets_list: list[int] | None = None
         self._targets_list: list[int] | None = None
         self._undirected: list[set[int]] | None = None
+        #: keeps an mmap (or other buffer provider) alive for zero-copy loads
+        self._buffer_owner: Any = None
+        self._content_hash: bytes | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -142,6 +159,44 @@ class CSRGraph:
         external = cg.external
         external_ids = [external(node) for node in internal_nodes]
         return cls(offsets, array("q", targets_list), external_ids, source=graph)
+
+    # ------------------------------------------------------------------ #
+    # persistence (see repro.graph.snapshot_store for the file format)
+    # ------------------------------------------------------------------ #
+    @property
+    def content_hash(self) -> bytes:
+        """SHA-256 of the snapshot's logical content (arrays + codec).
+
+        Two snapshots of the same unmodified graph hash identically; any
+        structural change produces a different hash, which is how persisted
+        snapshot files are checked for staleness.
+        """
+        if self._content_hash is None:
+            from repro.graph.snapshot_store import compute_content_hash, encode_codec
+
+            self._content_hash = compute_content_hash(
+                self.offsets, self.targets, encode_codec(self.external_ids)
+            )
+        return self._content_hash
+
+    def save(self, path) -> "Any":
+        """Persist this snapshot to ``path`` (mmap-able binary format)."""
+        from repro.graph.snapshot_store import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @classmethod
+    def load(
+        cls, path, *, mmap: bool = True, verify: bool = True, source: "Graph | None" = None
+    ) -> "CSRGraph":
+        """Load a snapshot persisted with :meth:`save`.
+
+        With ``mmap=True`` the arrays are zero-copy views over a read-only
+        memory mapping of the file (shared page-cache copy across processes).
+        """
+        from repro.graph.snapshot_store import load_snapshot
+
+        return load_snapshot(path, mmap=mmap, verify=verify, source=source)
 
     # ------------------------------------------------------------------ #
     # sizes
@@ -222,6 +277,17 @@ class CSRGraph:
         for u in range(self.n):
             for e in range(offsets[u], offsets[u + 1]):
                 yield u, targets[e]
+
+    def is_symmetric(self) -> bool:
+        """True if every edge ``u → v`` has its reverse ``v → u``.
+
+        The paper's co-occurrence extractions are symmetric; the superstep
+        programs in :mod:`repro.vertexcentric.programs` gather from
+        out-neighbors and are exact only on symmetric graphs, so callers
+        routing work to them (e.g. the CLI's ``--parallel``) check this first.
+        """
+        edges = set(self.iter_edges())
+        return all((v, u) in edges for (u, v) in edges)
 
     def undirected_sets(self) -> list[set[int]]:
         """Symmetrised adjacency (``u ~ v`` iff ``u→v`` or ``v→u``) as a list

@@ -6,6 +6,7 @@ from repro.vertexcentric.framework import (
     VertexCentric,
     VertexContext,
 )
+from repro.vertexcentric.parallel import ParallelSuperstepExecutor, partition_range
 from repro.vertexcentric.programs import (
     ConnectedComponentsProgram,
     DegreeProgram,
@@ -24,6 +25,8 @@ __all__ = [
     "RunStatistics",
     "VertexCentric",
     "VertexContext",
+    "ParallelSuperstepExecutor",
+    "partition_range",
     "ConnectedComponentsProgram",
     "DegreeProgram",
     "LabelPropagationProgram",

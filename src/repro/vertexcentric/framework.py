@@ -9,10 +9,15 @@ style of GraphLab: a vertex reads its neighbors' *previous-superstep* values
 directly instead of exchanging explicit messages.
 
 This reproduction keeps the same API (an :class:`Executor` with a single
-``compute`` method, run through :class:`VertexCentric`) but executes the
-chunks sequentially — CPython threads would add overhead without parallelism,
-and every comparison in the paper is relative between representations on the
-same engine.
+``compute`` method, run through :class:`VertexCentric`).  By default the
+chunks execute sequentially — CPython threads would add overhead without
+parallelism, and every comparison in the paper is relative between
+representations on the same engine.  With ``parallelism=N`` the coordinator
+instead persists the snapshot to an mmap-able file and runs each superstep's
+chunks in ``N`` worker *processes* that map the file read-only
+(:mod:`repro.vertexcentric.parallel`); per-chunk outputs are merged in fixed
+chunk order so results — including floating-point aggregator sums — are
+bit-identical to serial execution.
 
 Supersteps are scheduled over the graph's CSR snapshot
 (:meth:`repro.graph.api.Graph.snapshot`): neighbor iteration and degrees come
@@ -127,9 +132,18 @@ class VertexCentric:
     supersteps run over that snapshot's dense arrays.
     """
 
-    def __init__(self, graph: Graph, num_workers: int = 4, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        num_workers: int = 4,
+        chunk_size: int | None = None,
+        parallelism: int = 1,
+        snapshot_path: str | None = None,
+    ) -> None:
         if num_workers < 1:
             raise VertexCentricError("num_workers must be at least 1")
+        if parallelism < 1:
+            raise VertexCentricError("parallelism must be at least 1")
         self.graph = graph
         #: the shared physical core every superstep is scheduled over
         self.csr = graph.snapshot()
@@ -137,6 +151,10 @@ class VertexCentric:
         self.num_vertices = self.csr.n
         self._num_workers = num_workers
         self._chunk_size = chunk_size or max(1, self.num_vertices // num_workers)
+        #: number of worker processes (1 = serial, the default)
+        self._parallelism = parallelism
+        #: where to persist the snapshot for parallel workers (None = tempfile)
+        self._snapshot_path = snapshot_path
 
         self.superstep = 0
         self._previous: dict[VertexId, dict[str, Any]] = {v: {} for v in self._vertices}
@@ -190,6 +208,8 @@ class VertexCentric:
         """Run ``executor.compute`` until every vertex halts or the limit hits."""
         if not isinstance(executor, Executor):
             raise VertexCentricError("executor must implement the Executor interface")
+        if self._parallelism > 1 and self.num_vertices > 0:
+            return self._run_parallel(executor, max_supersteps)
         stats = RunStatistics()
         ids = self.csr.external_ids
         self.superstep = 0
@@ -220,4 +240,114 @@ class VertexCentric:
             self._halted -= self._woken
             self.superstep += 1
             stats.supersteps = self.superstep
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # process-parallel supersteps (see repro.vertexcentric.parallel)
+    # ------------------------------------------------------------------ #
+    def _run_parallel(self, executor: Executor, max_supersteps: int) -> RunStatistics:
+        """Run supersteps in ``parallelism`` worker processes over a shared
+        mmap'd snapshot file, merging chunk outputs in fixed chunk order.
+
+        The merge order makes every result — value maps, halting, and
+        floating-point aggregator totals — bit-identical to the serial path.
+        Compute functions must not touch ``ctx.graph`` (workers only hold the
+        snapshot) and must not rely on mutable executor state carried across
+        supersteps (each worker runs on its own copy of the executor).
+        """
+        import os
+        import tempfile
+
+        from repro.vertexcentric.parallel import (
+            ParallelSuperstepExecutor,
+            VertexChunkWorkerFactory,
+        )
+
+        stats = RunStatistics()
+        ids = self.csr.external_ids
+        self.superstep = 0
+        self._aggregate_previous = {}
+        self._aggregate_next = {}
+
+        cleanup_path: str | None = None
+        if self._snapshot_path is None:
+            handle, path = tempfile.mkstemp(suffix=".csr", prefix="ggsnapshot-")
+            os.close(handle)
+            cleanup_path = path
+            self.csr.save(path)
+        else:
+            from repro.graph.snapshot_store import ensure_saved
+
+            path = str(ensure_saved(self.csr, self._snapshot_path))
+
+        factory = VertexChunkWorkerFactory(path, executor)
+        pool = ParallelSuperstepExecutor(self._parallelism, self.num_vertices, factory)
+        try:
+            pool.start()
+            deltas: dict[VertexId, dict[str, Any]] = {}
+            while self.superstep < max_supersteps:
+                halted = self._halted
+                if halted:
+                    active = [i for i in range(self.num_vertices) if ids[i] not in halted]
+                else:
+                    active = list(range(self.num_vertices))
+                if not active:
+                    stats.halted_early = True
+                    break
+                stats.per_superstep_active.append(len(active))
+                # scatter: split the (ascending) active list along the fixed
+                # partition bounds; broadcast last superstep's merged writes
+                payloads = []
+                position = 0
+                for _, hi in pool.partitions:
+                    start = position
+                    while position < len(active) and active[position] < hi:
+                        position += 1
+                    payloads.append(
+                        (self.superstep, active[start:position], deltas, self._aggregate_previous)
+                    )
+                results = pool.superstep(payloads)
+
+                # merge in fixed chunk order — identical to the serial engine's
+                # chunk-sequential execution
+                self._next = {v: dict(data) for v, data in self._previous.items()}
+                self._woken = set()
+                merged_writes: dict[VertexId, dict[str, Any]] = {}
+                aggregate_next: dict[str, float] = {}
+                for writes, halts, woken, contributions, calls in results:
+                    stats.chunk_count += 1
+                    stats.compute_calls += calls
+                    for vertex, data in writes.items():
+                        slot = self._next.get(vertex)
+                        if slot is None:
+                            self._next[vertex] = dict(data)
+                        else:
+                            slot.update(data)
+                        merged = merged_writes.get(vertex)
+                        if merged is None:
+                            merged_writes[vertex] = dict(data)
+                        else:
+                            merged.update(data)
+                    self._halted.update(halts)
+                    self._woken.update(woken)
+                    for name, values in contributions.items():
+                        # flat left-to-right sum in chunk order == serial order
+                        total = aggregate_next.get(name, 0.0)
+                        for value in values:
+                            total = total + value
+                        aggregate_next[name] = total
+                self._previous = self._next
+                self._aggregate_previous = aggregate_next
+                self._aggregate_next = {}
+                self._halted -= self._woken
+                deltas = merged_writes
+                self.superstep += 1
+                stats.supersteps = self.superstep
+        finally:
+            pool.close()
+            if cleanup_path is not None:
+                try:
+                    os.unlink(cleanup_path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
         return stats

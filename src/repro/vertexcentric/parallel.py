@@ -1,0 +1,331 @@
+"""Process-parallel superstep execution over a shared snapshot file.
+
+The vertex-centric coordinator and the Giraph engine both schedule supersteps
+over frozen dense-index arrays, which makes their per-superstep work
+embarrassingly parallel *within* a superstep: the dense vertex range is split
+into fixed contiguous partitions and each partition's ``compute`` calls run in
+a separate worker process.  What is **not** trivially parallel is keeping the
+results bit-identical to the serial engines — floating-point aggregation and
+message delivery are order-sensitive.  This module provides the shared
+machinery and its determinism contract:
+
+* **Fixed contiguous partitions.**  ``partition_range(n, parallelism)`` splits
+  ``[0, n)`` into ascending contiguous chunks once per run.  Partition ``k``
+  always owns the same dense indexes.
+
+* **Persistent workers, fork start method.**  One worker process per
+  partition lives for the whole run (created with the ``fork`` start method,
+  so engine-side state such as Giraph vertex sets is inherited without
+  pickling).  Vertex-centric workers do not even inherit the graph: they map
+  the run's **snapshot file** read-only
+  (:func:`repro.graph.snapshot_store.load_snapshot` with ``mmap=True``), so
+  every worker shares one physical copy of ``offsets``/``targets`` through
+  the page cache.
+
+* **Deterministic merge.**  Each superstep the master scatters one payload
+  per partition and gathers results *in partition order*.  Order-sensitive
+  outputs are returned as ordered sequences (per-aggregator contribution
+  lists, per-sender message lists) and re-reduced by the master with one flat
+  left-to-right pass — exactly the serial engines' iteration order (ascending
+  dense index).  Floating-point results are therefore bit-identical to
+  serial execution, not merely close.
+
+Workers implement two methods: ``run_superstep(payload) -> result`` and
+``collect() -> result``; the executor only moves bytes and enforces ordering.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import VertexCentricError
+from repro.graph.kernel import CSRGraph
+
+
+def partition_range(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into ``parts`` contiguous, ascending ``(lo, hi)`` chunks.
+
+    Sizes differ by at most one; with ``n < parts`` the tail chunks are empty
+    (``lo == hi``) so partition identities stay stable regardless of size.
+    """
+    if parts < 1:
+        raise VertexCentricError("parallelism must be at least 1")
+    base, extra = divmod(n, parts)
+    bounds = []
+    lo = 0
+    for k in range(parts):
+        hi = lo + base + (1 if k < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# --------------------------------------------------------------------------- #
+# worker process main loop
+# --------------------------------------------------------------------------- #
+def _worker_main(conn, lo: int, hi: int, worker_factory) -> None:
+    try:
+        worker = worker_factory(lo, hi)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", None))
+    try:
+        while True:
+            try:
+                command, payload = conn.recv()
+            except EOFError:
+                break
+            if command == "stop":
+                break
+            try:
+                if command == "step":
+                    result = worker.run_superstep(payload)
+                elif command == "collect":
+                    result = worker.collect()
+                else:
+                    raise VertexCentricError(f"unknown worker command {command!r}")
+                conn.send(("ok", result))
+            except BaseException:
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class ParallelSuperstepExecutor:
+    """A pool of persistent per-partition worker processes.
+
+    ``worker_factory(lo, hi)`` is called *inside* each forked worker to build
+    the partition's worker object; anything it references is inherited by the
+    fork (or, for vertex-centric workers, loaded from the snapshot file).
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        parallelism: int,
+        num_items: int,
+        worker_factory: Callable[[int, int], Any],
+    ) -> None:
+        if parallelism < 1:
+            raise VertexCentricError("parallelism must be at least 1")
+        self.partitions = partition_range(num_items, parallelism)
+        self._worker_factory = worker_factory
+        self._procs: list = []
+        self._conns: list = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ParallelSuperstepExecutor":
+        if self._started:
+            return self
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise VertexCentricError(
+                "parallel supersteps require the 'fork' multiprocessing start "
+                "method; run with parallelism=1 on this platform"
+            )
+        context = multiprocessing.get_context("fork")
+        try:
+            for lo, hi in self.partitions:
+                parent, child = context.Pipe()
+                proc = context.Process(
+                    target=_worker_main, args=(child, lo, hi, self._worker_factory), daemon=True
+                )
+                proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._conns.append(parent)
+            for conn in self._conns:
+                status, payload = conn.recv()
+                if status != "ready":
+                    raise VertexCentricError(f"parallel worker failed to start:\n{payload}")
+        except BaseException:
+            self.close()
+            raise
+        self._started = True
+        return self
+
+    def __enter__(self) -> "ParallelSuperstepExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _round(self, command: str, payloads: Sequence[Any]) -> list[Any]:
+        if not self._started:
+            raise VertexCentricError("executor is not running (call start() first)")
+        for conn, payload in zip(self._conns, payloads):
+            conn.send((command, payload))
+        results = []
+        for k, conn in enumerate(self._conns):
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                self.close()
+                raise VertexCentricError(f"parallel worker {k} died mid-superstep") from None
+            if status != "ok":
+                self.close()
+                raise VertexCentricError(f"compute failed in parallel worker {k}:\n{payload}")
+            results.append(payload)
+        return results
+
+    def superstep(self, payloads: Sequence[Any]) -> list[Any]:
+        """Scatter one payload per partition, gather results in partition order."""
+        if len(payloads) != len(self.partitions):
+            raise VertexCentricError(
+                f"expected {len(self.partitions)} payloads, got {len(payloads)}"
+            )
+        return self._round("step", payloads)
+
+    def collect(self) -> list[Any]:
+        """Gather each worker's ``collect()`` result in partition order."""
+        return self._round("collect", [None] * len(self.partitions))
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._procs = []
+        self._conns = []
+        self._started = False
+
+
+# --------------------------------------------------------------------------- #
+# the vertex-centric chunk worker (used by repro.vertexcentric.framework)
+# --------------------------------------------------------------------------- #
+class _WorkerCoordinator:
+    """Duck-types :class:`~repro.vertexcentric.framework.VertexCentric` for
+    :class:`~repro.vertexcentric.framework.VertexContext` inside a worker.
+
+    Reads see the previous superstep's values (double buffering, as in the
+    serial coordinator); writes, halts, wake-ups and aggregator contributions
+    are recorded and shipped back to the master for the deterministic merge.
+    ``graph`` is ``None`` in workers: parallel compute functions must read
+    topology through the context (``neighbors`` / ``degree``), not through
+    the source representation.
+    """
+
+    graph = None
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.csr = csr
+        self.num_vertices = csr.n
+        self.superstep = 0
+        self._previous: dict = {vertex: {} for vertex in csr.external_ids}
+        self._aggregate_previous: dict[str, float] = {}
+        self._writes: dict = {}
+        self._halts: set = set()
+        self._woken: set = set()
+        self._contributions: dict[str, list[float]] = {}
+
+    def begin_superstep(self, superstep: int, deltas: dict, aggregates: dict) -> None:
+        previous = self._previous
+        for vertex, data in deltas.items():
+            slot = previous.get(vertex)
+            if slot is None:
+                previous[vertex] = dict(data)
+            else:
+                slot.update(data)
+        self.superstep = superstep
+        self._aggregate_previous = aggregates
+        self._writes = {}
+        self._halts = set()
+        self._woken = set()
+        self._contributions = {}
+
+    # -- the VertexContext-facing interface ----------------------------- #
+    def read_value(self, vertex, key, default=None):
+        return self._previous.get(vertex, {}).get(key, default)
+
+    def write_value(self, vertex, key, value) -> None:
+        slot = self._writes.get(vertex)
+        if slot is None:
+            self._writes[vertex] = {key: value}
+        else:
+            slot[key] = value
+
+    def vote_to_halt(self, vertex) -> None:
+        self._halts.add(vertex)
+
+    def activate(self, vertex) -> None:
+        self._woken.add(vertex)
+
+    def aggregate(self, name: str, value: float) -> None:
+        self._contributions.setdefault(name, []).append(value)
+
+    def get_aggregate(self, name: str, default: float = 0.0) -> float:
+        return self._aggregate_previous.get(name, default)
+
+
+class VertexChunkWorker:
+    """Runs one partition's ``compute`` calls over the mmap-loaded snapshot."""
+
+    def __init__(self, csr: CSRGraph, executor, lo: int, hi: int) -> None:
+        from repro.vertexcentric.framework import VertexContext
+
+        self._context_class = VertexContext
+        self._coordinator = _WorkerCoordinator(csr)
+        self._compute = executor.compute
+        self._ids = csr.external_ids
+        self.lo = lo
+        self.hi = hi
+
+    def run_superstep(self, payload):
+        superstep, active, deltas, aggregates = payload
+        coordinator = self._coordinator
+        coordinator.begin_superstep(superstep, deltas, aggregates)
+        compute = self._compute
+        make_context = self._context_class
+        ids = self._ids
+        calls = 0
+        for index in active:
+            compute(make_context(coordinator, ids[index], index))
+            calls += 1
+        return (
+            coordinator._writes,
+            coordinator._halts,
+            coordinator._woken,
+            coordinator._contributions,
+            calls,
+        )
+
+    def collect(self):  # pragma: no cover - master merges every superstep
+        return None
+
+
+class VertexChunkWorkerFactory:
+    """Builds a :class:`VertexChunkWorker` inside a forked worker process.
+
+    Loads the run's snapshot file with ``mmap=True`` so all workers share one
+    physical copy of the arrays; the compute ``executor`` object is inherited
+    through the fork.
+    """
+
+    def __init__(self, snapshot_path, executor, mmap: bool = True) -> None:
+        self.snapshot_path = snapshot_path
+        self.executor = executor
+        self.mmap = mmap
+
+    def __call__(self, lo: int, hi: int) -> VertexChunkWorker:
+        csr = CSRGraph.load(self.snapshot_path, mmap=self.mmap, verify=False)
+        return VertexChunkWorker(csr, self.executor, lo, hi)

@@ -167,39 +167,69 @@ class LabelPropagationProgram(Executor):
 # --------------------------------------------------------------------------- #
 # convenience wrappers
 # --------------------------------------------------------------------------- #
-def run_degree(graph: Graph, num_workers: int = 4) -> tuple[dict[VertexId, int], RunStatistics]:
-    coordinator = VertexCentric(graph, num_workers=num_workers)
+def run_degree(
+    graph: Graph, num_workers: int = 4, parallelism: int = 1, snapshot_path: str | None = None
+) -> tuple[dict[VertexId, int], RunStatistics]:
+    coordinator = VertexCentric(
+        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+    )
     stats = coordinator.run(DegreeProgram(), max_supersteps=2)
     return coordinator.values("degree"), stats
 
 
 def run_pagerank(
-    graph: Graph, iterations: int = 20, damping: float = 0.85, num_workers: int = 4
+    graph: Graph,
+    iterations: int = 20,
+    damping: float = 0.85,
+    num_workers: int = 4,
+    parallelism: int = 1,
+    snapshot_path: str | None = None,
 ) -> tuple[dict[VertexId, float], RunStatistics]:
-    coordinator = VertexCentric(graph, num_workers=num_workers)
+    coordinator = VertexCentric(
+        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+    )
     stats = coordinator.run(PageRankProgram(iterations, damping), max_supersteps=iterations + 2)
     return coordinator.values("rank"), stats
 
 
 def run_connected_components(
-    graph: Graph, num_workers: int = 4, max_supersteps: int = 200
+    graph: Graph,
+    num_workers: int = 4,
+    max_supersteps: int = 200,
+    parallelism: int = 1,
+    snapshot_path: str | None = None,
 ) -> tuple[dict[VertexId, object], RunStatistics]:
-    coordinator = VertexCentric(graph, num_workers=num_workers)
+    coordinator = VertexCentric(
+        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+    )
     stats = coordinator.run(ConnectedComponentsProgram(), max_supersteps=max_supersteps)
     return coordinator.values("component"), stats
 
 
 def run_sssp(
-    graph: Graph, source: VertexId, num_workers: int = 4, max_supersteps: int = 200
+    graph: Graph,
+    source: VertexId,
+    num_workers: int = 4,
+    max_supersteps: int = 200,
+    parallelism: int = 1,
+    snapshot_path: str | None = None,
 ) -> tuple[dict[VertexId, int | None], RunStatistics]:
-    coordinator = VertexCentric(graph, num_workers=num_workers)
+    coordinator = VertexCentric(
+        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+    )
     stats = coordinator.run(SingleSourceShortestPathsProgram(source), max_supersteps=max_supersteps)
     return coordinator.values("distance"), stats
 
 
 def run_label_propagation(
-    graph: Graph, num_workers: int = 4, max_supersteps: int = 50
+    graph: Graph,
+    num_workers: int = 4,
+    max_supersteps: int = 50,
+    parallelism: int = 1,
+    snapshot_path: str | None = None,
 ) -> tuple[dict[VertexId, object], RunStatistics]:
-    coordinator = VertexCentric(graph, num_workers=num_workers)
+    coordinator = VertexCentric(
+        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+    )
     stats = coordinator.run(LabelPropagationProgram(), max_supersteps=max_supersteps)
     return coordinator.values("community"), stats

@@ -143,6 +143,48 @@ def build_multilayer_condensed(
     return graph
 
 
+def build_parity_family(
+    kind: str = "symmetric",
+    seed: int = 31,
+    num_real: int = 40,
+    num_virtual: int = 14,
+    max_size: int = 7,
+    include_dedup2: bool = False,
+) -> dict:
+    """representation name -> graph, all exposing the same logical graph.
+
+    Shared by the representation-parity suite and the parallel-superstep
+    suite.  ``include_dedup2`` adds DEDUP-2 (symmetric inputs only; its
+    logical graph drops self-loops, so parity suites compare it against a
+    projection while same-graph suites can use it directly).
+    """
+    from repro.dedup import deduplicate_dedup1, deduplicate_dedup2, preprocess_bitmap
+    from repro.dedup.expand import expand
+    from repro.graph import CDupGraph
+
+    if kind == "symmetric":
+        condensed = build_symmetric_condensed(
+            seed=seed, num_real=num_real, num_virtual=num_virtual, max_size=max_size
+        )
+    elif kind == "directed":
+        condensed = build_directed_condensed(
+            seed=seed, num_real=num_real, num_virtual=num_virtual, max_size=max_size
+        )
+    else:
+        raise ValueError(f"unknown parity family kind {kind!r}")
+    family = {
+        "EXP": expand(condensed.copy()),
+        "C-DUP": CDupGraph(condensed.copy()),
+        "DEDUP-1": deduplicate_dedup1(condensed.copy(), seed=5),
+        "BITMAP": preprocess_bitmap(condensed.copy()),
+    }
+    if include_dedup2:
+        if kind != "symmetric":
+            raise ValueError("DEDUP-2 requires a symmetric condensed input")
+        family["DEDUP-2"] = deduplicate_dedup2(condensed.copy())
+    return family
+
+
 @pytest.fixture
 def symmetric_condensed() -> CondensedGraph:
     return build_symmetric_condensed(seed=7)

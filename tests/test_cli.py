@@ -149,3 +149,125 @@ class TestAnalyzeCommand:
         )
         assert code == 0
         assert output.strip()
+
+
+class TestSnapshotCacheAndParallel:
+    def test_snapshot_cache_persists_and_is_reused(self, tmp_path):
+        cache = tmp_path / "snapshots"
+        argv = (
+            "analyze", "--dataset", "univ", "--scale", "0.2",
+            "--algorithm", "pagerank", "--top", "3",
+            "--snapshot-cache", str(cache),
+        )
+        code, cold = run_cli(*argv)
+        assert code == 0
+        files = list(cache.glob("*.csr"))
+        assert len(files) == 1
+        stamp = files[0].stat().st_mtime_ns
+        # warm run: same output, cache file untouched (hash matched)
+        code, warm = run_cli(*argv)
+        assert code == 0
+        assert warm == cold
+        assert files[0].stat().st_mtime_ns == stamp
+
+    @pytest.mark.parametrize("algorithm", ["degree", "components"])
+    def test_parallel_output_identical_to_serial(self, tmp_path, algorithm):
+        """degree/components must print exactly the serial kernel's answer
+        (univ co-enrollment graphs are symmetric, so the superstep programs
+        match the kernels' semantics and labels are canonicalised)."""
+        base = (
+            "analyze", "--dataset", "univ", "--scale", "0.2",
+            "--algorithm", algorithm, "--top", "5",
+        )
+        code, serial = run_cli(*base)
+        assert code == 0
+        for parallel in ("2", "3"):
+            code, output = run_cli(
+                *base, "--parallel", parallel,
+                "--snapshot-cache", str(tmp_path / "snapshots"),
+            )
+            assert code == 0
+            assert output == serial, f"--parallel {parallel} output diverged"
+
+    def test_parallel_pagerank_deterministic_and_annotated(self, tmp_path):
+        base = (
+            "analyze", "--dataset", "univ", "--scale", "0.2",
+            "--algorithm", "pagerank", "--top", "5",
+            "--snapshot-cache", str(tmp_path / "snapshots"),
+        )
+        code, parallel2 = run_cli(*base, "--parallel", "2")
+        assert code == 0
+        # the executor switch is announced, never silent
+        assert "superstep engine" in parallel2
+        code, parallel3 = run_cli(*base, "--parallel", "3")
+        assert code == 0
+        assert parallel2 == parallel3  # deterministic across worker counts
+
+    def test_parallel_components_and_bfs(self, csv_db_dir):
+        code, serial = run_cli(
+            "analyze", "--data", str(csv_db_dir), "--query", CSV_QUERY,
+            "--algorithm", "components",
+        )
+        code, output = run_cli(
+            "analyze", "--data", str(csv_db_dir), "--query", CSV_QUERY,
+            "--algorithm", "components", "--parallel", "2",
+        )
+        assert code == 0
+        assert output == serial
+        code, serial = run_cli(
+            "analyze", "--data", str(csv_db_dir), "--query", CSV_QUERY,
+            "--algorithm", "bfs", "--source", "1",
+        )
+        code, output = run_cli(
+            "analyze", "--data", str(csv_db_dir), "--query", CSV_QUERY,
+            "--algorithm", "bfs", "--source", "1", "--parallel", "2",
+        )
+        assert code == 0
+        assert output == serial
+        assert "reachable vertices: 3" in output
+
+    def test_parallel_falls_back_on_non_symmetric_graph(self, tmp_path):
+        """The bipartite instructor->student graph is directed; the superstep
+        programs would change bfs/components semantics, so the CLI must fall
+        back to the serial kernel (same answer) and say so."""
+        db = Database("uni")
+        db.create_table("Person", [("id", "int"), ("name", "str")], primary_key="id")
+        db.create_table("Taught", [("iid", "int"), ("cid", "int")])
+        db.create_table("Took", [("sid", "int"), ("cid", "int")])
+        db.insert("Person", [(1, "i1"), (2, "s1"), (3, "s2"), (4, "s3")])
+        db.insert("Taught", [(1, 10), (1, 11)])
+        db.insert("Took", [(2, 10), (3, 10), (3, 11), (4, 11)])
+        directory = tmp_path / "bipartite"
+        write_database(db, directory)
+        query = """
+        Nodes(ID, Name) :- Person(ID, Name).
+        Edges(ID1, ID2) :- Taught(ID1, CourseID), Took(ID2, CourseID).
+        """
+        for algorithm, extra in (("components", ()), ("bfs", ("--source", "1"))):
+            base = (
+                "analyze", "--data", str(directory), "--query", query,
+                "--algorithm", algorithm, *extra,
+            )
+            code, serial = run_cli(*base)
+            assert code == 0
+            code, parallel = run_cli(*base, "--parallel", "2")
+            assert code == 0
+            assert "requires a symmetric graph" in parallel
+            note, _, rest = parallel.partition("\n")
+            assert rest == serial  # identical answer below the note line
+
+    def test_parallel_fallback_note_for_kernel_only_algorithms(self):
+        code, output = run_cli(
+            "analyze", "--dataset", "univ", "--scale", "0.2",
+            "--algorithm", "triangles", "--parallel", "2",
+        )
+        assert code == 0
+        assert "triangles:" in output
+        assert "running serial kernel" in output
+
+    def test_invalid_parallel_value_fails(self):
+        code, _ = run_cli(
+            "analyze", "--dataset", "univ", "--scale", "0.2",
+            "--algorithm", "degree", "--parallel", "0",
+        )
+        assert code == 1

@@ -140,6 +140,17 @@ class TestCodec:
         assert snap.num_edges == 0
         assert list(snap.offsets) == [0]
 
+    def test_duplicate_external_ids_rejected(self):
+        """Regression: the codec used to silently collapse duplicate external
+        IDs (the dict index kept only the last), leaving decode/index
+        inconsistent with the arrays.  Duplicates must fail loudly."""
+        from array import array
+
+        with pytest.raises(RepresentationError, match="duplicate external vertex IDs"):
+            CSRGraph(array("q", [0, 0, 0]), array("q"), ["a", "a"])
+        with pytest.raises(RepresentationError, match="'x'"):
+            CSRGraph(array("q", [0, 0, 0, 0]), array("q"), ["x", "y", "x"])
+
 
 class TestCaching:
     def test_snapshot_is_cached(self):
@@ -206,6 +217,13 @@ class TestTraversalKernels:
         assert distances[snap.index(3)] == 2
         assert distances[snap.index(4)] == 1
         assert distances[snap.index(5)] == -1  # unreachable
+
+    def test_is_symmetric(self):
+        symmetric = ExpandedGraph.from_edges([(1, 2), (2, 1), (2, 3), (3, 2), (4, 4)])
+        assert symmetric.snapshot().is_symmetric()
+        directed = ExpandedGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        assert not directed.snapshot().is_symmetric()
+        assert ExpandedGraph().snapshot().is_symmetric()
 
     def test_undirected_sets_symmetric_and_loop_free(self):
         graph = ExpandedGraph.from_edges([(1, 2), (2, 1), (1, 1), (2, 3)])

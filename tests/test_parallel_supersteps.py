@@ -1,0 +1,223 @@
+"""Bit-identity tests for process-parallel supersteps.
+
+The determinism contract (see ``repro.vertexcentric.parallel``): running the
+vertex-centric framework or the Giraph engine with ``parallelism=N`` must
+produce results **bit-identical** to the serial engines — value maps
+(including floating-point PageRank ranks and dangling-mass aggregator sums),
+superstep counts, compute-call counts and message metrics.
+
+Coverage spans all five representations through the shared parity-family
+helpers in ``tests/conftest.py`` (DEDUP-2 is included directly: serial and
+parallel run on the *same* graph, so no self-loop projection is needed).
+"""
+
+import pytest
+
+from repro.exceptions import VertexCentricError
+from repro.giraph.runner import run_giraph
+from repro.graph import ExpandedGraph
+from repro.vertexcentric import (
+    Executor,
+    VertexCentric,
+    partition_range,
+)
+from repro.vertexcentric.programs import (
+    PageRankProgram,
+    run_connected_components,
+    run_label_propagation,
+    run_pagerank,
+    run_sssp,
+)
+
+from tests.conftest import build_parity_family
+
+PARALLELISMS = (2, 4)
+
+
+@pytest.fixture(scope="module")
+def families():
+    """kind -> {representation -> graph}; all five representations covered."""
+    return {
+        "symmetric": build_parity_family(
+            "symmetric", seed=31, num_real=40, num_virtual=14, max_size=7, include_dedup2=True
+        ),
+        "directed": build_parity_family(
+            "directed", seed=31, num_real=40, num_virtual=14, max_size=7
+        ),
+    }
+
+
+def _flatten(families):
+    return [
+        (kind, name)
+        for kind, family in (
+            ("symmetric", ("EXP", "C-DUP", "DEDUP-1", "DEDUP-2", "BITMAP")),
+            ("directed", ("EXP", "C-DUP", "DEDUP-1", "BITMAP")),
+        )
+        for name in family
+    ]
+
+
+def _assert_stats_match(parallel, serial):
+    assert parallel.supersteps == serial.supersteps
+    assert parallel.compute_calls == serial.compute_calls
+    assert parallel.per_superstep_active == serial.per_superstep_active
+    assert parallel.halted_early == serial.halted_early
+
+
+# --------------------------------------------------------------------------- #
+# vertex-centric framework
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind,name", _flatten(None))
+class TestVertexCentricParity:
+    def test_pagerank_bit_identical(self, families, kind, name):
+        graph = families[kind][name]
+        serial, serial_stats = run_pagerank(graph, iterations=20)
+        for parallelism in PARALLELISMS:
+            parallel, stats = run_pagerank(graph, iterations=20, parallelism=parallelism)
+            assert parallel == serial, f"{kind}/{name} x{parallelism}: ranks differ"
+            _assert_stats_match(stats, serial_stats)
+
+    def test_bfs_bit_identical(self, families, kind, name):
+        graph = families[kind][name]
+        source = sorted(graph.get_vertices(), key=repr)[0]
+        serial, serial_stats = run_sssp(graph, source)
+        for parallelism in PARALLELISMS:
+            parallel, stats = run_sssp(graph, source, parallelism=parallelism)
+            assert parallel == serial, f"{kind}/{name} x{parallelism}: distances differ"
+            _assert_stats_match(stats, serial_stats)
+
+    def test_connected_components_bit_identical(self, families, kind, name):
+        graph = families[kind][name]
+        serial, serial_stats = run_connected_components(graph)
+        for parallelism in PARALLELISMS:
+            parallel, stats = run_connected_components(graph, parallelism=parallelism)
+            assert parallel == serial, f"{kind}/{name} x{parallelism}: labels differ"
+            _assert_stats_match(stats, serial_stats)
+
+
+class TestDanglingMassAggregator:
+    """PageRank's dangling-mass correction exercises the ordered aggregator
+    merge: contributions must be summed in exactly the serial vertex order."""
+
+    @pytest.fixture(scope="class")
+    def dangling_graph(self):
+        # symmetric core (the program gathers from out-neighbors, which is
+        # exact on symmetric graphs) plus isolated vertices 18..21 — their
+        # out-degree is 0, so they redistribute rank through the aggregator
+        edges = [(u, v) for u in range(18) for v in range(18) if u != v and (u * v) % 5 == 0]
+        edges += [(v, u) for u, v in edges]
+        return ExpandedGraph.from_edges(edges, vertices=list(range(22)))
+
+    def test_dangling_mass_bit_identical(self, dangling_graph):
+        serial, _ = run_pagerank(dangling_graph, iterations=30)
+        assert abs(sum(serial.values()) - 1.0) < 1e-9  # mass is conserved
+        for parallelism in PARALLELISMS:
+            parallel, _ = run_pagerank(dangling_graph, iterations=30, parallelism=parallelism)
+            assert parallel == serial
+
+    def test_label_propagation_bit_identical(self, dangling_graph):
+        serial, _ = run_label_propagation(dangling_graph)
+        parallel, _ = run_label_propagation(dangling_graph, parallelism=3)
+        assert parallel == serial
+
+
+class TestVertexCentricEdgeCases:
+    def test_parallelism_larger_than_graph(self):
+        graph = ExpandedGraph.from_edges([(1, 2), (2, 1)])
+        serial, _ = run_pagerank(graph, iterations=5)
+        parallel, _ = run_pagerank(graph, iterations=5, parallelism=4)
+        assert parallel == serial
+
+    def test_empty_graph_falls_back_to_serial(self):
+        coordinator = VertexCentric(ExpandedGraph(), parallelism=4)
+        stats = coordinator.run(PageRankProgram(iterations=3))
+        assert stats.supersteps == 0
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(VertexCentricError):
+            VertexCentric(ExpandedGraph.from_edges([(1, 2)]), parallelism=0)
+
+    def test_explicit_snapshot_path_is_reused(self, tmp_path):
+        graph = ExpandedGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        path = tmp_path / "run.csr"
+        serial, _ = run_pagerank(graph, iterations=5)
+        first, _ = run_pagerank(graph, iterations=5, parallelism=2, snapshot_path=str(path))
+        assert path.exists()
+        stamp = path.stat().st_mtime_ns
+        second, _ = run_pagerank(graph, iterations=5, parallelism=2, snapshot_path=str(path))
+        assert path.stat().st_mtime_ns == stamp  # hash matched: not rewritten
+        assert first == serial and second == serial
+
+    def test_compute_error_propagates(self):
+        class Exploding(Executor):
+            def compute(self, ctx):
+                if ctx.superstep == 1:
+                    raise ValueError("boom at superstep 1")
+                ctx.set_value(0.0)
+
+        graph = ExpandedGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        coordinator = VertexCentric(graph, parallelism=2)
+        with pytest.raises(VertexCentricError, match="boom at superstep 1"):
+            coordinator.run(Exploding(), max_supersteps=5)
+
+
+def test_partition_range_properties():
+    assert partition_range(10, 3) == [(0, 4), (4, 7), (7, 10)]
+    assert partition_range(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+    assert partition_range(0, 2) == [(0, 0), (0, 0)]
+    for n, parts in [(1, 1), (7, 2), (100, 7), (5, 5)]:
+        bounds = partition_range(n, parts)
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        assert all(a[1] == b[0] for a, b in zip(bounds, bounds[1:]))
+        assert max(hi - lo for lo, hi in bounds) - min(hi - lo for lo, hi in bounds) <= 1
+    with pytest.raises(VertexCentricError):
+        partition_range(5, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Giraph engine
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind,name", _flatten(None))
+class TestGiraphParity:
+    @pytest.mark.parametrize("algorithm", ["pagerank", "connected_components", "degree"])
+    def test_bit_identical(self, families, kind, name, algorithm):
+        graph = families[kind][name]
+        serial = run_giraph(graph, algorithm, iterations=8)
+        parallel = run_giraph(graph, algorithm, iterations=8, parallelism=2)
+        assert parallel.values == serial.values, f"{kind}/{name}/{algorithm}"
+        assert parallel.metrics.supersteps == serial.metrics.supersteps
+        assert parallel.metrics.compute_calls == serial.metrics.compute_calls
+        assert parallel.metrics.total_messages == serial.metrics.total_messages
+        assert (
+            parallel.metrics.messages_per_superstep == serial.metrics.messages_per_superstep
+        )
+        assert (
+            parallel.metrics.peak_message_buffer == serial.metrics.peak_message_buffer
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", ["pagerank", "connected_components", "degree"])
+def test_giraph_four_workers_stress(families, algorithm):
+    """4-way parallel Giraph across every representation (slow)."""
+    for kind, family in families.items():
+        for name, graph in family.items():
+            serial = run_giraph(graph, algorithm, iterations=8)
+            parallel = run_giraph(graph, algorithm, iterations=8, parallelism=4)
+            assert parallel.values == serial.values, f"{kind}/{name}/{algorithm} x4"
+            assert parallel.metrics.total_messages == serial.metrics.total_messages
+
+
+@pytest.mark.slow
+def test_pagerank_eight_workers_on_larger_graph():
+    """Many more workers than cores; still bit-identical (slow)."""
+    from repro.datasets.synthetic import generate_condensed
+    from repro.dedup.expand import expand
+
+    graph = expand(
+        generate_condensed(num_real=150, num_virtual=120, mean_size=5, std_size=2, seed=3)
+    )
+    serial, _ = run_pagerank(graph, iterations=15)
+    parallel, _ = run_pagerank(graph, iterations=15, parallelism=8)
+    assert parallel == serial

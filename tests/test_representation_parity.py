@@ -26,35 +26,23 @@ from repro.algorithms import (
     pagerank,
     triangles_per_vertex,
 )
-from repro.dedup import deduplicate_dedup1, deduplicate_dedup2, preprocess_bitmap
+from repro.dedup import deduplicate_dedup2
 from repro.dedup.expand import expand
-from repro.graph import CDupGraph, ExpandedGraph, logical_edge_set
+from repro.graph import ExpandedGraph, logical_edge_set
 
-from tests.conftest import build_directed_condensed, build_symmetric_condensed
+from tests.conftest import build_parity_family, build_symmetric_condensed
 
 
 @pytest.fixture(scope="module")
 def symmetric_family():
     """representation -> graph, all exposing the same symmetric logical graph."""
-    condensed = build_symmetric_condensed(seed=31, num_real=40, num_virtual=14, max_size=7)
-    return {
-        "EXP": expand(condensed.copy()),
-        "C-DUP": CDupGraph(condensed.copy()),
-        "DEDUP-1": deduplicate_dedup1(condensed.copy(), seed=5),
-        "BITMAP": preprocess_bitmap(condensed.copy()),
-    }
+    return build_parity_family("symmetric", seed=31, num_real=40, num_virtual=14, max_size=7)
 
 
 @pytest.fixture(scope="module")
 def directed_family():
     """Same for a non-symmetric condensed graph (no DEDUP-2 here)."""
-    condensed = build_directed_condensed(seed=31, num_real=40, num_virtual=14, max_size=7)
-    return {
-        "EXP": expand(condensed.copy()),
-        "C-DUP": CDupGraph(condensed.copy()),
-        "DEDUP-1": deduplicate_dedup1(condensed.copy(), seed=5),
-        "BITMAP": preprocess_bitmap(condensed.copy()),
-    }
+    return build_parity_family("directed", seed=31, num_real=40, num_virtual=14, max_size=7)
 
 
 @pytest.fixture(scope="module")
