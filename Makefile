@@ -5,7 +5,8 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
 help:
 	@echo "make test      - fast unit/integration suite (tests/)"
-	@echo "make test-fast - same, minus slow-marked stress tests (~tier-1 loop)"
+	@echo "make test-fast - same, minus slow-marked stress tests, once per"
+	@echo "                 kernel backend (python reference leg + numpy leg)"
 	@echo "make bench     - paper benchmark reproductions (benchmarks/, slow)"
 	@echo "make smoke     - seconds-fast sanity subset (kernel, parity, algorithms)"
 	@echo "make all       - everything (tier-1 equivalent)"
@@ -14,7 +15,8 @@ test:
 	$(PYTEST) -q tests/
 
 test-fast:
-	$(PYTEST) -q tests/ -m "not slow"
+	REPRO_KERNEL_BACKEND=python $(PYTEST) -q tests/ -m "not slow"
+	REPRO_KERNEL_BACKEND=numpy $(PYTEST) -q tests/ -m "not slow"
 
 bench:
 	$(PYTEST) -q benchmarks/

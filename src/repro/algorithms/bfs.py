@@ -6,21 +6,20 @@ on C-DUP without deduplication (Section 4.1).
 
 Each public function encodes the graph into its cached
 :class:`~repro.graph.kernel.CSRGraph` snapshot, runs an integer-frontier
-kernel, and decodes at the boundary.  Repeated BFS calls on the same graph —
-the Figure 11 workload runs 50 sources — share one snapshot, so only the
-first call pays the encoding cost.  Discovery order matches the pre-kernel
-FIFO implementation exactly (level-synchronous expansion in target order).
+kernel from the selected backend (:func:`repro.graph.backend.get_backend`),
+and decodes at the boundary.  Repeated BFS calls on the same graph — the
+Figure 11 workload runs 50 sources — share one snapshot, so only the first
+call pays the encoding cost.  Discovery order matches the pre-kernel FIFO
+implementation exactly on every backend (the ``numpy`` frontier kernels
+preserve first-occurrence discovery order, see
+:mod:`repro.graph.backend.numpy_backend`).
 """
 
 from __future__ import annotations
 
 from repro.exceptions import RepresentationError
 from repro.graph.api import Graph, VertexId
-from repro.graph.kernel import (
-    bfs_distances_kernel,
-    bfs_order_kernel,
-    bfs_parents_kernel,
-)
+from repro.graph.backend import get_backend
 
 
 def _encode_source(graph: Graph, source: VertexId) -> tuple:
@@ -33,7 +32,7 @@ def _encode_source(graph: Graph, source: VertexId) -> tuple:
 def bfs_distances(graph: Graph, source: VertexId, max_depth: int | None = None) -> dict[VertexId, int]:
     """Hop distance from ``source`` to every reachable vertex (including itself)."""
     csr, src = _encode_source(graph, source)
-    distances = bfs_distances_kernel(csr, src, max_depth=max_depth)
+    distances = get_backend().bfs_distances(csr, src, max_depth=max_depth)
     ids = csr.external_ids
     return {ids[v]: d for v, d in enumerate(distances) if d >= 0}
 
@@ -42,13 +41,13 @@ def bfs_order(graph: Graph, source: VertexId) -> list[VertexId]:
     """Vertices in BFS visit order starting from ``source``."""
     csr, src = _encode_source(graph, source)
     ids = csr.external_ids
-    return [ids[v] for v in bfs_order_kernel(csr, src)]
+    return [ids[v] for v in get_backend().bfs_order(csr, src)]
 
 
 def bfs_tree(graph: Graph, source: VertexId) -> dict[VertexId, VertexId | None]:
     """Parent pointers of a BFS tree rooted at ``source`` (root maps to None)."""
     csr, src = _encode_source(graph, source)
-    parents = bfs_parents_kernel(csr, src)
+    parents = get_backend().bfs_parents(csr, src)
     ids = csr.external_ids
     return {
         ids[v]: (None if p == -1 else ids[p])
@@ -67,7 +66,7 @@ def shortest_path(graph: Graph, source: VertexId, target: VertexId) -> list[Vert
     csr, src = _encode_source(graph, source)
     if not csr.has_vertex(target):
         return None
-    parents = bfs_parents_kernel(csr, src)
+    parents = get_backend().bfs_parents(csr, src)
     dst = csr.index(target)
     if parents[dst] == -2:
         return None

@@ -4,51 +4,17 @@ Connected components is duplicate-insensitive, so the paper runs it directly
 on C-DUP and even exploits the condensed topology in the Giraph port for a
 speed-up (Section 6.4).
 
-The kernel is an integer union-find (path halving + union by size) over the
-dense snapshot indexes; component labels are assigned in vertex discovery
-order exactly as the pre-kernel implementation did, so results are identical.
+The kernel comes from the selected backend
+(:func:`repro.graph.backend.get_backend`): an integer union-find (path
+halving + union by size) on ``python``, vectorised BFS sweeps on ``numpy``.
+Both assign component labels in first-vertex order, so the results are
+identical across backends and to the pre-backend implementation.
 """
 
 from __future__ import annotations
 
 from repro.graph.api import Graph, VertexId
-from repro.graph.kernel import CSRGraph
-
-
-def _components_kernel(csr: CSRGraph) -> list[int]:
-    """Component index (0-based, ordered by first vertex) per dense index."""
-    n = csr.n
-    parent = list(range(n))
-    size = [1] * n
-    offsets = csr.offsets_list
-    targets = csr.targets_list
-
-    def find(item: int) -> int:
-        while parent[item] != item:
-            parent[item] = parent[parent[item]]  # path halving
-            item = parent[item]
-        return item
-
-    for u in range(n):
-        for e in range(offsets[u], offsets[u + 1]):
-            ra = find(u)
-            rb = find(targets[e])
-            if ra == rb:
-                continue
-            if size[ra] < size[rb]:
-                ra, rb = rb, ra
-            parent[rb] = ra
-            size[ra] += size[rb]
-
-    labels = [0] * n
-    component_of_root: dict[int, int] = {}
-    for v in range(n):
-        root = find(v)
-        label = component_of_root.get(root)
-        if label is None:
-            label = component_of_root[root] = len(component_of_root)
-        labels[v] = label
-    return labels
+from repro.graph.backend import get_backend
 
 
 def connected_components(graph: Graph) -> dict[VertexId, int]:
@@ -57,12 +23,12 @@ def connected_components(graph: Graph) -> dict[VertexId, int]:
     Edges are treated as undirected (weak connectivity).
     """
     csr = graph.snapshot()
-    return csr.decode(_components_kernel(csr))
+    return csr.decode(get_backend().connected_components(csr))
 
 
 def component_sizes(graph: Graph) -> list[int]:
     """Sizes of all components, largest first."""
-    labels = _components_kernel(graph.snapshot())
+    labels = get_backend().connected_components(graph.snapshot())
     counts: dict[int, int] = {}
     for label in labels:
         counts[label] = counts.get(label, 0) + 1
@@ -71,14 +37,14 @@ def component_sizes(graph: Graph) -> list[int]:
 
 def num_components(graph: Graph) -> int:
     csr = graph.snapshot()
-    labels = _components_kernel(csr)
+    labels = get_backend().connected_components(csr)
     return len(set(labels))
 
 
 def largest_component(graph: Graph) -> set[VertexId]:
     """The vertex set of the largest component (empty set for empty graphs)."""
     csr = graph.snapshot()
-    labels = _components_kernel(csr)
+    labels = get_backend().connected_components(csr)
     if not labels:
         return set()
     counts: dict[int, int] = {}

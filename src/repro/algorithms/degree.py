@@ -5,19 +5,22 @@ machinery, which is exactly why the paper uses it as one of its three
 benchmark algorithms (Figures 11 and 13, Table 3, Table 4).
 
 Whole-graph variants read degrees straight off the CSR snapshot's offset
-array; :func:`degree_of` keeps the single-vertex Graph-API path so that one
-lookup never forces a full snapshot of a cold graph.
+array through the selected kernel backend (a cached list scan on ``python``,
+an ``np.diff`` over the zero-copy offset view on ``numpy``);
+:func:`degree_of` keeps the single-vertex Graph-API path so that one lookup
+never forces a full snapshot of a cold graph.
 """
 
 from __future__ import annotations
 
 from repro.graph.api import Graph, VertexId
+from repro.graph.backend import get_backend
 
 
 def degrees(graph: Graph) -> dict[VertexId, int]:
     """Out-degree of every vertex (logical, duplicates removed)."""
     csr = graph.snapshot()
-    return csr.decode(csr.degrees())
+    return csr.decode(get_backend().degrees(csr))
 
 
 def degree_of(graph: Graph, vertex: VertexId) -> int:
@@ -40,7 +43,7 @@ def max_degree_vertex(graph: Graph) -> tuple[VertexId, int] | None:
     """The vertex with the largest out-degree, or ``None`` for an empty graph."""
     csr = graph.snapshot()
     best: tuple[VertexId, int] | None = None
-    for index, degree in enumerate(csr.degrees()):
+    for index, degree in enumerate(get_backend().degrees(csr)):
         if best is None or degree > best[1]:
             best = (csr.external_ids[index], degree)
     return best

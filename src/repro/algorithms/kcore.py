@@ -8,49 +8,16 @@ vertex has degree at least ``k``, and a vertex's *core number* is the largest
 ``k`` for which it belongs to the k-core.
 
 Edges are treated as undirected (the co-occurrence graphs GraphGen extracts
-are symmetric); the peeling kernel runs over the snapshot's symmetrised
-dense-index adjacency with flat degree/core lists.
+are symmetric).  The peeling kernel comes from the selected backend:
+Batagelj–Zaveršnik bucket peeling over symmetrised dense-index sets on
+``python``, masked bulk peeling over the sorted symmetrised CSR on
+``numpy`` — core numbers are graph-determined, so both are exactly equal.
 """
 
 from __future__ import annotations
 
 from repro.graph.api import Graph, VertexId
-from repro.graph.kernel import CSRGraph
-
-
-def _core_numbers_kernel(csr: CSRGraph) -> list[int]:
-    """Core number per dense index (Batagelj–Zaveršnik peeling)."""
-    adjacency = csr.undirected_sets()
-    n = csr.n
-    if n == 0:
-        return []
-    degrees = [len(neighbors) for neighbors in adjacency]
-    max_degree = max(degrees, default=0)
-    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
-    for vertex, degree in enumerate(degrees):
-        buckets[degree].append(vertex)
-
-    cores = [0] * n
-    removed = bytearray(n)
-    current = 0
-    for degree in range(max_degree + 1):
-        bucket = buckets[degree]
-        while bucket:
-            vertex = bucket.pop()
-            if removed[vertex] or degrees[vertex] != degree:
-                continue
-            current = max(current, degree)
-            cores[vertex] = current
-            removed[vertex] = 1
-            for neighbor in adjacency[vertex]:
-                if removed[neighbor]:
-                    continue
-                if degrees[neighbor] > degree:
-                    degrees[neighbor] -= 1
-                    buckets[degrees[neighbor]].append(neighbor)
-    # vertices skipped because their recorded degree was stale get re-processed
-    # through the bucket they were re-appended to; isolated vertices stay 0
-    return cores
+from repro.graph.backend import get_backend
 
 
 def core_numbers(graph: Graph) -> dict[VertexId, int]:
@@ -59,7 +26,7 @@ def core_numbers(graph: Graph) -> dict[VertexId, int]:
     Runs in ``O(V + E)`` after the adjacency has been symmetrised.
     """
     csr = graph.snapshot()
-    return csr.decode(_core_numbers_kernel(csr))
+    return csr.decode(get_backend().core_numbers(csr))
 
 
 def k_core(graph: Graph, k: int) -> set[VertexId]:
@@ -67,14 +34,14 @@ def k_core(graph: Graph, k: int) -> set[VertexId]:
     if k < 0:
         raise ValueError("k must be non-negative")
     csr = graph.snapshot()
-    cores = _core_numbers_kernel(csr)
+    cores = get_backend().core_numbers(csr)
     ids = csr.external_ids
     return {ids[v] for v, core in enumerate(cores) if core >= k}
 
 
 def degeneracy(graph: Graph) -> int:
     """The graph's degeneracy (the largest k with a non-empty k-core)."""
-    cores = _core_numbers_kernel(graph.snapshot())
+    cores = get_backend().core_numbers(graph.snapshot())
     return max(cores, default=0)
 
 
@@ -85,7 +52,7 @@ def degeneracy_ordering(graph: Graph) -> list[VertexId]:
     enumeration and greedy colouring on the extracted graphs.
     """
     csr = graph.snapshot()
-    cores = _core_numbers_kernel(csr)
+    cores = get_backend().core_numbers(csr)
     ids = csr.external_ids
     return sorted(ids, key=lambda vertex: (cores[csr.index(vertex)], repr(vertex)))
 
@@ -96,7 +63,7 @@ def densest_core(graph: Graph) -> tuple[int, set[VertexId]]:
     Returns ``(0, set of all vertices)`` for an edgeless graph.
     """
     csr = graph.snapshot()
-    cores = _core_numbers_kernel(csr)
+    cores = get_backend().core_numbers(csr)
     if not cores:
         return 0, set()
     k = max(cores)

@@ -7,13 +7,17 @@ propagation is the classic lightweight community-detection algorithm.
 The kernel propagates dense integer labels over the CSR snapshot; the
 deterministic tie-break (most frequent label, then smallest ``repr``) is
 evaluated on the external IDs' reprs so the output matches the pre-kernel
-Graph-API implementation exactly, shuffle order included.
+Graph-API implementation exactly, shuffle order included.  Every backend
+shares the reference kernel: in-round updates are sequential by definition
+(a vertex reads labels already updated earlier in the same shuffled round),
+so there is no vectorised variant — see
+:meth:`repro.graph.backend.python_backend.KernelBackend.label_propagation`.
 """
 
 from __future__ import annotations
 
 from repro.graph.api import Graph, VertexId
-from repro.utils.rand import SeededRandom
+from repro.graph.backend import get_backend
 
 
 def label_propagation(
@@ -28,31 +32,8 @@ def label_propagation(
     with deterministic tie-breaking.  Stops when no label changes or after
     ``max_iterations`` rounds.
     """
-    rng = SeededRandom(seed)
     csr = graph.snapshot()
-    n = csr.n
-    offsets = csr.offsets_list
-    targets = csr.targets_list
-    reprs = [repr(external) for external in csr.external_ids]
-    labels = list(range(n))
-
-    for _ in range(max_iterations):
-        changed = 0
-        for vertex in rng.shuffle(list(range(n))):
-            start = offsets[vertex]
-            end = offsets[vertex + 1]
-            if start == end:
-                continue
-            counts: dict[int, int] = {}
-            for e in range(start, end):
-                label = labels[targets[e]]
-                counts[label] = counts.get(label, 0) + 1
-            best = sorted(counts.items(), key=lambda item: (-item[1], reprs[item[0]]))[0][0]
-            if best != labels[vertex]:
-                labels[vertex] = best
-                changed += 1
-        if changed == 0:
-            break
+    labels = get_backend().label_propagation(csr, max_iterations, seed)
     ids = csr.external_ids
     return {ids[v]: ids[label] for v, label in enumerate(labels)}
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.algorithms.bfs import bfs_distances
 from repro.graph.api import Graph, VertexId
-from repro.graph.kernel import bfs_distances_kernel
+from repro.graph.backend import get_backend
 from repro.utils.rand import SeededRandom
 
 
@@ -24,7 +24,7 @@ def single_source_shortest_paths(graph: Graph, source: VertexId) -> dict[VertexI
 def eccentricity(graph: Graph, vertex: VertexId) -> int:
     """Largest hop distance from ``vertex`` to any reachable vertex."""
     csr = graph.snapshot()
-    distances = bfs_distances_kernel(csr, csr.index(vertex))
+    distances = get_backend().bfs_distances(csr, csr.index(vertex))
     return max(distances, default=0) if csr.n else 0
 
 
@@ -36,8 +36,9 @@ def approximate_diameter(graph: Graph, samples: int = 10, seed: int = 0) -> int:
         return 0
     rng = SeededRandom(seed)
     chosen = rng.sample(vertices, min(samples, len(vertices)))
+    backend = get_backend()
     return max(
-        max(bfs_distances_kernel(csr, csr.index(vertex)), default=0)
+        max(backend.bfs_distances(csr, csr.index(vertex)), default=0)
         for vertex in chosen
     )
 
@@ -52,9 +53,10 @@ def average_path_length(graph: Graph, samples: int = 10, seed: int = 0) -> float
     chosen = rng.sample(vertices, min(samples, len(vertices)))
     total = 0.0
     count = 0
+    backend = get_backend()
     for vertex in chosen:
         source = csr.index(vertex)
-        for node, distance in enumerate(bfs_distances_kernel(csr, source)):
+        for node, distance in enumerate(backend.bfs_distances(csr, source)):
             if node != source and distance > 0:
                 total += distance
                 count += 1

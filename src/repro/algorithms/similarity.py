@@ -6,34 +6,27 @@ entities; these functions are the building blocks of "who should collaborate
 next" style analyses the paper's introduction motivates.
 
 All measures use out-neighborhoods, which equal the undirected neighborhoods
-on the symmetric graphs GraphGen extracts.  Neighborhoods are dense-index
-sets read off the CSR snapshot, so pairwise scoring is integer set
-intersection; external IDs only appear at the decode boundary.
+on the symmetric graphs GraphGen extracts.  The pairwise scoring kernels
+come from the selected backend (:func:`repro.graph.backend.get_backend`):
+dense-integer set intersection on ``python``, sorted-array ``intersect1d``
+on ``numpy``.  Counts and set results are exact across backends; the
+Adamic–Adar sum iterates the shared neighbors in a backend-specific order
+and matches within 1e-9.  External IDs only appear at the decode boundary.
 """
 
 from __future__ import annotations
 
-import math
 from itertools import combinations
 
 from repro.graph.api import Graph, VertexId
+from repro.graph.backend import get_backend
 from repro.graph.kernel import CSRGraph
-
-
-def _neighborhood_index(csr: CSRGraph, index: int) -> set[int]:
-    """Out-neighborhood of a dense index, excluding the vertex itself."""
-    neighborhood = csr.neighbor_set(index)
-    neighborhood.discard(index)
-    return neighborhood
 
 
 def common_neighbors(graph: Graph, u: VertexId, v: VertexId) -> set[VertexId]:
     """Vertices adjacent to both ``u`` and ``v`` (excluding ``u``/``v`` themselves)."""
     csr = graph.snapshot()
-    iu, iv = csr.index(u), csr.index(v)
-    shared = _neighborhood_index(csr, iu) & _neighborhood_index(csr, iv)
-    shared.discard(iu)
-    shared.discard(iv)
+    shared = get_backend().common_neighbors(csr, csr.index(u), csr.index(v))
     ids = csr.external_ids
     return {ids[i] for i in shared}
 
@@ -41,12 +34,7 @@ def common_neighbors(graph: Graph, u: VertexId, v: VertexId) -> set[VertexId]:
 def jaccard_coefficient(graph: Graph, u: VertexId, v: VertexId) -> float:
     """``|N(u) ∩ N(v)| / |N(u) ∪ N(v)|`` (0.0 when both neighborhoods are empty)."""
     csr = graph.snapshot()
-    nu = _neighborhood_index(csr, csr.index(u))
-    nv = _neighborhood_index(csr, csr.index(v))
-    union = len(nu | nv)
-    if not union:
-        return 0.0
-    return len(nu & nv) / union
+    return get_backend().jaccard(csr, csr.index(u), csr.index(v))
 
 
 def adamic_adar(graph: Graph, u: VertexId, v: VertexId) -> float:
@@ -55,24 +43,21 @@ def adamic_adar(graph: Graph, u: VertexId, v: VertexId) -> float:
     Common neighbors of degree <= 1 contribute nothing (their log is 0).
     """
     csr = graph.snapshot()
-    iu, iv = csr.index(u), csr.index(v)
-    shared = _neighborhood_index(csr, iu) & _neighborhood_index(csr, iv)
-    shared.discard(iu)
-    shared.discard(iv)
-    score = 0.0
-    for index in shared:
-        degree = len(_neighborhood_index(csr, index))
-        if degree > 1:
-            score += 1.0 / math.log(degree)
-    return score
+    return get_backend().adamic_adar(csr, csr.index(u), csr.index(v))
 
 
 def preferential_attachment(graph: Graph, u: VertexId, v: VertexId) -> int:
     """``|N(u)| * |N(v)|`` — the preferential-attachment link-prediction score."""
     csr = graph.snapshot()
-    return len(_neighborhood_index(csr, csr.index(u))) * len(
-        _neighborhood_index(csr, csr.index(v))
-    )
+    return get_backend().preferential_attachment(csr, csr.index(u), csr.index(v))
+
+
+def _neighborhood_index(csr: CSRGraph, index: int) -> set[int]:
+    """Out-neighborhood of a dense index, excluding the vertex itself
+    (candidate enumeration only; scoring goes through the backend)."""
+    neighborhood = csr.neighbor_set(index)
+    neighborhood.discard(index)
+    return neighborhood
 
 
 SCORES = {

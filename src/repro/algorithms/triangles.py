@@ -5,71 +5,43 @@ self-loops are ignored.  Triangle counting is a representative "dense
 subgraph" style workload that exercises neighbor-set intersection rather than
 plain iteration, complementing PageRank and BFS in the example applications.
 
-All functions start from the snapshot's cached symmetrised adjacency
-(:meth:`~repro.graph.kernel.CSRGraph.undirected_sets`) and intersect sets of
-dense integers; the degree-ordered counting scheme is unchanged, with the
-dense index itself serving as the vertex rank.
+The intersection kernels come from the selected backend
+(:func:`repro.graph.backend.get_backend`): dense-integer set intersection on
+``python``, ``searchsorted`` probes into the sorted symmetrised CSR on
+``numpy``.  Both count the same ``u < v < w`` orientation (the dense index is
+the vertex rank), so triangle counts are exactly equal across backends; the
+derived clustering coefficients share every arithmetic step and are
+bit-identical too.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-
 from repro.graph.api import Graph, VertexId
+from repro.graph.backend import get_backend
 
 
 def count_triangles(graph: Graph) -> int:
     """Number of distinct triangles (each counted once)."""
-    adjacency = graph.snapshot().undirected_sets()
-    total = 0
-    for u, neighbors in enumerate(adjacency):
-        higher_u = {v for v in neighbors if v > u}
-        for v in higher_u:
-            total += sum(1 for w in adjacency[v] if w > v and w in higher_u)
-    return total
+    return get_backend().count_triangles(graph.snapshot())
 
 
 def triangles_per_vertex(graph: Graph) -> dict[VertexId, int]:
     """Number of triangles each vertex participates in."""
     csr = graph.snapshot()
-    adjacency = csr.undirected_sets()
-    counts = [0] * csr.n
-    for u, neighbors in enumerate(adjacency):
-        higher_u = {v for v in neighbors if v > u}
-        for v in higher_u:
-            for w in adjacency[v]:
-                if w > v and w in higher_u:
-                    counts[u] += 1
-                    counts[v] += 1
-                    counts[w] += 1
-    return csr.decode(counts)
+    return csr.decode(get_backend().triangles_per_vertex(csr))
 
 
 def clustering_coefficient(graph: Graph, vertex: VertexId) -> float:
     """Local clustering coefficient of ``vertex`` (0.0 when degree < 2)."""
     csr = graph.snapshot()
-    adjacency = csr.undirected_sets()
     if not csr.has_vertex(vertex):
         return 0.0
-    neighbors = adjacency[csr.index(vertex)]
-    degree = len(neighbors)
-    if degree < 2:
-        return 0.0
-    links = sum(1 for a, b in combinations(neighbors, 2) if b in adjacency[a])
-    return 2.0 * links / (degree * (degree - 1))
+    return get_backend().clustering_coefficient(csr, csr.index(vertex))
 
 
 def average_clustering(graph: Graph) -> float:
     """Mean local clustering coefficient over all vertices."""
     csr = graph.snapshot()
-    adjacency = csr.undirected_sets()
-    if not adjacency:
+    if csr.n == 0:
         return 0.0
-    total = 0.0
-    for neighbors in adjacency:
-        degree = len(neighbors)
-        if degree < 2:
-            continue
-        links = sum(1 for a, b in combinations(neighbors, 2) if b in adjacency[a])
-        total += 2.0 * links / (degree * (degree - 1))
-    return total / len(adjacency)
+    return get_backend().average_clustering(csr)

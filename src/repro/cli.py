@@ -33,6 +33,7 @@ from repro.algorithms import (
     pagerank,
 )
 from repro.core.graphgen import GraphGen, REPRESENTATIONS
+from repro.graph.backend import BACKEND_ENV_VAR, get_backend, set_default_backend
 from repro.graph.snapshot_store import SnapshotStore, ensure_saved
 from repro.datasets import (
     COACTOR_QUERY,
@@ -44,7 +45,7 @@ from repro.datasets import (
     generate_tpch,
     generate_univ,
 )
-from repro.exceptions import GraphGenError
+from repro.exceptions import GraphGenError, UsageError
 from repro.graphgenpy import FORMATS, GraphGenPy
 from repro.vertexcentric.programs import (
     run_connected_components,
@@ -151,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "serial kernel in low-order digits, and non-symmetric graphs "
                 "fall back to the serial kernel with a note)",
             )
+            sub.add_argument(
+                "--backend",
+                default=None,
+                metavar="{python,numpy,auto}",
+                help="kernel backend executing the algorithm (and any "
+                "--parallel workers): 'python' is the bit-exact reference, "
+                "'numpy' runs vectorised kernels over zero-copy snapshot "
+                "views (int results exact, float results within 1e-9), "
+                "'auto' picks numpy when importable (default: the "
+                "REPRO_KERNEL_BACKEND environment variable, else auto)",
+            )
 
     return parser
 
@@ -234,7 +246,7 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
 def _parallelism(args) -> int:
     parallel = getattr(args, "parallel", 1)
     if parallel < 1:
-        raise GraphGenError("--parallel must be at least 1")
+        raise UsageError(f"--parallel must be at least 1 (got {parallel})")
     return parallel
 
 
@@ -370,17 +382,33 @@ def _snapshot_cache_key(args: argparse.Namespace, query: str) -> str:
 
 
 def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    # validate cheap flags early, before the (expensive) extraction; an
+    # unknown --backend or --parallel < 1 is a UsageError message, never a
+    # traceback
+    _parallelism(args)
+    try:
+        # repro.graph.backend owns name + availability validation
+        get_backend(args.backend)
+    except UsageError as exc:
+        # blame the actual source: the flag if given, else the environment
+        source = "--backend" if args.backend is not None else BACKEND_ENV_VAR
+        raise UsageError(f"{source}: {exc}") from None
     db = _resolve_database(args)
     query = _resolve_query(args)
-    _parallelism(args)  # validate early, before the (expensive) extraction
-    graph = GraphGen(db).extract(query, representation=args.representation)
-    if args.snapshot_cache:
-        store = SnapshotStore(args.snapshot_cache)
-        key = _snapshot_cache_key(args, query)
-        # persist the snapshot (content-hash checked: a fresh file is written
-        # only when missing or stale); parallel superstep workers mmap it
-        args._snapshot_path = str(ensure_saved(graph.snapshot(), store.path_for(key)))
-    ALGORITHM_RUNNERS[args.algorithm](graph, args, out)
+    previous_backend = set_default_backend(args.backend) if args.backend else None
+    try:
+        graph = GraphGen(db).extract(query, representation=args.representation)
+        if args.snapshot_cache:
+            store = SnapshotStore(args.snapshot_cache)
+            key = _snapshot_cache_key(args, query)
+            # persist the snapshot (content-hash checked: a fresh file is
+            # written only when missing or stale); parallel superstep workers
+            # mmap it
+            args._snapshot_path = str(ensure_saved(graph.snapshot(), store.path_for(key)))
+        ALGORITHM_RUNNERS[args.algorithm](graph, args, out)
+    finally:
+        if args.backend:
+            set_default_backend(previous_backend)
     return 0
 
 

@@ -60,3 +60,9 @@ class DeduplicationError(GraphGenError):
 class VertexCentricError(GraphGenError):
     """The vertex-centric framework was misconfigured or a compute function
     raised during a superstep."""
+
+
+class UsageError(GraphGenError):
+    """A user-supplied configuration value is invalid (bad CLI flag value,
+    unknown kernel backend name, ...); reported as a message, never a
+    traceback."""

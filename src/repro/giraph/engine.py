@@ -37,6 +37,7 @@ compute logic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
@@ -166,12 +167,22 @@ class GiraphEngine:
 
     # ------------------------------------------------------------------ #
     def send(self, target: Hashable, message: Any) -> None:
+        """Queue ``message`` for ``target``'s next superstep.
+
+        Numeric message batching: a per-target box holding only plain floats
+        (the dominant case — every PageRank share) is an ``array('d')``
+        buffer, 8 bytes per message instead of a boxed Python float per list
+        slot.  The first non-float message degrades the box to a list,
+        preserving order, so delivery semantics are unchanged.
+        """
         index = self._index.get(target)
         if index is None:
             raise VertexCentricError(f"message sent to unknown vertex {target!r}")
         box = self._outbox[index]
         if box is None:
-            box = self._outbox[index] = []
+            box = self._outbox[index] = array("d") if type(message) is float else []
+        elif type(box) is array and type(message) is not float:
+            box = self._outbox[index] = list(box)
         box.append(message)
         self._messages_sent_this_superstep += 1
 
@@ -218,9 +229,14 @@ class GiraphEngine:
             for i in active:
                 halted[i] = 0
                 messages = inbox[i]
-                # fresh list when there are no messages: programs may use the
-                # argument as scratch space
-                compute(ordered[i], messages if messages is not None else [], context)
+                # programs always see a plain list (fresh when there are no
+                # messages — compute may use the argument as scratch space);
+                # batched float boxes are unpacked at this delivery boundary
+                if messages is None:
+                    messages = []
+                elif type(messages) is array:
+                    messages = messages.tolist()
+                compute(ordered[i], messages, context)
                 metrics.compute_calls += 1
             metrics.messages_per_superstep.append(self._messages_sent_this_superstep)
             metrics.total_messages += self._messages_sent_this_superstep
@@ -248,8 +264,20 @@ class GiraphEngine:
         the serial engine's summation order) and tracks termination.  Final
         vertex values are collected back into the master's vertex objects,
         so :meth:`values` works exactly as after a serial run.
+
+        Message traffic crosses the worker pipes in batched form: an
+        all-float superstep (PageRank shares) travels as flat typed buffers —
+        and, while its target sequence repeats across supersteps (the usual
+        case: shares scatter along the fixed adjacency), as value buffers
+        alone — in both directions
+        (:class:`repro.vertexcentric.parallel.MessageChannel`), which shrinks
+        the pickled per-superstep payload while preserving delivery order and
+        values exactly.
         """
-        from repro.vertexcentric.parallel import ParallelSuperstepExecutor
+        from repro.vertexcentric.parallel import (
+            MessageChannel,
+            ParallelSuperstepExecutor,
+        )
 
         factory = _GiraphWorkerFactory(
             self._ordered, self._index, self.num_real_vertices, program
@@ -266,14 +294,20 @@ class GiraphEngine:
             self._aggregate_previous = {}
             inbox: dict[int, list[Any]] = {}
             non_halted = [hi - lo for lo, hi in pool.partitions]
+            # one packing channel per pipe direction per partition
+            outbound = [MessageChannel() for _ in pool.partitions]
+            inbound = [MessageChannel() for _ in pool.partitions]
             while self.superstep < limit:
                 if not inbox and not any(non_halted):
                     break
-                grouped: list[list[tuple[int, list[Any]]]] = [[] for _ in pool.partitions]
+                grouped: list[list[tuple[int, Any]]] = [[] for _ in pool.partitions]
                 for index in sorted(inbox):
-                    grouped[owner[index]].append((index, inbox[index]))
+                    box = grouped[owner[index]]
+                    for message in inbox[index]:
+                        box.append((index, message))
                 payloads = [
-                    (self.superstep, items, self._aggregate_previous) for items in grouped
+                    (self.superstep, outbound[part].pack(items), self._aggregate_previous)
+                    for part, items in enumerate(grouped)
                 ]
                 results = pool.superstep(payloads)
 
@@ -286,7 +320,7 @@ class GiraphEngine:
                     non_halted[part] = remaining
                     # partition order == ascending sender order == serial
                     # delivery order per target inbox
-                    for target, message in sends:
+                    for target, message in inbound[part].unpack(sends):
                         box = inbox.get(target)
                         if box is None:
                             inbox[target] = [message]
@@ -341,6 +375,8 @@ class _GiraphChunkWorker:
         self._program = program
         self.lo = lo
         self.hi = hi
+        from repro.vertexcentric.parallel import MessageChannel
+
         self.superstep = 0
         self._halted = bytearray(len(ordered))  # only [lo, hi) is meaningful
         self._sends: list[tuple[int, Any]] = []
@@ -348,6 +384,10 @@ class _GiraphChunkWorker:
         self._aggregate_previous: dict[str, float] = {}
         self._contributions: dict[str, list[float]] = {}
         self._context = GiraphContext(self)
+        #: packing channels for this worker's two pipe directions (peers of
+        #: the master's per-partition channels)
+        self._inbound = MessageChannel()
+        self._outbound = MessageChannel()
 
     # -- the GiraphContext-facing interface ------------------------------ #
     def send(self, target: Hashable, message: Any) -> None:
@@ -373,13 +413,19 @@ class _GiraphChunkWorker:
 
     # -- executor protocol ----------------------------------------------- #
     def run_superstep(self, payload):
-        superstep, inbox_items, aggregates = payload
+        superstep, packed_inbox, aggregates = payload
         self.superstep = superstep
         self._aggregate_previous = aggregates
         self._sends = []
         self._messages_sent = 0
         self._contributions = {}
-        inbox = dict(inbox_items)
+        inbox: dict[int, list[Any]] = {}
+        for index, message in self._inbound.unpack(packed_inbox):
+            box = inbox.get(index)
+            if box is None:
+                inbox[index] = [message]
+            else:
+                box.append(message)
         halted = self._halted
         active = [i for i in range(self.lo, self.hi) if not halted[i] or i in inbox]
         compute = self._program.compute
@@ -392,7 +438,13 @@ class _GiraphChunkWorker:
             compute(ordered[i], messages if messages is not None else [], context)
             calls += 1
         remaining = sum(1 for i in range(self.lo, self.hi) if not halted[i])
-        return (self._sends, self._messages_sent, calls, self._contributions, remaining)
+        return (
+            self._outbound.pack(self._sends),
+            self._messages_sent,
+            calls,
+            self._contributions,
+            remaining,
+        )
 
     def collect(self):
         return [(i, self._ordered[i].value) for i in range(self.lo, self.hi)]

@@ -10,6 +10,7 @@
 """
 
 from repro.graph.api import Graph, PropertyStore, VertexId, logical_edge_set, check_same_vertex_set
+from repro.graph.backend import get_backend, set_default_backend
 from repro.graph.kernel import CSRGraph
 from repro.graph.snapshot_store import SnapshotHeader, SnapshotStore, load_snapshot, save_snapshot
 from repro.graph.condensed import CondensedGraph, condensed_from_edges
@@ -36,6 +37,8 @@ __all__ = [
     "logical_edge_set",
     "check_same_vertex_set",
     "CSRGraph",
+    "get_backend",
+    "set_default_backend",
     "SnapshotHeader",
     "SnapshotStore",
     "load_snapshot",

@@ -1,0 +1,393 @@
+"""The reference kernel backend: pure-Python loops over dense snapshot arrays.
+
+These are the PR 1 algorithm kernels, moved behind the
+:class:`KernelBackend` protocol without any semantic change — same iteration
+order, same floating-point summation order, same tie-breaks.  The suite run
+with ``REPRO_KERNEL_BACKEND=python`` is therefore bit-identical to the
+pre-backend tree, which is what makes this backend the determinism reference
+every other backend is validated against (``tests/test_backend_parity.py``).
+
+All kernels take a :class:`~repro.graph.kernel.CSRGraph` plus dense integer
+indexes and return flat per-index lists (or scalars); external-ID encoding
+and decoding stays in the :mod:`repro.algorithms` modules.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import TYPE_CHECKING, Sequence
+
+from repro.graph.kernel import (
+    bfs_distances_kernel,
+    bfs_order_kernel,
+    bfs_parents_kernel,
+)
+from repro.utils.rand import SeededRandom
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.kernel import CSRGraph
+
+
+class KernelBackend:
+    """Protocol of the algorithm kernels an execution backend provides.
+
+    The base class *is* the reference implementation's skeleton: subclasses
+    override whichever kernels they can execute faster and inherit the rest,
+    so a backend is never incomplete.  Integer-valued kernels must match the
+    reference exactly; float-valued kernels within 1e-9 L-infinity (see
+    :mod:`repro.graph.backend`).
+    """
+
+    #: resolved name, stable across processes (workers re-resolve by it)
+    name = "python"
+
+    # ------------------------------------------------------------------ #
+    # whole-graph scans
+    # ------------------------------------------------------------------ #
+    def degrees(self, csr: "CSRGraph") -> list[int]:
+        """Out-degree per dense index."""
+        return csr.degrees()
+
+    def segment_sums(
+        self, csr: "CSRGraph", values: Sequence[float], lo: int = 0, hi: int | None = None
+    ) -> list[float]:
+        """Per-vertex sum of ``values`` over each out-neighborhood.
+
+        This is the gather phase of the vertex-centric engines: entry ``i``
+        is ``sum(values[t] for t in neighbors(lo + i))`` summed in snapshot
+        target order (the serial engines' iteration order, so results are
+        deterministic for any partitioning of ``[lo, hi)``).
+        """
+        if hi is None:
+            hi = csr.n
+        offsets = csr.offsets_list
+        targets = csr.targets_list
+        sums: list[float] = []
+        append = sums.append
+        for vertex in range(lo, hi):
+            total = 0.0
+            for e in range(offsets[vertex], offsets[vertex + 1]):
+                total += values[targets[e]]
+            append(total)
+        return sums
+
+    # ------------------------------------------------------------------ #
+    # traversals
+    # ------------------------------------------------------------------ #
+    def bfs_distances(
+        self, csr: "CSRGraph", source: int, max_depth: int | None = None
+    ) -> list[int]:
+        """Hop distances from ``source``; ``-1`` marks unreachable."""
+        return bfs_distances_kernel(csr, source, max_depth=max_depth)
+
+    def bfs_order(self, csr: "CSRGraph", source: int) -> list[int]:
+        """Dense indexes in BFS visit order from ``source``."""
+        return bfs_order_kernel(csr, source)
+
+    def bfs_parents(self, csr: "CSRGraph", source: int) -> list[int]:
+        """BFS-tree parent per dense index (``-1`` root, ``-2`` unreached)."""
+        return bfs_parents_kernel(csr, source)
+
+    # ------------------------------------------------------------------ #
+    # PageRank
+    # ------------------------------------------------------------------ #
+    def pagerank(
+        self, csr: "CSRGraph", damping: float, max_iterations: int, tolerance: float
+    ) -> list[float]:
+        """Dense power iteration; returns the per-index rank list."""
+        n = csr.n
+        offsets = csr.offsets_list
+        targets = csr.targets_list
+        ranks = [1.0 / n] * n
+        for _ in range(max_iterations):
+            dangling_mass = sum(
+                ranks[v] for v in range(n) if offsets[v + 1] == offsets[v]
+            )
+            base = (1.0 - damping) / n + damping * dangling_mass / n
+            next_ranks = [base] * n
+            for vertex in range(n):
+                start = offsets[vertex]
+                end = offsets[vertex + 1]
+                if start == end:
+                    continue
+                share = damping * ranks[vertex] / (end - start)
+                for e in range(start, end):
+                    next_ranks[targets[e]] += share
+            change = sum(abs(next_ranks[v] - ranks[v]) for v in range(n))
+            ranks = next_ranks
+            if change < tolerance:
+                break
+        return ranks
+
+    # ------------------------------------------------------------------ #
+    # connected components
+    # ------------------------------------------------------------------ #
+    def connected_components(self, csr: "CSRGraph") -> list[int]:
+        """Component index (0-based, ordered by first vertex) per dense index.
+
+        Integer union-find (path halving + union by size); edges are treated
+        as undirected.
+        """
+        n = csr.n
+        parent = list(range(n))
+        size = [1] * n
+        offsets = csr.offsets_list
+        targets = csr.targets_list
+
+        def find(item: int) -> int:
+            while parent[item] != item:
+                parent[item] = parent[parent[item]]  # path halving
+                item = parent[item]
+            return item
+
+        for u in range(n):
+            for e in range(offsets[u], offsets[u + 1]):
+                ra = find(u)
+                rb = find(targets[e])
+                if ra == rb:
+                    continue
+                if size[ra] < size[rb]:
+                    ra, rb = rb, ra
+                parent[rb] = ra
+                size[ra] += size[rb]
+
+        labels = [0] * n
+        component_of_root: dict[int, int] = {}
+        for v in range(n):
+            root = find(v)
+            label = component_of_root.get(root)
+            if label is None:
+                label = component_of_root[root] = len(component_of_root)
+            labels[v] = label
+        return labels
+
+    # ------------------------------------------------------------------ #
+    # label propagation
+    # ------------------------------------------------------------------ #
+    def label_propagation(
+        self, csr: "CSRGraph", max_iterations: int, seed: int
+    ) -> list[int]:
+        """Community label (a dense vertex index) per dense index.
+
+        Semi-synchronous: vertices update sequentially within a shuffled
+        round and read labels already updated earlier in the same round —
+        an inherently order-dependent recurrence, which is why no backend
+        overrides this kernel (there is no profitable vectorisation that
+        preserves the reference semantics).  Ties break on the most frequent
+        label, then the smallest external-ID ``repr``.
+        """
+        rng = SeededRandom(seed)
+        n = csr.n
+        offsets = csr.offsets_list
+        targets = csr.targets_list
+        reprs = [repr(external) for external in csr.external_ids]
+        labels = list(range(n))
+
+        for _ in range(max_iterations):
+            changed = 0
+            for vertex in rng.shuffle(list(range(n))):
+                start = offsets[vertex]
+                end = offsets[vertex + 1]
+                if start == end:
+                    continue
+                counts: dict[int, int] = {}
+                for e in range(start, end):
+                    label = labels[targets[e]]
+                    counts[label] = counts.get(label, 0) + 1
+                best = sorted(
+                    counts.items(), key=lambda item: (-item[1], reprs[item[0]])
+                )[0][0]
+                if best != labels[vertex]:
+                    labels[vertex] = best
+                    changed += 1
+            if changed == 0:
+                break
+        return labels
+
+    # ------------------------------------------------------------------ #
+    # k-core
+    # ------------------------------------------------------------------ #
+    def core_numbers(self, csr: "CSRGraph") -> list[int]:
+        """Core number per dense index (Batagelj–Zaveršnik peeling)."""
+        adjacency = csr.undirected_sets()
+        n = csr.n
+        if n == 0:
+            return []
+        degrees = [len(neighbors) for neighbors in adjacency]
+        max_degree = max(degrees, default=0)
+        buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+        for vertex, degree in enumerate(degrees):
+            buckets[degree].append(vertex)
+
+        cores = [0] * n
+        removed = bytearray(n)
+        current = 0
+        for degree in range(max_degree + 1):
+            bucket = buckets[degree]
+            while bucket:
+                vertex = bucket.pop()
+                if removed[vertex] or degrees[vertex] != degree:
+                    continue
+                current = max(current, degree)
+                cores[vertex] = current
+                removed[vertex] = 1
+                for neighbor in adjacency[vertex]:
+                    if removed[neighbor]:
+                        continue
+                    if degrees[neighbor] > degree:
+                        degrees[neighbor] -= 1
+                        buckets[degrees[neighbor]].append(neighbor)
+        # vertices skipped because their recorded degree was stale get
+        # re-processed through the bucket they were re-appended to; isolated
+        # vertices stay 0
+        return cores
+
+    # ------------------------------------------------------------------ #
+    # triangles / clustering
+    # ------------------------------------------------------------------ #
+    def count_triangles(self, csr: "CSRGraph") -> int:
+        """Number of distinct triangles (each counted once, ``u < v < w``)."""
+        adjacency = csr.undirected_sets()
+        total = 0
+        for u, neighbors in enumerate(adjacency):
+            higher_u = {v for v in neighbors if v > u}
+            for v in higher_u:
+                total += sum(1 for w in adjacency[v] if w > v and w in higher_u)
+        return total
+
+    def triangles_per_vertex(self, csr: "CSRGraph") -> list[int]:
+        """Number of triangles each dense index participates in."""
+        adjacency = csr.undirected_sets()
+        counts = [0] * csr.n
+        for u, neighbors in enumerate(adjacency):
+            higher_u = {v for v in neighbors if v > u}
+            for v in higher_u:
+                for w in adjacency[v]:
+                    if w > v and w in higher_u:
+                        counts[u] += 1
+                        counts[v] += 1
+                        counts[w] += 1
+        return counts
+
+    def clustering_coefficient(self, csr: "CSRGraph", index: int) -> float:
+        """Local clustering coefficient of one dense index."""
+        adjacency = csr.undirected_sets()
+        neighbors = adjacency[index]
+        degree = len(neighbors)
+        if degree < 2:
+            return 0.0
+        links = sum(1 for a, b in combinations(neighbors, 2) if b in adjacency[a])
+        return 2.0 * links / (degree * (degree - 1))
+
+    def average_clustering(self, csr: "CSRGraph") -> float:
+        """Mean local clustering coefficient over all vertices."""
+        adjacency = csr.undirected_sets()
+        if not adjacency:
+            return 0.0
+        total = 0.0
+        for neighbors in adjacency:
+            degree = len(neighbors)
+            if degree < 2:
+                continue
+            links = sum(1 for a, b in combinations(neighbors, 2) if b in adjacency[a])
+            total += 2.0 * links / (degree * (degree - 1))
+        return total / len(adjacency)
+
+    # ------------------------------------------------------------------ #
+    # centrality
+    # ------------------------------------------------------------------ #
+    def closeness_centrality(self, csr: "CSRGraph") -> list[float]:
+        """Wasserman–Faust closeness per dense index (one BFS per vertex)."""
+        n = csr.n
+        result = [0.0] * n
+        for vertex in range(n):
+            reachable = 0
+            total = 0
+            for distance in self.bfs_distances(csr, vertex):
+                if distance > 0:
+                    reachable += 1
+                    total += distance
+            if reachable <= 0 or total <= 0 or n <= 1:
+                continue
+            result[vertex] = (reachable / (n - 1)) * (reachable / total)
+        return result
+
+    def betweenness(self, csr: "CSRGraph", sources: list[int]) -> list[float]:
+        """Brandes accumulation from ``sources`` over dense indexes."""
+        n = csr.n
+        offsets = csr.offsets_list
+        targets = csr.targets_list
+        betweenness = [0.0] * n
+
+        for source in sources:
+            # single-source shortest paths (unweighted -> BFS)
+            predecessors: list[list[int]] = [[] for _ in range(n)]
+            sigma = [0.0] * n
+            distance = [-1] * n
+            sigma[source] = 1.0
+            distance[source] = 0
+            stack: list[int] = [source]
+            head = 0
+            while head < len(stack):
+                current = stack[head]
+                head += 1
+                next_distance = distance[current] + 1
+                for e in range(offsets[current], offsets[current + 1]):
+                    neighbor = targets[e]
+                    if distance[neighbor] < 0:
+                        distance[neighbor] = next_distance
+                        stack.append(neighbor)
+                    if distance[neighbor] == next_distance:
+                        sigma[neighbor] += sigma[current]
+                        predecessors[neighbor].append(current)
+            # accumulation in reverse visit order
+            delta = [0.0] * n
+            for w in reversed(stack):
+                for v in predecessors[w]:
+                    if sigma[w] > 0:
+                        delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+                if w != source:
+                    betweenness[w] += delta[w]
+        return betweenness
+
+    # ------------------------------------------------------------------ #
+    # neighborhood similarity
+    # ------------------------------------------------------------------ #
+    def _neighborhood(self, csr: "CSRGraph", index: int) -> set[int]:
+        """Out-neighborhood of a dense index, excluding the vertex itself."""
+        neighborhood = csr.neighbor_set(index)
+        neighborhood.discard(index)
+        return neighborhood
+
+    def common_neighbors(self, csr: "CSRGraph", iu: int, iv: int) -> set[int]:
+        """Dense indexes adjacent to both, excluding the endpoints."""
+        shared = self._neighborhood(csr, iu) & self._neighborhood(csr, iv)
+        shared.discard(iu)
+        shared.discard(iv)
+        return shared
+
+    def jaccard(self, csr: "CSRGraph", iu: int, iv: int) -> float:
+        nu = self._neighborhood(csr, iu)
+        nv = self._neighborhood(csr, iv)
+        union = len(nu | nv)
+        if not union:
+            return 0.0
+        return len(nu & nv) / union
+
+    def adamic_adar(self, csr: "CSRGraph", iu: int, iv: int) -> float:
+        score = 0.0
+        for index in self.common_neighbors(csr, iu, iv):
+            degree = len(self._neighborhood(csr, index))
+            if degree > 1:
+                score += 1.0 / math.log(degree)
+        return score
+
+    def preferential_attachment(self, csr: "CSRGraph", iu: int, iv: int) -> int:
+        return len(self._neighborhood(csr, iu)) * len(self._neighborhood(csr, iv))
+
+
+class PythonBackend(KernelBackend):
+    """The reference backend (the :class:`KernelBackend` base implementation)."""
+
+    name = "python"

@@ -65,6 +65,8 @@ class CSRGraph:
         "_offsets_list",
         "_targets_list",
         "_undirected",
+        "_degrees",
+        "_backend_cache",
         "_buffer_owner",
         "_content_hash",
     )
@@ -99,6 +101,14 @@ class CSRGraph:
         self._offsets_list: list[int] | None = None
         self._targets_list: list[int] | None = None
         self._undirected: list[set[int]] | None = None
+        self._degrees: list[int] | None = None
+        #: scratch space for kernel backends (e.g. cached NumPy views over the
+        #: offset/target buffers, symmetrised CSR forms).  Snapshots are
+        #: immutable, so entries never go stale; a structural mutation of the
+        #: source graph bumps its version counter and the next
+        #: ``Graph.snapshot()`` call builds a fresh CSRGraph with an empty
+        #: cache, which is how these materialisations are invalidated.
+        self._backend_cache: dict[str, Any] = {}
         #: keeps an mmap (or other buffer provider) alive for zero-copy loads
         self._buffer_owner: Any = None
         self._content_hash: bytes | None = None
@@ -266,9 +276,14 @@ class CSRGraph:
         return self.offsets[index + 1] - self.offsets[index]
 
     def degrees(self) -> list[int]:
-        """Out-degree per dense index."""
-        offsets = self.offsets_list
-        return [offsets[i + 1] - offsets[i] for i in range(self.n)]
+        """Out-degree per dense index (cached; snapshots are immutable, so
+        repeated algorithm calls — including on mmap-backed snapshots, whose
+        offsets are memoryviews and comparatively slow to index — share one
+        materialised list)."""
+        if self._degrees is None:
+            offsets = self.offsets_list
+            self._degrees = [offsets[i + 1] - offsets[i] for i in range(self.n)]
+        return self._degrees
 
     def iter_edges(self) -> Iterator[tuple[int, int]]:
         """All edges as dense ``(source, target)`` index pairs."""

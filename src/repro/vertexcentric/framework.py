@@ -25,6 +25,16 @@ from the flat offset/target arrays instead of per-vertex ``get_neighbors``
 calls, so a PageRank superstep over a condensed representation no longer
 re-traverses the virtual layer for every vertex.  The ``compute`` API is
 unchanged and continues to see external vertex IDs.
+
+The *gather* phase additionally routes through the selected kernel backend
+(:func:`repro.graph.backend.get_backend`): ``ctx.gather_sum(key)`` returns
+the sum of the vertex's out-neighbors' previous-superstep values for ``key``,
+computed **once per superstep for all vertices** as a backend segment-sum
+over the snapshot's flat adjacency — a vectorised scatter-gather on the
+``numpy`` backend — instead of per-vertex dict lookups.  The ``python``
+backend sums in snapshot target order, exactly the order the per-vertex loop
+used, so results are bit-identical; parallel workers call the same kernel on
+their partition of the shared mmap'd snapshot.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from typing import Any, Iterator
 
 from repro.exceptions import VertexCentricError
 from repro.graph.api import Graph, VertexId
+from repro.graph.backend import get_backend
 
 
 class VertexContext:
@@ -85,6 +96,16 @@ class VertexContext:
 
     def get_neighbor_value(self, neighbor: VertexId, key: str = "value", default: Any = None) -> Any:
         return self._coordinator.read_value(neighbor, key, default)
+
+    def gather_sum(self, key: str = "value", default: float = 0.0) -> float:
+        """Sum of the out-neighbors' previous-superstep values for ``key``.
+
+        The values must be numeric; missing entries count as ``default``.
+        Computed through the kernel backend as a whole-graph segment sum the
+        first time a superstep asks for ``key``, then served from the cached
+        per-index list — the vectorised gather phase of the engine.
+        """
+        return self._coordinator.gather_sum(self._index, key, default)
 
     def vote_to_halt(self) -> None:
         self._coordinator.vote_to_halt(self.vertex)
@@ -139,12 +160,15 @@ class VertexCentric:
         chunk_size: int | None = None,
         parallelism: int = 1,
         snapshot_path: str | None = None,
+        backend: str | None = None,
     ) -> None:
         if num_workers < 1:
             raise VertexCentricError("num_workers must be at least 1")
         if parallelism < 1:
             raise VertexCentricError("parallelism must be at least 1")
         self.graph = graph
+        #: kernel backend powering the gather phase (serial and in workers)
+        self.backend = get_backend(backend)
         #: the shared physical core every superstep is scheduled over
         self.csr = graph.snapshot()
         self._vertices = self.csr.external_ids
@@ -163,6 +187,8 @@ class VertexCentric:
         self._woken: set[VertexId] = set()
         self._aggregate_previous: dict[str, float] = {}
         self._aggregate_next: dict[str, float] = {}
+        #: per-superstep cache of backend segment sums: (key, default) -> list
+        self._gather_cache: dict[tuple[str, float], list[float]] = {}
 
     # ------------------------------------------------------------------ #
     # value buffers
@@ -199,6 +225,17 @@ class VertexCentric:
     def get_aggregate(self, name: str, default: float = 0.0) -> float:
         return self._aggregate_previous.get(name, default)
 
+    def gather_sum(self, index: int, key: str, default: float) -> float:
+        """Backend-computed neighbor-sum of the previous superstep's ``key``
+        values for the vertex at dense ``index`` (cached per superstep)."""
+        entry = self._gather_cache.get((key, default))
+        if entry is None:
+            previous = self._previous
+            values = [previous[v].get(key, default) for v in self._vertices]
+            entry = self.backend.segment_sums(self.csr, values)
+            self._gather_cache[(key, default)] = entry
+        return entry[index]
+
     # ------------------------------------------------------------------ #
     def _chunks(self, indexes: list[int]) -> Iterator[list[int]]:
         for start in range(0, len(indexes), self._chunk_size):
@@ -229,6 +266,7 @@ class VertexCentric:
             self._next = {v: dict(data) for v, data in self._previous.items()}
             self._woken = set()
             self._aggregate_next = {}
+            self._gather_cache = {}
             compute = executor.compute
             for chunk in self._chunks(active):
                 stats.chunk_count += 1
@@ -280,7 +318,7 @@ class VertexCentric:
 
             path = str(ensure_saved(self.csr, self._snapshot_path))
 
-        factory = VertexChunkWorkerFactory(path, executor)
+        factory = VertexChunkWorkerFactory(path, executor, backend=self.backend.name)
         pool = ParallelSuperstepExecutor(self._parallelism, self.num_vertices, factory)
         try:
             pool.start()

@@ -265,9 +265,69 @@ class TestSnapshotCacheAndParallel:
         assert "triangles:" in output
         assert "running serial kernel" in output
 
-    def test_invalid_parallel_value_fails(self):
-        code, _ = run_cli(
-            "analyze", "--dataset", "univ", "--scale", "0.2",
-            "--algorithm", "degree", "--parallel", "0",
-        )
+class TestBackendFlag:
+    BASE = ("analyze", "--dataset", "univ", "--scale", "0.2", "--top", "5")
+
+    @pytest.fixture(autouse=True)
+    def _require_numpy(self):
+        from repro.graph.backend import numpy_available
+
+        if not numpy_available():  # pragma: no cover - numpy is baked in
+            pytest.skip("numpy backend not available")
+
+    def test_invalid_parallel_is_usage_error_not_traceback(self, capsys):
+        """--parallel 0 and --parallel -3 exit 1 with a clear message."""
+        for bad in ("0", "-3"):
+            code, _ = run_cli(*self.BASE, "--algorithm", "degree", "--parallel", bad)
+            assert code == 1
+            err = capsys.readouterr().err
+            assert "--parallel must be at least 1" in err
+            assert "Traceback" not in err
+
+    def test_unknown_backend_is_usage_error(self, capsys):
+        code, _ = run_cli(*self.BASE, "--algorithm", "degree", "--backend", "fortran")
         assert code == 1
+        err = capsys.readouterr().err
+        assert "--backend" in err and "'fortran'" in err
+        assert "python" in err and "numpy" in err  # the valid choices are listed
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("algorithm", ["degree", "components", "bfs", "kcore", "triangles"])
+    def test_backends_print_identical_int_results(self, algorithm):
+        extra = ("--source", "1") if algorithm == "bfs" else ()
+        outputs = {}
+        for backend in ("python", "numpy", "auto"):
+            code, outputs[backend] = run_cli(
+                *self.BASE, "--algorithm", algorithm, *extra, "--backend", backend
+            )
+            assert code == 0
+        assert outputs["python"] == outputs["numpy"] == outputs["auto"]
+
+    def test_backend_pagerank_within_print_precision(self):
+        """Six printed decimals are far coarser than the 1e-9 contract."""
+        code, python_out = run_cli(*self.BASE, "--algorithm", "pagerank", "--backend", "python")
+        assert code == 0
+        code, numpy_out = run_cli(*self.BASE, "--algorithm", "pagerank", "--backend", "numpy")
+        assert code == 0
+        assert python_out == numpy_out
+
+    def test_backend_flag_does_not_leak_between_invocations(self, monkeypatch):
+        from repro.graph.backend import BACKEND_ENV_VAR, get_backend, numpy_available
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        code, _ = run_cli(*self.BASE, "--algorithm", "degree", "--backend", "python")
+        assert code == 0
+        if numpy_available():
+            assert get_backend().name == "numpy"  # auto resolution restored
+
+    def test_backend_with_parallel_workers(self, tmp_path):
+        base = (*self.BASE, "--algorithm", "components")
+        code, serial = run_cli(*base)
+        assert code == 0
+        for backend in ("python", "numpy"):
+            code, output = run_cli(
+                *base, "--parallel", "2", "--backend", backend,
+                "--snapshot-cache", str(tmp_path / backend),
+            )
+            assert code == 0
+            assert output == serial, f"backend {backend} diverged under --parallel"

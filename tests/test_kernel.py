@@ -233,3 +233,58 @@ class TestTraversalKernels:
         assert adjacency[i1] == {i2}
         assert adjacency[i2] == {i1, i3}
         assert adjacency[i3] == {i2}
+
+
+class TestKernelViewCaches:
+    """The kernel-facing materialisations (offsets/targets lists, degrees,
+    backend scratch such as NumPy views) are cached per snapshot instance.
+    Snapshots are immutable, so the caches never go stale; a structural
+    mutation bumps the graph's version counter, the next ``snapshot()``
+    builds a fresh ``CSRGraph``, and the old caches die with it."""
+
+    def test_materialisations_are_cached_per_snapshot(self):
+        graph = ExpandedGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        csr = graph.snapshot()
+        assert csr.degrees() is csr.degrees()
+        assert csr.offsets_list is csr.offsets_list
+        assert csr.targets_list is csr.targets_list
+        assert csr.undirected_sets() is csr.undirected_sets()
+
+    def test_mmap_backed_snapshot_caches_too(self, tmp_path):
+        from repro.graph import CSRGraph
+
+        graph = ExpandedGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        path = tmp_path / "snap.csr"
+        graph.snapshot().save(path)
+        loaded = CSRGraph.load(path, mmap=True)
+        assert isinstance(loaded.offsets, memoryview)
+        assert loaded.degrees() is loaded.degrees()
+        assert loaded.targets_list is loaded.targets_list
+
+    def test_backend_cache_is_per_snapshot_and_reused(self):
+        pytest.importorskip("numpy")
+        import numpy as np
+
+        from repro.graph.backend.numpy_backend import _undirected_csr, _views
+
+        graph = ExpandedGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        csr = graph.snapshot()
+        offsets, targets = _views(csr)
+        assert _views(csr) is csr._backend_cache["np_views"]
+        assert _views(csr)[0] is offsets and _views(csr)[1] is targets
+        # zero-copy: the view reads the snapshot's own buffer
+        assert np.shares_memory(offsets, np.frombuffer(csr.offsets, dtype=np.int64))
+        assert _undirected_csr(csr) is _undirected_csr(csr)
+
+    def test_version_bump_invalidates_through_fresh_snapshot(self):
+        graph = ExpandedGraph.from_edges([(1, 2), (2, 3)])
+        first = graph.snapshot()
+        degrees_before = dict(zip(first.external_ids, first.degrees()))
+        assert graph.snapshot() is first  # cached while unmodified
+        graph.add_edge(1, 3)
+        second = graph.snapshot()
+        assert second is not first  # version counter invalidated the cache
+        degrees_after = dict(zip(second.external_ids, second.degrees()))
+        assert degrees_after[1] == degrees_before[1] + 1
+        # the stale snapshot keeps its own (still self-consistent) caches
+        assert dict(zip(first.external_ids, first.degrees())) == degrees_before

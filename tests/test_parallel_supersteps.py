@@ -221,3 +221,135 @@ def test_pagerank_eight_workers_on_larger_graph():
     serial, _ = run_pagerank(graph, iterations=15)
     parallel, _ = run_pagerank(graph, iterations=15, parallelism=8)
     assert parallel == serial
+
+
+# --------------------------------------------------------------------------- #
+# Giraph message batching (numeric pipe-traffic packing)
+# --------------------------------------------------------------------------- #
+class TestMessageBatching:
+    """Numeric supersteps cross the worker pipes as flat typed buffers — and,
+    while the target sequence repeats, as value buffers alone; mixed
+    supersteps fall back to raw pair lists.  Either way the round-trip must
+    be lossless and order-preserving — the Giraph parity tests above assert
+    the resulting end-to-end bit-identity."""
+
+    def test_float_messages_pack_to_typed_buffers(self):
+        from array import array
+
+        from repro.vertexcentric.parallel import MessageChannel
+
+        sender, receiver = MessageChannel(), MessageChannel()
+        pairs = [(3, 0.1), (1, 0.25), (3, 1.0 / 3.0), (0, 5e-324), (2, -0.0)]
+        packed = sender.pack(pairs)
+        assert packed[0] == "f64"
+        assert isinstance(packed[1], array) and packed[1].typecode == "i"
+        assert isinstance(packed[2], array) and packed[2].typecode == "d"
+        roundtrip = receiver.unpack(packed)
+        assert roundtrip == pairs  # exact values, exact order
+        assert all(type(m) is float for _, m in roundtrip)
+
+    def test_repeated_targets_ship_values_only(self):
+        from repro.vertexcentric.parallel import MessageChannel
+
+        sender, receiver = MessageChannel(), MessageChannel()
+        first = [(7, 0.5), (2, 0.25), (7, 0.125)]
+        second = [(7, 1.5), (2, -2.25), (7, 0.75)]  # same targets, new values
+        assert receiver.unpack(sender.pack(first)) == first
+        packed = sender.pack(second)
+        assert packed[0] == "f64-repeat"  # the target buffer is not resent
+        assert receiver.unpack(packed) == second
+        # a different target sequence falls back to a full packet
+        third = [(2, 1.0), (7, 2.0)]
+        packed = sender.pack(third)
+        assert packed[0] == "f64"
+        assert receiver.unpack(packed) == third
+
+    def test_mixed_and_non_numeric_messages_stay_raw(self):
+        from repro.vertexcentric.parallel import MessageChannel
+
+        sender, receiver = MessageChannel(), MessageChannel()
+        for pairs in (
+            [(0, 0.5), (1, ("v", 0.25))],  # mixed float / tuple
+            [(0, ("q", 7)), (1, ("r", 2))],  # tuples only
+            [(0, 1)],  # ints must not be coerced to float
+            [],
+        ):
+            packed = sender.pack(pairs)
+            assert packed[0] == "raw"
+            assert receiver.unpack(packed) == pairs
+
+    def test_packed_payload_is_smaller_on_the_wire(self):
+        import pickle
+
+        from repro.vertexcentric.parallel import MessageChannel
+
+        sender = MessageChannel()
+        pairs = [(index % 97, index * 0.125) for index in range(2000)]
+        raw_size = len(pickle.dumps(("raw", pairs)))
+        first_size = len(pickle.dumps(sender.pack(pairs)))
+        assert first_size < raw_size
+        # steady state (the scatter topology repeats): values only
+        repeat = [(index % 97, index * 0.5) for index in range(2000)]
+        repeat_size = len(pickle.dumps(sender.pack(repeat)))
+        assert repeat_size < raw_size / 1.5
+
+    def test_serial_engine_batches_float_inboxes(self):
+        """The serial engine stores all-float per-target boxes as array('d')
+        and degrades to a list the moment a non-float arrives, preserving
+        order."""
+        from array import array
+
+        from repro.giraph.engine import GiraphEngine, GiraphVertex
+
+        engine = GiraphEngine({vid: GiraphVertex(vid) for vid in ("a", "b")})
+        engine.send("a", 0.5)
+        engine.send("a", 0.25)
+        box = engine._outbox[engine._index["a"]]
+        assert isinstance(box, array) and box.typecode == "d"
+        assert box.tolist() == [0.5, 0.25]
+        engine.send("a", ("label", 1))
+        box = engine._outbox[engine._index["a"]]
+        assert isinstance(box, list)
+        assert box == [0.5, 0.25, ("label", 1)]
+        # non-float first -> list from the start
+        engine.send("b", 7)
+        assert isinstance(engine._outbox[engine._index["b"]], list)
+
+    def test_compute_always_receives_a_plain_list(self):
+        """Batched float boxes are unpacked at the delivery boundary: the
+        GiraphProgram.compute API keeps receiving real lists it may mutate."""
+        from repro.giraph.engine import GiraphEngine, GiraphProgram, GiraphVertex
+
+        seen = []
+
+        class Probe(GiraphProgram):
+            max_supersteps = 3
+
+            def compute(self, vertex, messages, ctx):
+                assert type(messages) is list
+                if messages:
+                    messages.sort()  # list semantics must keep working
+                    seen.append(list(messages))
+                if ctx.superstep == 0 and vertex.vertex_id == "a":
+                    ctx.send("b", 0.75)
+                    ctx.send("b", 0.25)
+                ctx.vote_to_halt(vertex.vertex_id)
+
+        engine = GiraphEngine({vid: GiraphVertex(vid) for vid in ("a", "b")})
+        engine.run(Probe())
+        assert seen == [[0.25, 0.75]]
+
+    def test_giraph_expanded_pagerank_parallel_bit_identical(self, families):
+        """Expanded PageRank is the all-float workload the packing targets:
+        every superstep's pipe traffic takes the packed path, and the values
+        and message metrics must remain bit-identical to serial."""
+        graph = families["symmetric"]["EXP"]
+        serial = run_giraph(graph, "pagerank", iterations=12)
+        for parallelism in PARALLELISMS:
+            parallel = run_giraph(graph, "pagerank", iterations=12, parallelism=parallelism)
+            assert parallel.values == serial.values
+            assert parallel.metrics.total_messages == serial.metrics.total_messages
+            assert (
+                parallel.metrics.messages_per_superstep
+                == serial.metrics.messages_per_superstep
+            )
