@@ -1,15 +1,17 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast bench smoke all help
+.PHONY: test test-fast test-session bench smoke all help
 
 help:
-	@echo "make test      - fast unit/integration suite (tests/)"
-	@echo "make test-fast - same, minus slow-marked stress tests, once per"
-	@echo "                 kernel backend (python reference leg + numpy leg)"
-	@echo "make bench     - paper benchmark reproductions (benchmarks/, slow)"
-	@echo "make smoke     - seconds-fast sanity subset (kernel, parity, algorithms)"
-	@echo "make all       - everything (tier-1 equivalent)"
+	@echo "make test         - fast unit/integration suite (tests/)"
+	@echo "make test-fast    - same, minus slow-marked stress tests, once per"
+	@echo "                    kernel backend (python reference leg + numpy leg)"
+	@echo "make test-session - session layer: lifecycle, API-compat shims,"
+	@echo "                    public-API stability, CLI"
+	@echo "make bench        - paper benchmark reproductions (benchmarks/, slow)"
+	@echo "make smoke        - seconds-fast sanity subset (kernel, parity, algorithms)"
+	@echo "make all          - everything (tier-1 equivalent)"
 
 test:
 	$(PYTEST) -q tests/
@@ -17,6 +19,10 @@ test:
 test-fast:
 	REPRO_KERNEL_BACKEND=python $(PYTEST) -q tests/ -m "not slow"
 	REPRO_KERNEL_BACKEND=numpy $(PYTEST) -q tests/ -m "not slow"
+
+test-session:
+	$(PYTEST) -q tests/test_session.py tests/test_api_compat.py \
+		tests/test_public_api.py tests/test_cli.py
 
 bench:
 	$(PYTEST) -q benchmarks/

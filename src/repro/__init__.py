@@ -16,6 +16,15 @@ Quickstart::
         Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
     ''', representation="bitmap")
     scores = pagerank(graph)
+
+or, for batch analytics over one shared snapshot, through the session layer::
+
+    from repro import GraphSession
+
+    session = GraphSession(db, snapshot_cache="./snapshots")
+    handle = session.graph(QUERY, representation="bitmap")
+    report = handle.analyze().pagerank().components().triangles().run()
+    scores = report["pagerank"].values
 """
 
 from repro.core import ExtractionOptions, ExtractionResult, GraphGen
@@ -31,14 +40,26 @@ from repro.graph import (
     Graph,
 )
 from repro.graphgenpy import GraphGenPy, extract_to_networkx, load_networkx
+from repro.session import (
+    AnalysisPlan,
+    AnalysisReport,
+    AnalysisResult,
+    GraphHandle,
+    GraphSession,
+)
 from repro.temporal import extract_snapshots, snapshot_diff, temporal_metrics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExtractionOptions",
     "ExtractionResult",
     "GraphGen",
+    "GraphSession",
+    "GraphHandle",
+    "AnalysisPlan",
+    "AnalysisReport",
+    "AnalysisResult",
     "Database",
     "parse_query",
     "BitmapGraph",

@@ -13,13 +13,49 @@ call pays the encoding cost.  Discovery order matches the pre-kernel FIFO
 implementation exactly on every backend (the ``numpy`` frontier kernels
 preserve first-occurrence discovery order, see
 :mod:`repro.graph.backend.numpy_backend`).
+
+:func:`distances_kernel` / :func:`order_kernel` / :func:`parents_kernel` are
+the kernel-level entry points (dense source index in, dense lists out) that
+the session layer's :class:`~repro.session.AnalysisPlan` calls over a shared
+snapshot; the free functions are thin encode/decode delegations around them.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.exceptions import RepresentationError
 from repro.graph.api import Graph, VertexId
 from repro.graph.backend import get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def distances_kernel(
+    csr: "CSRGraph",
+    source: int,
+    max_depth: int | None = None,
+    backend: "KernelBackend | None" = None,
+) -> list[int]:
+    """Kernel-level entry point: hop distance per dense index (-1 unreachable)."""
+    return (backend or get_backend()).bfs_distances(csr, source, max_depth=max_depth)
+
+
+def order_kernel(
+    csr: "CSRGraph", source: int, backend: "KernelBackend | None" = None
+) -> list[int]:
+    """Kernel-level entry point: dense indexes in BFS visit order."""
+    return (backend or get_backend()).bfs_order(csr, source)
+
+
+def parents_kernel(
+    csr: "CSRGraph", source: int, backend: "KernelBackend | None" = None
+) -> list[int]:
+    """Kernel-level entry point: BFS-tree parent per dense index
+    (``-1`` root, ``-2`` unreached)."""
+    return (backend or get_backend()).bfs_parents(csr, source)
 
 
 def _encode_source(graph: Graph, source: VertexId) -> tuple:
@@ -32,7 +68,7 @@ def _encode_source(graph: Graph, source: VertexId) -> tuple:
 def bfs_distances(graph: Graph, source: VertexId, max_depth: int | None = None) -> dict[VertexId, int]:
     """Hop distance from ``source`` to every reachable vertex (including itself)."""
     csr, src = _encode_source(graph, source)
-    distances = get_backend().bfs_distances(csr, src, max_depth=max_depth)
+    distances = distances_kernel(csr, src, max_depth=max_depth)
     ids = csr.external_ids
     return {ids[v]: d for v, d in enumerate(distances) if d >= 0}
 
@@ -41,13 +77,13 @@ def bfs_order(graph: Graph, source: VertexId) -> list[VertexId]:
     """Vertices in BFS visit order starting from ``source``."""
     csr, src = _encode_source(graph, source)
     ids = csr.external_ids
-    return [ids[v] for v in get_backend().bfs_order(csr, src)]
+    return [ids[v] for v in order_kernel(csr, src)]
 
 
 def bfs_tree(graph: Graph, source: VertexId) -> dict[VertexId, VertexId | None]:
     """Parent pointers of a BFS tree rooted at ``source`` (root maps to None)."""
     csr, src = _encode_source(graph, source)
-    parents = get_backend().bfs_parents(csr, src)
+    parents = parents_kernel(csr, src)
     ids = csr.external_ids
     return {
         ids[v]: (None if p == -1 else ids[p])
@@ -66,7 +102,7 @@ def shortest_path(graph: Graph, source: VertexId, target: VertexId) -> list[Vert
     csr, src = _encode_source(graph, source)
     if not csr.has_vertex(target):
         return None
-    parents = get_backend().bfs_parents(csr, src)
+    parents = parents_kernel(csr, src)
     dst = csr.index(target)
     if parents[dst] == -2:
         return None

@@ -15,14 +15,65 @@ All three dispatch to the selected kernel backend
 integers and identical on every backend; the float delta accumulation is
 re-associated by the ``numpy`` backend's per-level ``bincount`` reduction, so
 betweenness and closeness match the reference within 1e-9 L-infinity.
+
+:func:`closeness_kernel` / :func:`betweenness_kernel` are the kernel-level
+entry points (sampling and normalisation included) the session layer's
+:class:`~repro.session.AnalysisPlan` calls over a shared snapshot; the free
+functions are thin delegations around them.
 """
 
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING
 
+from repro.algorithms.degree import degrees_kernel
 from repro.graph.api import Graph, VertexId
 from repro.graph.backend import get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def closeness_kernel(csr: "CSRGraph", backend: "KernelBackend | None" = None) -> list[float]:
+    """Kernel-level entry point: Wasserman–Faust closeness per dense index."""
+    return (backend or get_backend()).closeness_centrality(csr)
+
+
+def betweenness_kernel(
+    csr: "CSRGraph",
+    normalized: bool = True,
+    sample_size: int | None = None,
+    seed: int = 0,
+    backend: "KernelBackend | None" = None,
+) -> list[float]:
+    """Kernel-level entry point: Brandes betweenness per dense index.
+
+    Sampling draws from the snapshot's external-ID list with the same seeded
+    generator the free function always used, so sampled sources are identical
+    for a given seed.
+    """
+    n = csr.n
+    if n <= 2:
+        return [0.0] * n
+
+    if sample_size is not None and sample_size < n:
+        rng = random.Random(seed)
+        sources = [csr.index(v) for v in rng.sample(csr.external_ids, sample_size)]
+        scale_sources = n / sample_size
+    else:
+        sources = list(range(n))
+        scale_sources = 1.0
+
+    betweenness = (backend or get_backend()).betweenness(csr, sources)
+
+    scale = scale_sources
+    if normalized:
+        scale /= (n - 1) * (n - 2)
+    if scale != 1.0:
+        betweenness = [value * scale for value in betweenness]
+    return betweenness
 
 
 def degree_centrality(graph: Graph) -> dict[VertexId, float]:
@@ -32,7 +83,7 @@ def degree_centrality(graph: Graph) -> dict[VertexId, float]:
     if n <= 1:
         return csr.decode([0.0] * n)
     scale = 1.0 / (n - 1)
-    return csr.decode([degree * scale for degree in get_backend().degrees(csr)])
+    return csr.decode([degree * scale for degree in degrees_kernel(csr)])
 
 
 def closeness_centrality(graph: Graph) -> dict[VertexId, float]:
@@ -44,7 +95,7 @@ def closeness_centrality(graph: Graph) -> dict[VertexId, float]:
     0.0.
     """
     csr = graph.snapshot()
-    return csr.decode(get_backend().closeness_centrality(csr))
+    return csr.decode(closeness_kernel(csr))
 
 
 def betweenness_centrality(
@@ -60,26 +111,9 @@ def betweenness_centrality(
     the usual unbiased estimator for large extracted graphs.
     """
     csr = graph.snapshot()
-    n = csr.n
-    if n <= 2:
-        return csr.decode([0.0] * n)
-
-    if sample_size is not None and sample_size < n:
-        rng = random.Random(seed)
-        sources = [csr.index(v) for v in rng.sample(csr.external_ids, sample_size)]
-        scale_sources = n / sample_size
-    else:
-        sources = list(range(n))
-        scale_sources = 1.0
-
-    betweenness = get_backend().betweenness(csr, sources)
-
-    scale = scale_sources
-    if normalized:
-        scale /= (n - 1) * (n - 2)
-    if scale != 1.0:
-        betweenness = [value * scale for value in betweenness]
-    return csr.decode(betweenness)
+    return csr.decode(
+        betweenness_kernel(csr, normalized=normalized, sample_size=sample_size, seed=seed)
+    )
 
 
 def top_k_central(centrality: dict[VertexId, float], k: int = 10) -> list[tuple[VertexId, float]]:

@@ -9,12 +9,28 @@ The kernel comes from the selected backend
 halving + union by size) on ``python``, vectorised BFS sweeps on ``numpy``.
 Both assign component labels in first-vertex order, so the results are
 identical across backends and to the pre-backend implementation.
+
+:func:`components_kernel` is the kernel-level entry point the session
+layer's :class:`~repro.session.AnalysisPlan` calls over a shared snapshot;
+the free functions are thin delegations around it.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.api import Graph, VertexId
 from repro.graph.backend import get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def components_kernel(csr: "CSRGraph", backend: "KernelBackend | None" = None) -> list[int]:
+    """Kernel-level entry point: component label (0-based, first-vertex
+    order) per dense index; edges are treated as undirected."""
+    return (backend or get_backend()).connected_components(csr)
 
 
 def connected_components(graph: Graph) -> dict[VertexId, int]:
@@ -23,12 +39,12 @@ def connected_components(graph: Graph) -> dict[VertexId, int]:
     Edges are treated as undirected (weak connectivity).
     """
     csr = graph.snapshot()
-    return csr.decode(get_backend().connected_components(csr))
+    return csr.decode(components_kernel(csr))
 
 
 def component_sizes(graph: Graph) -> list[int]:
     """Sizes of all components, largest first."""
-    labels = get_backend().connected_components(graph.snapshot())
+    labels = components_kernel(graph.snapshot())
     counts: dict[int, int] = {}
     for label in labels:
         counts[label] = counts.get(label, 0) + 1
@@ -36,15 +52,13 @@ def component_sizes(graph: Graph) -> list[int]:
 
 
 def num_components(graph: Graph) -> int:
-    csr = graph.snapshot()
-    labels = get_backend().connected_components(csr)
-    return len(set(labels))
+    return len(set(components_kernel(graph.snapshot())))
 
 
 def largest_component(graph: Graph) -> set[VertexId]:
     """The vertex set of the largest component (empty set for empty graphs)."""
     csr = graph.snapshot()
-    labels = get_backend().connected_components(csr)
+    labels = components_kernel(csr)
     if not labels:
         return set()
     counts: dict[int, int] = {}

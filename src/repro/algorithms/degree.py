@@ -9,18 +9,34 @@ array through the selected kernel backend (a cached list scan on ``python``,
 an ``np.diff`` over the zero-copy offset view on ``numpy``);
 :func:`degree_of` keeps the single-vertex Graph-API path so that one lookup
 never forces a full snapshot of a cold graph.
+
+:func:`degrees_kernel` is the kernel-level entry point: it takes an already
+built snapshot plus a resolved backend, so a session
+:class:`~repro.session.AnalysisPlan` can run it over one shared snapshot
+without re-encoding; the free functions are thin delegations around it.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.api import Graph, VertexId
 from repro.graph.backend import get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def degrees_kernel(csr: "CSRGraph", backend: "KernelBackend | None" = None) -> list[int]:
+    """Kernel-level entry point: out-degree per dense index."""
+    return (backend or get_backend()).degrees(csr)
 
 
 def degrees(graph: Graph) -> dict[VertexId, int]:
     """Out-degree of every vertex (logical, duplicates removed)."""
     csr = graph.snapshot()
-    return csr.decode(get_backend().degrees(csr))
+    return csr.decode(degrees_kernel(csr))
 
 
 def degree_of(graph: Graph, vertex: VertexId) -> int:
@@ -43,7 +59,7 @@ def max_degree_vertex(graph: Graph) -> tuple[VertexId, int] | None:
     """The vertex with the largest out-degree, or ``None`` for an empty graph."""
     csr = graph.snapshot()
     best: tuple[VertexId, int] | None = None
-    for index, degree in enumerate(get_backend().degrees(csr)):
+    for index, degree in enumerate(degrees_kernel(csr)):
         if best is None or degree > best[1]:
             best = (csr.external_ids[index], degree)
     return best

@@ -12,12 +12,33 @@ shares the reference kernel: in-round updates are sequential by definition
 (a vertex reads labels already updated earlier in the same shuffled round),
 so there is no vectorised variant — see
 :meth:`repro.graph.backend.python_backend.KernelBackend.label_propagation`.
+
+:func:`label_propagation_kernel` is the kernel-level entry point the session
+layer's :class:`~repro.session.AnalysisPlan` calls over a shared snapshot;
+the free functions are thin delegations around it.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.api import Graph, VertexId
 from repro.graph.backend import get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def label_propagation_kernel(
+    csr: "CSRGraph",
+    max_iterations: int = 20,
+    seed: int = 0,
+    backend: "KernelBackend | None" = None,
+) -> list[int]:
+    """Kernel-level entry point: community label (a dense vertex index) per
+    dense index."""
+    return (backend or get_backend()).label_propagation(csr, max_iterations, seed)
 
 
 def label_propagation(
@@ -33,7 +54,7 @@ def label_propagation(
     ``max_iterations`` rounds.
     """
     csr = graph.snapshot()
-    labels = get_backend().label_propagation(csr, max_iterations, seed)
+    labels = label_propagation_kernel(csr, max_iterations, seed)
     ids = csr.external_ids
     return {ids[v]: ids[label] for v, label in enumerate(labels)}
 

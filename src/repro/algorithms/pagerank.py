@@ -12,12 +12,37 @@ flat per-index float arrays in the selected kernel backend
 external vertex IDs.  The ``python`` backend mirrors the summation order of
 the pre-kernel Graph-API implementation bit-for-bit; the ``numpy`` backend
 re-associates sums and matches it within 1e-9 L-infinity.
+
+:func:`pagerank_kernel` is the kernel-level entry point the session layer's
+:class:`~repro.session.AnalysisPlan` calls over a shared snapshot; the free
+functions are thin delegations around it.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.api import Graph, VertexId
 from repro.graph.backend import get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def pagerank_kernel(
+    csr: "CSRGraph",
+    damping: float = 0.85,
+    max_iterations: int = 50,
+    tolerance: float = 1.0e-9,
+    backend: "KernelBackend | None" = None,
+) -> list[float]:
+    """Kernel-level entry point: per-index PageRank over a built snapshot."""
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    if csr.n == 0:
+        return []
+    return (backend or get_backend()).pagerank(csr, damping, max_iterations, tolerance)
 
 
 def pagerank(
@@ -32,12 +57,8 @@ def pagerank(
     standard correction.  Iteration stops when the L1 change drops below
     ``tolerance`` or after ``max_iterations``.
     """
-    if not 0.0 < damping < 1.0:
-        raise ValueError("damping must be in (0, 1)")
     csr = graph.snapshot()
-    if csr.n == 0:
-        return {}
-    return csr.decode(get_backend().pagerank(csr, damping, max_iterations, tolerance))
+    return csr.decode(pagerank_kernel(csr, damping, max_iterations, tolerance))
 
 
 def top_k_pagerank(graph: Graph, k: int = 10, **kwargs: float) -> list[tuple[VertexId, float]]:

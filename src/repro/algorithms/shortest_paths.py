@@ -6,14 +6,65 @@ over the shared snapshot and aggregate distances without materialising
 per-source dictionaries.  Sampling draws from the snapshot's external-ID list
 (the canonical ``get_vertices`` order), keeping the chosen sources identical
 to the pre-kernel implementation for a given seed.
+
+:func:`diameter_kernel` / :func:`average_path_length_kernel` are the
+kernel-level entry points the session layer's
+:class:`~repro.session.AnalysisPlan` calls over a shared snapshot; the free
+functions are thin delegations around them.
 """
 
 from __future__ import annotations
 
-from repro.algorithms.bfs import bfs_distances
+from typing import TYPE_CHECKING
+
+from repro.algorithms.bfs import bfs_distances, distances_kernel
 from repro.graph.api import Graph, VertexId
-from repro.graph.backend import get_backend
 from repro.utils.rand import SeededRandom
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def diameter_kernel(
+    csr: "CSRGraph",
+    samples: int = 10,
+    seed: int = 0,
+    backend: "KernelBackend | None" = None,
+) -> int:
+    """Kernel-level entry point: diameter lower bound from sampled BFS runs."""
+    vertices = csr.external_ids
+    if not vertices:
+        return 0
+    rng = SeededRandom(seed)
+    chosen = rng.sample(vertices, min(samples, len(vertices)))
+    return max(
+        max(distances_kernel(csr, csr.index(vertex), backend=backend), default=0)
+        for vertex in chosen
+    )
+
+
+def average_path_length_kernel(
+    csr: "CSRGraph",
+    samples: int = 10,
+    seed: int = 0,
+    backend: "KernelBackend | None" = None,
+) -> float:
+    """Kernel-level entry point: mean hop distance over sampled BFS trees."""
+    vertices = csr.external_ids
+    if not vertices:
+        return 0.0
+    rng = SeededRandom(seed)
+    chosen = rng.sample(vertices, min(samples, len(vertices)))
+    total = 0.0
+    count = 0
+    for vertex in chosen:
+        source = csr.index(vertex)
+        for node, distance in enumerate(distances_kernel(csr, source, backend=backend)):
+            if node != source and distance > 0:
+                total += distance
+                count += 1
+    return total / count if count else 0.0
 
 
 def single_source_shortest_paths(graph: Graph, source: VertexId) -> dict[VertexId, int]:
@@ -24,40 +75,15 @@ def single_source_shortest_paths(graph: Graph, source: VertexId) -> dict[VertexI
 def eccentricity(graph: Graph, vertex: VertexId) -> int:
     """Largest hop distance from ``vertex`` to any reachable vertex."""
     csr = graph.snapshot()
-    distances = get_backend().bfs_distances(csr, csr.index(vertex))
+    distances = distances_kernel(csr, csr.index(vertex))
     return max(distances, default=0) if csr.n else 0
 
 
 def approximate_diameter(graph: Graph, samples: int = 10, seed: int = 0) -> int:
     """Lower bound on the diameter from BFS at ``samples`` random vertices."""
-    csr = graph.snapshot()
-    vertices = csr.external_ids
-    if not vertices:
-        return 0
-    rng = SeededRandom(seed)
-    chosen = rng.sample(vertices, min(samples, len(vertices)))
-    backend = get_backend()
-    return max(
-        max(backend.bfs_distances(csr, csr.index(vertex)), default=0)
-        for vertex in chosen
-    )
+    return diameter_kernel(graph.snapshot(), samples=samples, seed=seed)
 
 
 def average_path_length(graph: Graph, samples: int = 10, seed: int = 0) -> float:
     """Average hop distance over BFS trees rooted at sampled vertices."""
-    csr = graph.snapshot()
-    vertices = csr.external_ids
-    if not vertices:
-        return 0.0
-    rng = SeededRandom(seed)
-    chosen = rng.sample(vertices, min(samples, len(vertices)))
-    total = 0.0
-    count = 0
-    backend = get_backend()
-    for vertex in chosen:
-        source = csr.index(vertex)
-        for node, distance in enumerate(backend.bfs_distances(csr, source)):
-            if node != source and distance > 0:
-                total += distance
-                count += 1
-    return total / count if count else 0.0
+    return average_path_length_kernel(graph.snapshot(), samples=samples, seed=seed)

@@ -12,15 +12,105 @@ dense-integer set intersection on ``python``, sorted-array ``intersect1d``
 on ``numpy``.  Counts and set results are exact across backends; the
 Adamic–Adar sum iterates the shared neighbors in a backend-specific order
 and matches within 1e-9.  External IDs only appear at the decode boundary.
+
+:func:`pair_score_kernel` / :func:`link_predictions_kernel` are the
+kernel-level entry points (dense indexes in, dense results out; tie-breaks
+read the snapshot codec's reprs) the session layer's
+:class:`~repro.session.AnalysisPlan` calls over a shared snapshot; the free
+functions are thin delegations around them.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
+from typing import TYPE_CHECKING
 
 from repro.graph.api import Graph, VertexId
 from repro.graph.backend import get_backend
 from repro.graph.kernel import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+
+#: similarity score names accepted by the kernel entry points and the
+#: link-prediction / similarity-matrix free functions
+SCORE_NAMES = ("adamic_adar", "common_neighbors", "jaccard", "preferential_attachment")
+
+
+def pair_score_kernel(
+    csr: CSRGraph, score: str, iu: int, iv: int, backend: "KernelBackend | None" = None
+) -> float:
+    """Kernel-level entry point: one similarity score for a dense pair."""
+    backend = backend or get_backend()
+    if score == "jaccard":
+        return float(backend.jaccard(csr, iu, iv))
+    if score == "adamic_adar":
+        return float(backend.adamic_adar(csr, iu, iv))
+    if score == "common_neighbors":
+        return float(len(backend.common_neighbors(csr, iu, iv)))
+    if score == "preferential_attachment":
+        return float(backend.preferential_attachment(csr, iu, iv))
+    raise ValueError(
+        f"unknown link-prediction score {score!r}; expected one of {sorted(SCORE_NAMES)}"
+    )
+
+
+def _neighborhood_index(csr: CSRGraph, index: int) -> set[int]:
+    """Out-neighborhood of a dense index, excluding the vertex itself
+    (candidate enumeration only; scoring goes through the backend)."""
+    neighborhood = csr.neighbor_set(index)
+    neighborhood.discard(index)
+    return neighborhood
+
+
+def _candidate_pairs(csr: CSRGraph) -> list[tuple[int, int]]:
+    """Dense non-edge pairs at distance exactly two, in the deterministic
+    enumeration order of the original free function (external-ID ``repr``
+    sorts inside each shared neighborhood)."""
+    ids = csr.external_ids
+    neighbor_sets = [csr.neighbor_set(i) for i in range(csr.n)]
+    candidates: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for index in range(csr.n):
+        neighborhood = [ids[i] for i in _neighborhood_index(csr, index)]
+        for a, b in combinations(sorted(neighborhood, key=repr), 2):
+            ia, ib = csr.index(a), csr.index(b)
+            if ib in neighbor_sets[ia] or ia in neighbor_sets[ib]:
+                continue
+            key = (ia, ib)
+            if key not in seen:
+                seen.add(key)
+                candidates.append(key)
+    return candidates
+
+
+def link_predictions_kernel(
+    csr: CSRGraph,
+    k: int = 10,
+    score: str = "adamic_adar",
+    candidates: list[tuple[int, int]] | None = None,
+    backend: "KernelBackend | None" = None,
+) -> list[tuple[int, int, float]]:
+    """Kernel-level entry point: the ``k`` highest-scoring dense pairs.
+
+    ``candidates`` restricts scoring to specific dense pairs; otherwise every
+    unordered pair at distance exactly two is considered.  Sorting descends by
+    score with ties broken on the external IDs' reprs, exactly like
+    :func:`link_predictions`.
+    """
+    if score not in SCORE_NAMES:
+        raise ValueError(
+            f"unknown link-prediction score {score!r}; expected one of {sorted(SCORE_NAMES)}"
+        )
+    if candidates is None:
+        candidates = _candidate_pairs(csr)
+    ids = csr.external_ids
+    scored = [
+        (iu, iv, pair_score_kernel(csr, score, iu, iv, backend=backend))
+        for iu, iv in candidates
+    ]
+    scored.sort(key=lambda item: (-item[2], repr(ids[item[0]]), repr(ids[item[1]])))
+    return scored[:k]
 
 
 def common_neighbors(graph: Graph, u: VertexId, v: VertexId) -> set[VertexId]:
@@ -34,7 +124,7 @@ def common_neighbors(graph: Graph, u: VertexId, v: VertexId) -> set[VertexId]:
 def jaccard_coefficient(graph: Graph, u: VertexId, v: VertexId) -> float:
     """``|N(u) ∩ N(v)| / |N(u) ∪ N(v)|`` (0.0 when both neighborhoods are empty)."""
     csr = graph.snapshot()
-    return get_backend().jaccard(csr, csr.index(u), csr.index(v))
+    return pair_score_kernel(csr, "jaccard", csr.index(u), csr.index(v))
 
 
 def adamic_adar(graph: Graph, u: VertexId, v: VertexId) -> float:
@@ -43,21 +133,13 @@ def adamic_adar(graph: Graph, u: VertexId, v: VertexId) -> float:
     Common neighbors of degree <= 1 contribute nothing (their log is 0).
     """
     csr = graph.snapshot()
-    return get_backend().adamic_adar(csr, csr.index(u), csr.index(v))
+    return pair_score_kernel(csr, "adamic_adar", csr.index(u), csr.index(v))
 
 
 def preferential_attachment(graph: Graph, u: VertexId, v: VertexId) -> int:
     """``|N(u)| * |N(v)|`` — the preferential-attachment link-prediction score."""
     csr = graph.snapshot()
     return get_backend().preferential_attachment(csr, csr.index(u), csr.index(v))
-
-
-def _neighborhood_index(csr: CSRGraph, index: int) -> set[int]:
-    """Out-neighborhood of a dense index, excluding the vertex itself
-    (candidate enumeration only; scoring goes through the backend)."""
-    neighborhood = csr.neighbor_set(index)
-    neighborhood.discard(index)
-    return neighborhood
 
 
 SCORES = {
@@ -80,48 +162,33 @@ def link_predictions(
     unordered pair of vertices at distance exactly two is considered (pairs
     further apart score zero under all supported measures).
     """
-    try:
-        scorer = SCORES[score]
-    except KeyError:
+    if score not in SCORES:
         raise ValueError(
             f"unknown link-prediction score {score!r}; expected one of {sorted(SCORES)}"
-        ) from None
-
-    if candidates is None:
-        csr = graph.snapshot()
-        ids = csr.external_ids
-        neighbor_sets = [csr.neighbor_set(i) for i in range(csr.n)]
-        candidates = []
-        seen: set[tuple[VertexId, VertexId]] = set()
-        for index in range(csr.n):
-            neighborhood = [ids[i] for i in _neighborhood_index(csr, index)]
-            for a, b in combinations(sorted(neighborhood, key=repr), 2):
-                ia, ib = csr.index(a), csr.index(b)
-                if ib in neighbor_sets[ia] or ia in neighbor_sets[ib]:
-                    continue
-                key = (a, b)
-                if key not in seen:
-                    seen.add(key)
-                    candidates.append(key)
-
-    scored = [(u, v, float(scorer(graph, u, v))) for u, v in candidates]
-    scored.sort(key=lambda item: (-item[2], repr(item[0]), repr(item[1])))
-    return scored[:k]
+        )
+    csr = graph.snapshot()
+    dense = None
+    if candidates is not None:
+        dense = [(csr.index(u), csr.index(v)) for u, v in candidates]
+    ids = csr.external_ids
+    return [
+        (ids[iu], ids[iv], value)
+        for iu, iv, value in link_predictions_kernel(csr, k=k, score=score, candidates=dense)
+    ]
 
 
 def similarity_matrix(
     graph: Graph, vertices: list[VertexId], score: str = "jaccard"
 ) -> dict[tuple[VertexId, VertexId], float]:
     """Pairwise similarity over an explicit vertex list (small sets only)."""
-    try:
-        scorer = SCORES[score]
-    except KeyError:
+    if score not in SCORES:
         raise ValueError(
             f"unknown similarity score {score!r}; expected one of {sorted(SCORES)}"
-        ) from None
+        )
+    csr = graph.snapshot()
     result: dict[tuple[VertexId, VertexId], float] = {}
     for u, v in combinations(vertices, 2):
-        value = float(scorer(graph, u, v))
+        value = pair_score_kernel(csr, score, csr.index(u), csr.index(v))
         result[(u, v)] = value
         result[(v, u)] = value
     return result

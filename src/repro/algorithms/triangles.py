@@ -12,23 +12,56 @@ The intersection kernels come from the selected backend
 the vertex rank), so triangle counts are exactly equal across backends; the
 derived clustering coefficients share every arithmetic step and are
 bit-identical too.
+
+:func:`count_triangles_kernel` / :func:`triangles_per_vertex_kernel` /
+:func:`average_clustering_kernel` are the kernel-level entry points the
+session layer's :class:`~repro.session.AnalysisPlan` calls over a shared
+snapshot; the free functions are thin delegations around them.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.api import Graph, VertexId
 from repro.graph.backend import get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def count_triangles_kernel(csr: "CSRGraph", backend: "KernelBackend | None" = None) -> int:
+    """Kernel-level entry point: number of distinct triangles."""
+    return (backend or get_backend()).count_triangles(csr)
+
+
+def triangles_per_vertex_kernel(
+    csr: "CSRGraph", backend: "KernelBackend | None" = None
+) -> list[int]:
+    """Kernel-level entry point: triangle participation count per dense index."""
+    return (backend or get_backend()).triangles_per_vertex(csr)
+
+
+def average_clustering_kernel(
+    csr: "CSRGraph", backend: "KernelBackend | None" = None
+) -> float:
+    """Kernel-level entry point: mean local clustering coefficient
+    (0.0 for an empty snapshot)."""
+    if csr.n == 0:
+        return 0.0
+    return (backend or get_backend()).average_clustering(csr)
 
 
 def count_triangles(graph: Graph) -> int:
     """Number of distinct triangles (each counted once)."""
-    return get_backend().count_triangles(graph.snapshot())
+    return count_triangles_kernel(graph.snapshot())
 
 
 def triangles_per_vertex(graph: Graph) -> dict[VertexId, int]:
     """Number of triangles each vertex participates in."""
     csr = graph.snapshot()
-    return csr.decode(get_backend().triangles_per_vertex(csr))
+    return csr.decode(triangles_per_vertex_kernel(csr))
 
 
 def clustering_coefficient(graph: Graph, vertex: VertexId) -> float:
@@ -41,7 +74,4 @@ def clustering_coefficient(graph: Graph, vertex: VertexId) -> float:
 
 def average_clustering(graph: Graph) -> float:
     """Mean local clustering coefficient over all vertices."""
-    csr = graph.snapshot()
-    if csr.n == 0:
-        return 0.0
-    return get_backend().average_clustering(csr)
+    return average_clustering_kernel(graph.snapshot())

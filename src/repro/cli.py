@@ -8,8 +8,15 @@ be extracted, inspected and analyzed without writing a script::
     python -m repro.cli extract --dataset dblp --output coauthors.tsv
     python -m repro.cli explain --data ./my_csv_db --query-file coauthors.dl
     python -m repro.cli analyze --dataset tpch --algorithm pagerank --top 5
-    python -m repro.cli analyze --dataset dblp --algorithm pagerank \
+    python -m repro.cli analyze --dataset dblp --algo pagerank --algo components \
         --snapshot-cache ./snapshots --parallel 4
+
+The ``analyze`` command is a thin client of
+:class:`repro.session.GraphSession`: it builds one session, requests one
+:class:`~repro.session.GraphHandle`, chains every ``--algo`` onto one
+:class:`~repro.session.AnalysisPlan` and prints the resulting report — so
+``--algo pagerank --algo components`` shares a single extraction and a
+single CSR snapshot build instead of two process invocations.
 
 Databases come either from a directory of CSV files (see
 :mod:`repro.relational.csv_io`) or from one of the built-in synthetic dataset
@@ -24,17 +31,8 @@ import sys
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-from repro.algorithms import (
-    bfs_distances,
-    connected_components,
-    core_numbers,
-    count_triangles,
-    degrees,
-    pagerank,
-)
 from repro.core.graphgen import GraphGen, REPRESENTATIONS
-from repro.graph.backend import BACKEND_ENV_VAR, get_backend, set_default_backend
-from repro.graph.snapshot_store import SnapshotStore, ensure_saved
+from repro.graph.backend import BACKEND_ENV_VAR, get_backend
 from repro.datasets import (
     COACTOR_QUERY,
     COAUTHOR_QUERY,
@@ -47,12 +45,9 @@ from repro.datasets import (
 )
 from repro.exceptions import GraphGenError, UsageError
 from repro.graphgenpy import FORMATS, GraphGenPy
-from repro.vertexcentric.programs import (
-    run_connected_components,
-    run_degree,
-    run_pagerank,
-    run_sssp,
-)
+from repro.session import GraphSession
+from repro.session.plan import PLAN_ALGORITHMS
+from repro.session.report import AnalysisResult
 from repro.relational.csv_io import read_database
 from repro.relational.database import Database
 
@@ -95,6 +90,8 @@ BUILTIN_DATASETS: dict[str, tuple[Callable[[float, int], Database], str]] = {
     ),
 }
 
+#: choices of the legacy single --algorithm flag (kept stable); the
+#: repeatable --algo flag accepts every repro.session plan algorithm
 ALGORITHMS = ("degree", "pagerank", "components", "bfs", "kcore", "triangles")
 
 
@@ -113,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in (
         ("extract", "extract a graph and serialize it to a file"),
         ("explain", "show the extraction plan and generated SQL"),
-        ("analyze", "extract a graph and run a graph algorithm on it"),
+        ("analyze", "extract a graph and run graph algorithms on it"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_source_arguments(sub)
@@ -130,7 +127,23 @@ def build_parser() -> argparse.ArgumentParser:
                 "--format", choices=FORMATS, default="edgelist", help="serialization format"
             )
         if name == "analyze":
-            sub.add_argument("--algorithm", choices=ALGORITHMS, default="degree")
+            sub.add_argument(
+                "--algorithm",
+                choices=ALGORITHMS,
+                default=None,
+                help="single algorithm to run (default: degree); see --algo "
+                "for batches and the full catalogue",
+            )
+            sub.add_argument(
+                "--algo",
+                action="append",
+                dest="algos",
+                metavar="NAME",
+                default=None,
+                help="algorithm to run (repeatable): all requests share one "
+                "extraction and one snapshot build; choices: "
+                + ", ".join(sorted(PLAN_ALGORITHMS)),
+            )
             sub.add_argument("--top", type=int, default=10, help="number of result rows to print")
             sub.add_argument("--source", help="source vertex for BFS (as text)")
             sub.add_argument(
@@ -156,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "--backend",
                 default=None,
                 metavar="{python,numpy,auto}",
-                help="kernel backend executing the algorithm (and any "
+                help="kernel backend executing the algorithms (and any "
                 "--parallel workers): 'python' is the bit-exact reference, "
                 "'numpy' runs vectorised kernels over zero-copy snapshot "
                 "views (int results exact, float results within 1e-9), "
@@ -243,6 +256,9 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# analyze: a thin client of repro.session.GraphSession
+# --------------------------------------------------------------------------- #
 def _parallelism(args) -> int:
     parallel = getattr(args, "parallel", 1)
     if parallel < 1:
@@ -250,166 +266,130 @@ def _parallelism(args) -> int:
     return parallel
 
 
-def _parallel_kwargs(args) -> dict:
-    """Keyword arguments routing a vertex-centric runner through the parallel
-    superstep executor over the (possibly cached) snapshot file."""
-    return {
-        "parallelism": _parallelism(args),
-        "snapshot_path": getattr(args, "_snapshot_path", None),
-    }
+def _resolve_algos(args: argparse.Namespace) -> list[str]:
+    """The algorithm batch this invocation requests (validated names)."""
+    if args.algos:
+        if args.algorithm is not None:
+            raise UsageError("pass either --algorithm or repeated --algo flags, not both")
+        for name in args.algos:
+            if name not in PLAN_ALGORITHMS:
+                raise UsageError(
+                    f"--algo: unknown algorithm {name!r}; expected one of "
+                    + ", ".join(sorted(PLAN_ALGORITHMS))
+                )
+        return list(args.algos)
+    return [args.algorithm or "degree"]
 
 
-def _use_parallel_engine(graph, args, out, algorithm: str) -> bool:
-    """Whether to route ``algorithm`` through the parallel superstep engine.
-
-    The superstep programs gather from out-neighbors, which matches the
-    serial kernels' semantics only on symmetric graphs (all of the paper's
-    co-occurrence extractions are; arbitrary ``--data`` queries may not be).
-    Degree reads plain out-degrees and is exact on any graph.  On a
-    non-symmetric graph the CLI says so and falls back to the serial kernel
-    rather than silently changing the algorithm's meaning.
-    """
-    if _parallelism(args) <= 1:
-        return False
-    if algorithm == "degree":
-        return True
-    if not graph.snapshot().is_symmetric():
-        print(
-            f"note: the {algorithm} superstep program requires a symmetric "
-            "graph; running serial kernel",
-            file=out,
-        )
-        return False
-    return True
-
-
-def _run_degree(graph, args, out) -> None:
-    if _use_parallel_engine(graph, args, out, "degree"):
-        scores, _ = run_degree(graph, **_parallel_kwargs(args))
-    else:
-        scores = degrees(graph)
-    rows = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
+def _print_degree(result: AnalysisResult, args, out) -> None:
+    rows = sorted(result.values.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
     _print_rows(rows, ("vertex", "degree"), out)
 
 
-def _run_pagerank(graph, args, out) -> None:
-    if _use_parallel_engine(graph, args, out, "pagerank"):
-        print("note: pagerank via the superstep engine (20 fixed iterations); "
-              "low-order digits may differ from the serial kernel", file=out)
-        scores, _ = run_pagerank(graph, **_parallel_kwargs(args))
-    else:
-        scores = pagerank(graph)
+def _print_pagerank(result: AnalysisResult, args, out) -> None:
     rows = [
         (vertex, f"{score:.6f}")
         for vertex, score in sorted(
-            scores.items(), key=lambda item: (-item[1], repr(item[0]))
+            result.values.items(), key=lambda item: (-item[1], repr(item[0]))
         )[: args.top]
     ]
     _print_rows(rows, ("vertex", "pagerank"), out)
 
 
-def _canonical_component_labels(labels: dict) -> dict:
-    """Relabel a component partition with 0-based integers in first-appearance
-    order.  ``run_connected_components`` returns values in snapshot vertex
-    order, so on symmetric graphs this reproduces the serial kernel's
-    numbering exactly."""
-    canonical: dict[Any, int] = {}
-    return {vertex: canonical.setdefault(label, len(canonical)) for vertex, label in labels.items()}
-
-
-def _run_components(graph, args, out) -> None:
-    if _use_parallel_engine(graph, args, out, "components"):
-        raw, _ = run_connected_components(graph, **_parallel_kwargs(args))
-        labels = _canonical_component_labels(raw)
-    else:
-        labels = connected_components(graph)
+def _sizes_rows(labels: dict) -> dict:
     sizes: dict[Any, int] = {}
     for label in labels.values():
         sizes[label] = sizes.get(label, 0) + 1
+    return sizes
+
+
+def _print_components(result: AnalysisResult, args, out) -> None:
+    sizes = _sizes_rows(result.values)
     rows = sorted(sizes.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
     print(f"components: {len(sizes)}", file=out)
     _print_rows(rows, ("component", "size"), out)
 
 
-def _run_bfs(graph, args, out) -> None:
-    if args.source is None:
-        raise GraphGenError("--source is required for the bfs algorithm")
-    source = _parse_vertex(graph, args.source)
-    if _use_parallel_engine(graph, args, out, "bfs"):
-        with_unreachable, _ = run_sssp(graph, source, **_parallel_kwargs(args))
-        distances = {v: d for v, d in with_unreachable.items() if d is not None}
-    else:
-        distances = bfs_distances(graph, source)
+def _print_bfs(result: AnalysisResult, args, out) -> None:
+    distances = result.values
     rows = sorted(distances.items(), key=lambda item: (item[1], repr(item[0])))[: args.top]
     print(f"reachable vertices: {len(distances)}", file=out)
     _print_rows(rows, ("vertex", "distance"), out)
 
 
-def _run_kcore(graph, args, out) -> None:
-    if _parallelism(args) > 1:
-        print("note: kcore has no superstep program; running serial kernel", file=out)
-    cores = core_numbers(graph)
+def _print_kcore(result: AnalysisResult, args, out) -> None:
+    cores = result.values
     rows = sorted(cores.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
     print(f"degeneracy: {max(cores.values(), default=0)}", file=out)
     _print_rows(rows, ("vertex", "core"), out)
 
 
-def _run_triangles(graph, args, out) -> None:
-    if _parallelism(args) > 1:
-        print("note: triangles has no superstep program; running serial kernel", file=out)
-    print(f"triangles: {count_triangles(graph)}", file=out)
+def _print_triangles(result: AnalysisResult, args, out) -> None:
+    print(f"triangles: {result.values}", file=out)
 
 
-#: algorithm name -> runner(graph, args, out); all runners execute on the
-#: graph's CSR snapshot through repro.algorithms
-ALGORITHM_RUNNERS = {
-    "degree": _run_degree,
-    "pagerank": _run_pagerank,
-    "components": _run_components,
-    "bfs": _run_bfs,
-    "kcore": _run_kcore,
-    "triangles": _run_triangles,
+def _print_clustering(result: AnalysisResult, args, out) -> None:
+    print(f"average clustering: {result.values:.6f}", file=out)
+
+
+def _print_label_propagation(result: AnalysisResult, args, out) -> None:
+    sizes = _sizes_rows(result.values)
+    rows = sorted(sizes.items(), key=lambda item: (-item[1], repr(item[0])))[: args.top]
+    print(f"communities: {len(sizes)}", file=out)
+    _print_rows(rows, ("community", "size"), out)
+
+
+def _print_centrality(result: AnalysisResult, args, out) -> None:
+    rows = [
+        (vertex, f"{score:.6f}")
+        for vertex, score in sorted(
+            result.values.items(), key=lambda item: (-item[1], repr(item[0]))
+        )[: args.top]
+    ]
+    _print_rows(rows, ("vertex", result.algorithm), out)
+
+
+def _print_diameter(result: AnalysisResult, args, out) -> None:
+    print(f"approximate diameter: {result.values}", file=out)
+
+
+def _print_link_predictions(result: AnalysisResult, args, out) -> None:
+    rows = [(f"{u} -- {v}", f"{score:.6f}") for u, v, score in result.values[: args.top]]
+    _print_rows(rows, ("pair", result.params["score"]), out)
+
+
+#: algorithm name -> printer(result, args, out)
+RESULT_PRINTERS: dict[str, Callable[[AnalysisResult, argparse.Namespace, Any], None]] = {
+    "degree": _print_degree,
+    "pagerank": _print_pagerank,
+    "components": _print_components,
+    "bfs": _print_bfs,
+    "kcore": _print_kcore,
+    "triangles": _print_triangles,
+    "clustering": _print_clustering,
+    "label_propagation": _print_label_propagation,
+    "closeness": _print_centrality,
+    "betweenness": _print_centrality,
+    "diameter": _print_diameter,
+    "link_predictions": _print_link_predictions,
 }
 
 
 def _snapshot_cache_key(args: argparse.Namespace, query: str) -> str:
-    """Cache key identifying (database origin, query, representation)."""
+    """Cache key identifying (database origin + dataset args, query,
+    representation) — everything that changes the snapshot's content or
+    vertex order.  A ``--data`` directory is identified by its full resolved
+    path (hashed), so two directories that happen to share a basename never
+    collide."""
     import hashlib
 
-    origin = args.dataset or Path(args.data).resolve().name
+    if args.dataset:
+        origin = f"{args.dataset}_s{args.scale}_r{args.seed}"
+    else:
+        path = Path(args.data).resolve()
+        origin = f"{path.name}_{hashlib.sha256(str(path).encode('utf-8')).hexdigest()[:8]}"
     digest = hashlib.sha256(query.encode("utf-8")).hexdigest()[:12]
-    return f"{origin}_s{args.scale}_r{args.seed}_{args.representation}_{digest}"
-
-
-def _cmd_analyze(args: argparse.Namespace, out) -> int:
-    # validate cheap flags early, before the (expensive) extraction; an
-    # unknown --backend or --parallel < 1 is a UsageError message, never a
-    # traceback
-    _parallelism(args)
-    try:
-        # repro.graph.backend owns name + availability validation
-        get_backend(args.backend)
-    except UsageError as exc:
-        # blame the actual source: the flag if given, else the environment
-        source = "--backend" if args.backend is not None else BACKEND_ENV_VAR
-        raise UsageError(f"{source}: {exc}") from None
-    db = _resolve_database(args)
-    query = _resolve_query(args)
-    previous_backend = set_default_backend(args.backend) if args.backend else None
-    try:
-        graph = GraphGen(db).extract(query, representation=args.representation)
-        if args.snapshot_cache:
-            store = SnapshotStore(args.snapshot_cache)
-            key = _snapshot_cache_key(args, query)
-            # persist the snapshot (content-hash checked: a fresh file is
-            # written only when missing or stale); parallel superstep workers
-            # mmap it
-            args._snapshot_path = str(ensure_saved(graph.snapshot(), store.path_for(key)))
-        ALGORITHM_RUNNERS[args.algorithm](graph, args, out)
-    finally:
-        if args.backend:
-            set_default_backend(previous_backend)
-    return 0
+    return f"{origin}_{args.representation}_{digest}"
 
 
 def _parse_vertex(graph, text: str):
@@ -423,6 +403,56 @@ def _parse_vertex(graph, text: str):
     if candidate is not None and graph.has_vertex(candidate):
         return candidate
     raise GraphGenError(f"vertex {text!r} is not in the extracted graph")
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    # validate cheap flags early, before the (expensive) extraction; an
+    # unknown --algo / --backend or --parallel < 1 is a UsageError message,
+    # never a traceback
+    algos = _resolve_algos(args)
+    _parallelism(args)
+    try:
+        # repro.graph.backend owns name + availability validation
+        get_backend(args.backend)
+    except UsageError as exc:
+        # blame the actual source: the flag if given, else the environment
+        source = "--backend" if args.backend is not None else BACKEND_ENV_VAR
+        raise UsageError(f"{source}: {exc}") from None
+    db = _resolve_database(args)
+    query = _resolve_query(args)
+
+    session = GraphSession(
+        db,
+        snapshot_cache=args.snapshot_cache,
+        backend=args.backend,
+        parallelism=args.parallel,
+    )
+    handle = session.graph(
+        query, representation=args.representation, key=_snapshot_cache_key(args, query)
+    )
+    if args.snapshot_cache:
+        # persist eagerly (content-hash checked: a fresh file is written only
+        # when missing or stale) so warm runs and parallel workers mmap it
+        handle.persist()
+
+    plan = handle.analyze()
+    for name in algos:
+        params: dict[str, Any] = {}
+        if name == "bfs":
+            if args.source is None:
+                raise GraphGenError("--source is required for the bfs algorithm")
+            params["source"] = _parse_vertex(handle.graph, args.source)
+        plan.add(name, **params)
+    report = plan.run()
+
+    multiple = len(report) > 1
+    for result in report:
+        if multiple:
+            print(f"--- {result.label} ---", file=out)
+        for note in result.notes:
+            print(note, file=out)
+        RESULT_PRINTERS[result.algorithm](result, args, out)
+    return 0
 
 
 COMMANDS = {

@@ -56,6 +56,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class CSRGraph:
     """Immutable compressed-sparse-row snapshot of a logical graph."""
 
+    #: process-wide count of snapshots *built* from a live graph
+    #: (:meth:`from_graph`; file loads are not builds).  Instrumentation for
+    #: the session layer's amortisation contract: tests assert that a
+    #: multi-algorithm :meth:`repro.session.AnalysisPlan.run` moves this
+    #: counter by exactly one.
+    build_count = 0
+
     __slots__ = (
         "offsets",
         "targets",
@@ -121,6 +128,7 @@ class CSRGraph:
         """Build a snapshot of ``graph``, using the fastest available path."""
         from repro.graph.condensed_base import CondensedBackedGraph
 
+        CSRGraph.build_count += 1
         if isinstance(graph, CondensedBackedGraph):
             return cls._from_condensed(graph)
         return cls._from_snapshot_edges(graph)

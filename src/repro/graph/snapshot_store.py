@@ -378,6 +378,14 @@ class SnapshotStore:
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: outcome of the most recent :meth:`load_or_build` — ``"hit"`` (file
+        #: matched; the mmap load was returned), ``"stale"`` (file existed but
+        #: was unreadable or its hash no longer matched; rewritten) or
+        #: ``"miss"`` (no file; written).  ``None`` before the first call.
+        self.last_outcome: str | None = None
+        #: cumulative :meth:`load_or_build` outcome counts — the provenance
+        #: instrumentation the session layer and its tests read
+        self.counters: dict[str, int] = {"hit": 0, "stale": 0, "miss": 0}
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{_slug(key)}.csr"
@@ -404,13 +412,20 @@ class SnapshotStore:
         """
         snap = graph.snapshot()
         path = self.path_for(key)
-        if path.exists():
+        existed = path.exists()
+        if existed:
             try:
                 header = peek_header(path)
                 if header.content_hash == snap.content_hash:
                     loaded = load_snapshot(path, mmap=mmap, verify=False, source=graph)
+                    self._record("hit")
                     return graph.adopt_snapshot(loaded)
             except SnapshotFormatError:
                 pass  # unreadable/stale file: fall through and rewrite it
         save_snapshot(snap, path)
+        self._record("stale" if existed else "miss")
         return snap
+
+    def _record(self, outcome: str) -> None:
+        self.last_outcome = outcome
+        self.counters[outcome] += 1

@@ -1,0 +1,25 @@
+"""The session layer: a unified extract → snapshot → analyze API.
+
+:class:`GraphSession` owns the resources a batch-analysis workload wants
+amortised (extractor, snapshot store, kernel backend, worker processes);
+:class:`GraphHandle` binds one extracted representation to its lazily built,
+store-backed, version-tracked CSR snapshot; :class:`AnalysisPlan` chains
+algorithm requests that execute over **one** shared snapshot; and
+:class:`AnalysisReport` / :class:`AnalysisResult` / :class:`Provenance`
+carry the structured outcome.  See :mod:`repro.session.session` for the
+object model and a usage example.
+"""
+
+from repro.session.plan import PLAN_ALGORITHMS, AnalysisPlan
+from repro.session.report import AnalysisReport, AnalysisResult, Provenance
+from repro.session.session import GraphHandle, GraphSession
+
+__all__ = [
+    "GraphSession",
+    "GraphHandle",
+    "AnalysisPlan",
+    "AnalysisReport",
+    "AnalysisResult",
+    "Provenance",
+    "PLAN_ALGORITHMS",
+]

@@ -1,0 +1,539 @@
+"""Multi-algorithm analysis plans over one shared snapshot.
+
+An :class:`AnalysisPlan` is a chainable builder obtained from
+:meth:`repro.session.GraphHandle.analyze`::
+
+    report = (handle.analyze()
+              .pagerank(damping=0.9)
+              .components()
+              .bfs(source=1)
+              .triangles()
+              .run())
+
+``run()`` acquires the handle's CSR snapshot **once**, resolves the
+session's kernel backend **once**, and executes every requested algorithm
+against that shared physical core through the kernel-level entry points of
+:mod:`repro.algorithms` — so a batch of heterogeneous analyses pays for
+extraction, snapshot encoding and backend scratch a single time.  Results
+come back as an :class:`~repro.session.AnalysisReport`.
+
+Execution routing mirrors the CLI's rules: with session ``parallelism > 1``,
+algorithms that have a superstep program (degree, pagerank, components, bfs)
+run on the process-parallel vertex-centric executor over the store-backed
+snapshot file; pagerank/components/bfs require a symmetric snapshot and fall
+back to the serial kernel (with a note on the result) on directed graphs,
+because the superstep programs gather from out-neighbors.  Requests whose
+parameters the superstep programs cannot honor — bfs with a ``max_depth``
+limit, pagerank with non-default convergence settings — likewise fall back
+to the serial kernel with a note, so parameters in a result are always the
+parameters that actually ran.  Degree,
+components and bfs superstep results are canonicalised to match the serial
+kernels exactly; superstep pagerank runs 20 fixed iterations and its note
+says so.  With ``parallelism == 1`` every result is the exact value the
+matching free function returns — bit-identical, including float kernels,
+since both sides call the same backend kernel on the same snapshot.
+
+The registry :data:`PLAN_ALGORITHMS` is the single source of truth for what
+a plan (and the CLI's repeatable ``--algo`` flag) can request.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.algorithms.bfs import distances_kernel
+from repro.algorithms.centrality import betweenness_kernel, closeness_kernel
+from repro.algorithms.connected_components import components_kernel
+from repro.algorithms.degree import degrees_kernel
+from repro.algorithms.kcore import core_numbers_kernel
+from repro.algorithms.label_propagation import label_propagation_kernel
+from repro.algorithms.pagerank import pagerank_kernel
+from repro.algorithms.shortest_paths import diameter_kernel
+from repro.algorithms.similarity import SCORE_NAMES, link_predictions_kernel
+from repro.algorithms.triangles import average_clustering_kernel, count_triangles_kernel
+from repro.exceptions import RepresentationError, UsageError
+from repro.session.report import AnalysisReport, AnalysisResult, Provenance
+from repro.vertexcentric.programs import (
+    run_connected_components,
+    run_degree,
+    run_pagerank,
+    run_sssp,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.api import Graph, VertexId
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+    from repro.session.session import GraphHandle
+
+#: sentinel marking a parameter that must be supplied by the caller
+REQUIRED = object()
+
+#: superstep pagerank runs a fixed iteration count (the engine has no
+#: convergence test); the note on its results quotes this number
+SUPERSTEP_PAGERANK_ITERATIONS = 20
+
+
+def _encode_source(csr: "CSRGraph", source: "VertexId") -> int:
+    if not csr.has_vertex(source):
+        raise RepresentationError(f"BFS source {source!r} is not in the graph")
+    return csr.index(source)
+
+
+def canonical_component_labels(labels: dict) -> dict:
+    """Relabel a component partition with 0-based integers in
+    first-appearance order.  ``run_connected_components`` returns values in
+    snapshot vertex order, so on symmetric graphs this reproduces the serial
+    kernel's numbering exactly."""
+    canonical: dict[Any, int] = {}
+    return {vertex: canonical.setdefault(label, len(canonical)) for vertex, label in labels.items()}
+
+
+# --------------------------------------------------------------------------- #
+# kernel runners: (csr, backend, params) -> decoded values, shaped exactly
+# like the matching repro.algorithms free function's return value
+# --------------------------------------------------------------------------- #
+def _kernel_degree(csr, backend, params):
+    return csr.decode(degrees_kernel(csr, backend=backend))
+
+
+def _kernel_pagerank(csr, backend, params):
+    return csr.decode(
+        pagerank_kernel(
+            csr,
+            damping=params["damping"],
+            max_iterations=params["max_iterations"],
+            tolerance=params["tolerance"],
+            backend=backend,
+        )
+    )
+
+
+def _kernel_components(csr, backend, params):
+    return csr.decode(components_kernel(csr, backend=backend))
+
+
+def _kernel_bfs(csr, backend, params):
+    src = _encode_source(csr, params["source"])
+    distances = distances_kernel(csr, src, max_depth=params["max_depth"], backend=backend)
+    ids = csr.external_ids
+    return {ids[v]: d for v, d in enumerate(distances) if d >= 0}
+
+
+def _kernel_kcore(csr, backend, params):
+    return csr.decode(core_numbers_kernel(csr, backend=backend))
+
+
+def _kernel_triangles(csr, backend, params):
+    return count_triangles_kernel(csr, backend=backend)
+
+
+def _kernel_clustering(csr, backend, params):
+    return average_clustering_kernel(csr, backend=backend)
+
+
+def _kernel_label_propagation(csr, backend, params):
+    labels = label_propagation_kernel(
+        csr, max_iterations=params["max_iterations"], seed=params["seed"], backend=backend
+    )
+    ids = csr.external_ids
+    return {ids[v]: ids[label] for v, label in enumerate(labels)}
+
+
+def _kernel_closeness(csr, backend, params):
+    return csr.decode(closeness_kernel(csr, backend=backend))
+
+
+def _kernel_betweenness(csr, backend, params):
+    return csr.decode(
+        betweenness_kernel(
+            csr,
+            normalized=params["normalized"],
+            sample_size=params["sample_size"],
+            seed=params["seed"],
+            backend=backend,
+        )
+    )
+
+
+def _kernel_diameter(csr, backend, params):
+    return diameter_kernel(csr, samples=params["samples"], seed=params["seed"], backend=backend)
+
+
+def _kernel_link_predictions(csr, backend, params):
+    ids = csr.external_ids
+    return [
+        (ids[iu], ids[iv], value)
+        for iu, iv, value in link_predictions_kernel(
+            csr, k=params["k"], score=params["score"], backend=backend
+        )
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# superstep runners: (graph, parallelism, snapshot_path, backend_name, params)
+# -> values canonicalised to the serial kernels' shape
+# --------------------------------------------------------------------------- #
+def _superstep_degree(graph, parallelism, path, backend, params):
+    values, _ = run_degree(graph, parallelism=parallelism, snapshot_path=path, backend=backend)
+    return values
+
+
+def _superstep_pagerank(graph, parallelism, path, backend, params):
+    values, _ = run_pagerank(
+        graph,
+        iterations=SUPERSTEP_PAGERANK_ITERATIONS,
+        damping=params["damping"],
+        parallelism=parallelism,
+        snapshot_path=path,
+        backend=backend,
+    )
+    return values
+
+
+def _pagerank_superstep_params_ok(params) -> str | None:
+    """The superstep engine has fixed iterations and no convergence test, so
+    only a default-convergence request may be routed to it — anything else
+    must run the serial kernel to honor the caller's parameters."""
+    if params["max_iterations"] == 50 and params["tolerance"] == 1.0e-9:
+        return None
+    return (
+        "note: pagerank with custom max_iterations/tolerance runs on the "
+        "serial kernel (the superstep engine has fixed iterations)"
+    )
+
+
+def _bfs_superstep_params_ok(params) -> str | None:
+    if params["max_depth"] is None:
+        return None
+    return "note: bfs with a max_depth limit has no superstep program; running serial kernel"
+
+
+def _superstep_components(graph, parallelism, path, backend, params):
+    raw, _ = run_connected_components(
+        graph, parallelism=parallelism, snapshot_path=path, backend=backend
+    )
+    return canonical_component_labels(raw)
+
+
+def _superstep_bfs(graph, parallelism, path, backend, params):
+    with_unreachable, _ = run_sssp(
+        graph, params["source"], parallelism=parallelism, snapshot_path=path, backend=backend
+    )
+    return {v: d for v, d in with_unreachable.items() if d is not None}
+
+
+# --------------------------------------------------------------------------- #
+# validation helpers (raise UsageError: these are caller mistakes, reported
+# as one-line messages, never tracebacks)
+# --------------------------------------------------------------------------- #
+def _validate_pagerank(params):
+    damping = params["damping"]
+    if not isinstance(damping, (int, float)) or not 0.0 < damping < 1.0:
+        raise UsageError(f"pagerank: damping must be in (0, 1) (got {damping!r})")
+
+
+def _validate_bfs(params):
+    if params["source"] is REQUIRED or params["source"] is None:
+        raise UsageError("bfs requires a source vertex (pass source=...)")
+
+
+def _validate_link_predictions(params):
+    if params["score"] not in SCORE_NAMES:
+        raise UsageError(
+            f"link_predictions: unknown score {params['score']!r}; "
+            f"expected one of {', '.join(sorted(SCORE_NAMES))}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanAlgorithm:
+    """Registry entry: how one algorithm name executes inside a plan."""
+
+    name: str
+    #: allowed parameter names -> default values (REQUIRED = must be given)
+    defaults: dict[str, Any]
+    #: serial path over the shared snapshot
+    kernel: Callable[["CSRGraph", "KernelBackend", dict], Any]
+    #: extra parameter validation (beyond unknown/missing checks)
+    validate: Callable[[dict], None] | None = None
+    #: process-parallel path, or None when no superstep program exists
+    superstep: Callable[["Graph", int, str | None, str, dict], Any] | None = None
+    #: superstep gathers from out-neighbors: exact only on symmetric graphs
+    requires_symmetric: bool = False
+    #: note attached to results whenever the superstep path is taken
+    superstep_note: str | None = None
+    #: params -> fallback note when the superstep program cannot honor these
+    #: parameters (None = eligible); the request then runs the serial kernel
+    superstep_params_ok: Callable[[dict], str | None] | None = None
+
+
+PLAN_ALGORITHMS: dict[str, PlanAlgorithm] = {
+    spec.name: spec
+    for spec in (
+        PlanAlgorithm(
+            "degree",
+            defaults={},
+            kernel=_kernel_degree,
+            superstep=_superstep_degree,
+        ),
+        PlanAlgorithm(
+            "pagerank",
+            defaults={"damping": 0.85, "max_iterations": 50, "tolerance": 1.0e-9},
+            kernel=_kernel_pagerank,
+            validate=_validate_pagerank,
+            superstep=_superstep_pagerank,
+            requires_symmetric=True,
+            superstep_params_ok=_pagerank_superstep_params_ok,
+            superstep_note=(
+                "note: pagerank via the superstep engine "
+                f"({SUPERSTEP_PAGERANK_ITERATIONS} fixed iterations); "
+                "low-order digits may differ from the serial kernel"
+            ),
+        ),
+        PlanAlgorithm(
+            "components",
+            defaults={},
+            kernel=_kernel_components,
+            superstep=_superstep_components,
+            requires_symmetric=True,
+        ),
+        PlanAlgorithm(
+            "bfs",
+            defaults={"source": REQUIRED, "max_depth": None},
+            kernel=_kernel_bfs,
+            validate=_validate_bfs,
+            superstep=_superstep_bfs,
+            requires_symmetric=True,
+            superstep_params_ok=_bfs_superstep_params_ok,
+        ),
+        PlanAlgorithm("kcore", defaults={}, kernel=_kernel_kcore),
+        PlanAlgorithm("triangles", defaults={}, kernel=_kernel_triangles),
+        PlanAlgorithm("clustering", defaults={}, kernel=_kernel_clustering),
+        PlanAlgorithm(
+            "label_propagation",
+            defaults={"max_iterations": 20, "seed": 0},
+            kernel=_kernel_label_propagation,
+        ),
+        PlanAlgorithm("closeness", defaults={}, kernel=_kernel_closeness),
+        PlanAlgorithm(
+            "betweenness",
+            defaults={"normalized": True, "sample_size": None, "seed": 0},
+            kernel=_kernel_betweenness,
+        ),
+        PlanAlgorithm(
+            "diameter",
+            defaults={"samples": 10, "seed": 0},
+            kernel=_kernel_diameter,
+        ),
+        PlanAlgorithm(
+            "link_predictions",
+            defaults={"k": 10, "score": "adamic_adar"},
+            kernel=_kernel_link_predictions,
+            validate=_validate_link_predictions,
+        ),
+    )
+}
+
+
+class AnalysisPlan:
+    """Chainable batch of algorithm requests over one shared snapshot.
+
+    Obtained from :meth:`repro.session.GraphHandle.analyze`; every request
+    method returns the plan itself, and :meth:`run` executes the whole batch.
+    """
+
+    def __init__(self, handle: "GraphHandle") -> None:
+        self._handle = handle
+        self._requests: list[tuple[PlanAlgorithm, dict[str, Any]]] = []
+
+    # ------------------------------------------------------------------ #
+    # request builders
+    # ------------------------------------------------------------------ #
+    def add(self, name: str, **params: Any) -> "AnalysisPlan":
+        """Request ``name`` with keyword parameters (the generic entry the
+        named builder methods and the CLI's ``--algo`` flag go through)."""
+        spec = PLAN_ALGORITHMS.get(name)
+        if spec is None:
+            raise UsageError(
+                f"unknown algorithm {name!r}; expected one of "
+                + ", ".join(sorted(PLAN_ALGORITHMS))
+            )
+        unknown = set(params) - set(spec.defaults)
+        if unknown:
+            raise UsageError(
+                f"{name}: unexpected argument(s) {', '.join(sorted(map(repr, unknown)))}; "
+                f"accepted: {', '.join(sorted(spec.defaults)) or '(none)'}"
+            )
+        effective = dict(spec.defaults)
+        effective.update(params)
+        missing = [key for key, value in effective.items() if value is REQUIRED]
+        if spec.validate is not None:
+            spec.validate(effective)
+        if missing:
+            raise UsageError(
+                f"{name}: missing required argument(s) {', '.join(sorted(missing))}"
+            )
+        self._requests.append((spec, effective))
+        return self
+
+    def degree(self) -> "AnalysisPlan":
+        return self.add("degree")
+
+    def pagerank(
+        self,
+        damping: float = 0.85,
+        max_iterations: int = 50,
+        tolerance: float = 1.0e-9,
+    ) -> "AnalysisPlan":
+        return self.add(
+            "pagerank", damping=damping, max_iterations=max_iterations, tolerance=tolerance
+        )
+
+    def components(self) -> "AnalysisPlan":
+        return self.add("components")
+
+    def bfs(self, source: "VertexId" = REQUIRED, max_depth: int | None = None) -> "AnalysisPlan":
+        return self.add("bfs", source=source, max_depth=max_depth)
+
+    def kcore(self) -> "AnalysisPlan":
+        return self.add("kcore")
+
+    def triangles(self) -> "AnalysisPlan":
+        return self.add("triangles")
+
+    def clustering(self) -> "AnalysisPlan":
+        return self.add("clustering")
+
+    def label_propagation(self, max_iterations: int = 20, seed: int = 0) -> "AnalysisPlan":
+        return self.add("label_propagation", max_iterations=max_iterations, seed=seed)
+
+    def closeness(self) -> "AnalysisPlan":
+        return self.add("closeness")
+
+    def betweenness(
+        self, normalized: bool = True, sample_size: int | None = None, seed: int = 0
+    ) -> "AnalysisPlan":
+        return self.add("betweenness", normalized=normalized, sample_size=sample_size, seed=seed)
+
+    def diameter(self, samples: int = 10, seed: int = 0) -> "AnalysisPlan":
+        return self.add("diameter", samples=samples, seed=seed)
+
+    def link_predictions(self, k: int = 10, score: str = "adamic_adar") -> "AnalysisPlan":
+        return self.add("link_predictions", k=k, score=score)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def requests(self) -> list[tuple[str, dict[str, Any]]]:
+        """The queued ``(algorithm, effective params)`` pairs, in order."""
+        return [(spec.name, dict(params)) for spec, params in self._requests]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> AnalysisReport:
+        """Execute every request over one shared snapshot and backend."""
+        if not self._requests:
+            raise UsageError(
+                "analysis plan is empty: chain at least one algorithm "
+                "request (e.g. .pagerank()) before run()"
+            )
+        handle = self._handle
+        session = handle.session
+        backend = session.backend
+        parallelism = session.parallelism
+
+        started = time.perf_counter()
+        builds_before = handle.builds
+        csr = handle.snapshot()
+        snapshot_source = handle.snapshot_source
+
+        # superstep routing is decided once for the whole batch, before any
+        # execution: symmetry is a property of the shared snapshot (checked
+        # lazily, only when a symmetric-requiring program survives the
+        # parameter check), and the snapshot file parallel workers mmap is
+        # persisted only when at least one request actually takes the
+        # superstep path
+        symmetric: bool | None = None
+        routed: list[tuple[bool, list[str]]] = []
+        for spec, params in self._requests:
+            notes: list[str] = []
+            use_superstep = False
+            if parallelism > 1:
+                param_note = (
+                    spec.superstep_params_ok(params)
+                    if spec.superstep is not None and spec.superstep_params_ok is not None
+                    else None
+                )
+                if spec.superstep is None:
+                    notes.append(
+                        f"note: {spec.name} has no superstep program; running serial kernel"
+                    )
+                elif param_note is not None:
+                    notes.append(param_note)
+                else:
+                    if spec.requires_symmetric and symmetric is None:
+                        symmetric = csr.is_symmetric()
+                    if spec.requires_symmetric and not symmetric:
+                        notes.append(
+                            f"note: the {spec.name} superstep program requires a "
+                            "symmetric graph; running serial kernel"
+                        )
+                    else:
+                        use_superstep = True
+                        if spec.superstep_note:
+                            notes.append(spec.superstep_note)
+            routed.append((use_superstep, notes))
+
+        snapshot_path: str | None = None
+        if any(use_superstep for use_superstep, _ in routed):
+            snapshot_path = handle.persist()
+
+        results: list[AnalysisResult] = []
+        seen_labels: dict[str, int] = {}
+        for (spec, params), (use_superstep, notes) in zip(self._requests, routed):
+            tick = time.perf_counter()
+            if use_superstep:
+                values = spec.superstep(
+                    handle.graph, parallelism, snapshot_path, backend.name, params
+                )
+            else:
+                values = spec.kernel(csr, backend, params)
+            seconds = time.perf_counter() - tick
+
+            count = seen_labels.get(spec.name, 0) + 1
+            seen_labels[spec.name] = count
+            label = spec.name if count == 1 else f"{spec.name}#{count}"
+            results.append(
+                AnalysisResult(
+                    algorithm=spec.name,
+                    label=label,
+                    params={k: v for k, v in params.items()},
+                    values=values,
+                    seconds=seconds,
+                    engine="superstep" if use_superstep else "kernel",
+                    provenance=Provenance(
+                        representation=handle.representation,
+                        backend=backend.name,
+                        snapshot_source=snapshot_source,
+                        parallelism=parallelism if use_superstep else 1,
+                    ),
+                    notes=tuple(notes),
+                )
+            )
+
+        return AnalysisReport(
+            results=results,
+            provenance=Provenance(
+                representation=handle.representation,
+                backend=backend.name,
+                snapshot_source=snapshot_source,
+                parallelism=parallelism,
+            ),
+            total_seconds=time.perf_counter() - started,
+            snapshot_builds=handle.builds - builds_before,
+        )

@@ -1,0 +1,122 @@
+"""Structured results of a session analysis plan.
+
+An :class:`~repro.session.AnalysisPlan` run produces one
+:class:`AnalysisReport` holding an ordered list of per-algorithm
+:class:`AnalysisResult` objects.  Every result carries its decoded values,
+its wall-clock timing, the engine it ran on (direct kernel vs the superstep
+executor) and a shared :class:`Provenance` record describing the execution
+context: which representation the snapshot was taken from, which kernel
+backend computed it, where the snapshot's arrays live (freshly built heap
+arrays, an mmap of a store file, or an in-process cache hit) and how many
+worker processes were used.
+
+The report is the session layer's answer to "what did I just compute, on
+what, and how long did it take" — the paper's workflow runs *many* analyses
+per extracted graph, so results need to stay attributable after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where and how an analysis executed."""
+
+    #: representation the analyzed snapshot was taken from ("cdup", "exp", ...)
+    representation: str
+    #: kernel backend that executed ("python" or "numpy")
+    backend: str
+    #: where the snapshot's arrays came from for this run: ``"heap"`` (built
+    #: from the live graph), ``"mmap"`` (zero-copy load of a store file) or
+    #: ``"cache-hit"`` (the graph's still-valid in-process snapshot was reused)
+    snapshot_source: str
+    #: worker processes used (1 = serial)
+    parallelism: int
+
+
+@dataclass
+class AnalysisResult:
+    """One algorithm's outcome inside an :class:`AnalysisReport`."""
+
+    #: registry name of the algorithm ("pagerank", "components", ...)
+    algorithm: str
+    #: unique label within the report ("bfs", "bfs#2", ...)
+    label: str
+    #: effective parameters the algorithm ran with (defaults filled in)
+    params: dict[str, Any]
+    #: decoded values, shaped exactly like the matching free function's return
+    values: Any
+    #: wall-clock seconds spent executing this algorithm (snapshot excluded)
+    seconds: float
+    #: ``"kernel"`` (direct backend kernel) or ``"superstep"`` (routed through
+    #: the parallel vertex-centric executor)
+    engine: str
+    provenance: Provenance
+    #: human-readable execution notes (e.g. a serial fallback explanation)
+    notes: tuple[str, ...] = ()
+
+
+@dataclass
+class AnalysisReport:
+    """Ordered, addressable collection of :class:`AnalysisResult` objects."""
+
+    results: list[AnalysisResult] = field(default_factory=list)
+    #: plan-level provenance (the shared snapshot + session configuration)
+    provenance: Provenance | None = None
+    #: wall-clock seconds for the whole run, snapshot acquisition included
+    total_seconds: float = 0.0
+    #: CSR snapshot builds/loads this run performed (0 = pure cache hit)
+    snapshot_builds: int = 0
+
+    def __iter__(self) -> Iterator[AnalysisResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            self[key]
+        except KeyError:
+            return False
+        return True
+
+    def __getitem__(self, key: str | int) -> AnalysisResult:
+        """Address a result by position, exact label, or algorithm name
+        (first match, in plan order)."""
+        if isinstance(key, int):
+            return self.results[key]
+        for result in self.results:
+            if result.label == key:
+                return result
+        for result in self.results:
+            if result.algorithm == key:
+                return result
+        raise KeyError(
+            f"no analysis result {key!r} in this report (labels: {self.labels()})"
+        )
+
+    def labels(self) -> list[str]:
+        return [result.label for result in self.results]
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest of the run."""
+        lines = []
+        if self.provenance is not None:
+            p = self.provenance
+            lines.append(
+                f"analysis of {p.representation} snapshot ({p.snapshot_source}) "
+                f"on backend={p.backend} parallelism={p.parallelism}: "
+                f"{len(self.results)} algorithm(s), "
+                f"{self.snapshot_builds} snapshot build(s), "
+                f"{self.total_seconds:.3f}s total"
+            )
+        for result in self.results:
+            lines.append(
+                f"  {result.label}: engine={result.engine} "
+                f"{result.seconds:.3f}s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""The GraphSession façade: extract once, snapshot once, analyze many times.
+
+The paper's workflow is "declare a hidden graph, extract it, then run *many*
+analyses on it", and real workloads batch heterogeneous queries against one
+graph.  :class:`GraphSession` is the object that owns every resource that
+workflow wants amortised:
+
+* the :class:`~repro.core.graphgen.GraphGen` extractor (one per database),
+* an optional :class:`~repro.graph.snapshot_store.SnapshotStore` directory
+  of persisted, mmap-able CSR snapshot files,
+* one resolved kernel backend (validated eagerly, so a bad name fails at
+  session construction, not at the first analysis), and
+* a worker-process budget for the parallel superstep executor.
+
+``session.graph(query)`` extracts (memoised per query/representation) and
+returns a :class:`GraphHandle`; ``handle.analyze()`` starts an
+:class:`~repro.session.AnalysisPlan` whose ``run()`` executes every chained
+algorithm over **one** shared snapshot.  A typical session::
+
+    session = GraphSession(db, snapshot_cache="./snapshots", parallelism=4)
+    handle = session.graph(COAUTHOR_QUERY, representation="cdup")
+    report = handle.analyze().pagerank().components().triangles().run()
+    print(report["pagerank"].values)
+    print(report.summary())
+
+Handles are *version-tracked*: the snapshot is built lazily on first use,
+reused (``"cache-hit"`` provenance) while the graph is structurally
+unchanged, and rebuilt automatically after a mutation such as ``add_edge``
+(the representations' version counters invalidate the cached snapshot, and
+the store detects the stale file by content hash and rewrites it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any
+
+from repro.core.config import ExtractionOptions
+from repro.core.graphgen import ExtractionResult, GraphGen
+from repro.exceptions import UsageError
+from repro.graph.backend import get_backend
+from repro.graph.snapshot_store import SnapshotStore, ensure_saved
+from repro.session.plan import AnalysisPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dsl.ast import GraphSpec
+    from repro.giraph.runner import GiraphRunResult
+    from repro.graph.api import Graph
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+    from repro.relational.database import Database
+
+
+class GraphHandle:
+    """A representation-bound graph plus its lazily managed CSR snapshot.
+
+    Obtained from :meth:`GraphSession.graph` (or :meth:`GraphSession.wrap`
+    for an already-built :class:`~repro.graph.api.Graph`).  The handle does
+    not copy anything: ``handle.graph`` is the live representation, and
+    mutating it through the Graph API invalidates the snapshot as usual.
+    """
+
+    def __init__(
+        self,
+        session: "GraphSession",
+        graph: "Graph",
+        representation: str,
+        store_key: str,
+        extraction: ExtractionResult | None = None,
+    ) -> None:
+        self.session = session
+        #: the live in-memory representation (Graph API)
+        self.graph = graph
+        #: resolved representation name ("cdup", "exp", ...)
+        self.representation = representation
+        #: key under which this handle's snapshot persists in the session store
+        self.store_key = store_key
+        #: full extraction result (plan, condensed graph, report), when the
+        #: handle came out of an extraction; None for wrapped graphs
+        self.extraction = extraction
+        self._builds = 0
+        self._snapshot_source: str | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def builds(self) -> int:
+        """How many snapshot builds/loads this handle has performed (an
+        in-process cache hit does not count)."""
+        return self._builds
+
+    @property
+    def snapshot_source(self) -> str | None:
+        """Provenance of the most recent :meth:`snapshot` call — ``"heap"``,
+        ``"mmap"`` or ``"cache-hit"`` (None before the first call)."""
+        return self._snapshot_source
+
+    def snapshot(self) -> "CSRGraph":
+        """The graph's current CSR snapshot — built lazily, store-backed,
+        version-tracked.
+
+        While the graph is structurally unchanged the cached snapshot is
+        returned (``"cache-hit"``).  Otherwise the session's snapshot store,
+        if configured, is consulted: a file whose content hash matches the
+        rebuilt snapshot is loaded zero-copy (``"mmap"``), anything else is
+        (re)written from the fresh heap build (``"heap"``).
+        """
+        cached = self.graph.cached_snapshot()
+        if cached is not None:
+            self._snapshot_source = "cache-hit"
+            return cached
+        store = self.session.store
+        if store is not None:
+            csr = store.load_or_build(self.graph, self.store_key)
+            self._snapshot_source = "mmap" if store.last_outcome == "hit" else "heap"
+        else:
+            csr = self.graph.snapshot()
+            self._snapshot_source = "heap"
+        self._builds += 1
+        return csr
+
+    def persist(self) -> str | None:
+        """Make sure the session store holds this handle's current snapshot;
+        returns the file path (None when the session has no store).
+
+        Parallel superstep workers mmap this file instead of rebuilding or
+        unpickling the graph.
+        """
+        store = self.session.store
+        if store is None:
+            return None
+        return str(ensure_saved(self.snapshot(), store.path_for(self.store_key)))
+
+    # ------------------------------------------------------------------ #
+    def analyze(self) -> AnalysisPlan:
+        """Start a chainable multi-algorithm :class:`AnalysisPlan`."""
+        return AnalysisPlan(self)
+
+    def giraph(self, algorithm: str, **kwargs: Any) -> "GiraphRunResult":
+        """Run one program on the simulated Giraph engine over this handle's
+        graph, using the session's worker budget (an escape hatch to the
+        Pregel-style layer for workloads the plan registry does not cover)."""
+        from repro.giraph.runner import run_giraph
+
+        kwargs.setdefault("parallelism", self.session.parallelism)
+        return run_giraph(self.graph, algorithm, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<GraphHandle {self.representation} key={self.store_key!r} "
+            f"builds={self._builds}>"
+        )
+
+
+class GraphSession:
+    """Session façade composing extractor, snapshot store, kernel backend
+    and parallelism into one analysis context (see the module docstring)."""
+
+    def __init__(
+        self,
+        database: "Database",
+        *,
+        snapshot_cache: str | None = None,
+        backend: str | None = None,
+        parallelism: int = 1,
+        options: ExtractionOptions | None = None,
+        **option_overrides: Any,
+    ) -> None:
+        if parallelism < 1:
+            raise UsageError(f"parallelism must be at least 1 (got {parallelism})")
+        self._graphgen = GraphGen(database, options=options, **option_overrides)
+        self._store = SnapshotStore(snapshot_cache) if snapshot_cache is not None else None
+        # resolve eagerly: an unknown or unavailable backend name fails here,
+        # with a UsageError message, not at the first kernel call
+        self._backend = get_backend(backend)
+        self._parallelism = parallelism
+        self._handles: dict[Any, GraphHandle] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> "Database":
+        return self._graphgen.database
+
+    @property
+    def graphgen(self) -> GraphGen:
+        """The underlying extractor (for plan/explain and advanced options)."""
+        return self._graphgen
+
+    @property
+    def store(self) -> SnapshotStore | None:
+        """The session's snapshot store, or None when not configured."""
+        return self._store
+
+    @property
+    def backend(self) -> "KernelBackend":
+        """The resolved kernel backend every plan in this session executes on."""
+        return self._backend
+
+    @property
+    def parallelism(self) -> int:
+        return self._parallelism
+
+    # ------------------------------------------------------------------ #
+    def explain(self, query: "str | GraphSpec") -> str:
+        """Human-readable extraction plan plus generated SQL (no execution)."""
+        return self._graphgen.explain(query)
+
+    def graph(
+        self,
+        query: "str | GraphSpec",
+        representation: str = "cdup",
+        *,
+        key: str | None = None,
+        **extract_kwargs: Any,
+    ) -> GraphHandle:
+        """Extract the hidden graph declared by ``query`` and return its
+        handle.
+
+        Extraction is memoised per ``(query, representation, options)``:
+        asking the session for the same graph twice returns the same handle,
+        so the relational joins run once per session.  ``key`` overrides the
+        snapshot-store cache key (callers who know more about the database's
+        identity than ``database.name`` — e.g. the CLI with its dataset
+        arguments — pass a fully qualified one; collisions are never unsafe,
+        only wasteful, because the store rewrites on content-hash mismatch).
+        """
+        memo_key = (
+            query if isinstance(query, str) else repr(query),
+            representation,
+            key,
+            tuple(sorted(extract_kwargs.items())),
+        )
+        handle = self._handles.get(memo_key)
+        if handle is None:
+            result = self._graphgen.extract_with_report(
+                query, representation=representation, **extract_kwargs
+            )
+            store_key = key or self._store_key(query, result.representation, extract_kwargs)
+            handle = GraphHandle(
+                self, result.graph, result.representation, store_key, extraction=result
+            )
+            self._handles[memo_key] = handle
+        return handle
+
+    def wrap(self, graph: "Graph", *, key: str | None = None) -> GraphHandle:
+        """Adopt an already-built :class:`~repro.graph.api.Graph` into this
+        session (it gains a store-backed snapshot and ``analyze()``)."""
+        store_key = key or (
+            f"{self.database.name}_{graph.representation_name}_"
+            f"wrapped_{id(graph):x}"
+        )
+        return GraphHandle(self, graph, graph.representation_name, store_key)
+
+    # ------------------------------------------------------------------ #
+    def _store_key(
+        self, query: "str | GraphSpec", representation: str, extract_kwargs: dict
+    ) -> str:
+        """Default snapshot-store key: database name + representation + a
+        digest of the query text and extraction options.  Everything that
+        changes the snapshot's logical content or vertex order is included;
+        residual collisions (e.g. two databases sharing a name) are caught by
+        the store's content-hash staleness check and cost only a rewrite."""
+        text = query if isinstance(query, str) else repr(query)
+        if extract_kwargs:
+            text += "\0" + repr(sorted(extract_kwargs.items()))
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+        return f"{self.database.name}_{representation}_{digest}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        store = self._store.directory if self._store is not None else None
+        return (
+            f"<GraphSession db={self.database.name!r} backend={self._backend.name} "
+            f"parallelism={self._parallelism} store={store}>"
+        )

@@ -175,10 +175,18 @@ class LabelPropagationProgram(Executor):
 # convenience wrappers
 # --------------------------------------------------------------------------- #
 def run_degree(
-    graph: Graph, num_workers: int = 4, parallelism: int = 1, snapshot_path: str | None = None
+    graph: Graph,
+    num_workers: int = 4,
+    parallelism: int = 1,
+    snapshot_path: str | None = None,
+    backend: str | None = None,
 ) -> tuple[dict[VertexId, int], RunStatistics]:
     coordinator = VertexCentric(
-        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+        graph,
+        num_workers=num_workers,
+        parallelism=parallelism,
+        snapshot_path=snapshot_path,
+        backend=backend,
     )
     stats = coordinator.run(DegreeProgram(), max_supersteps=2)
     return coordinator.values("degree"), stats
@@ -191,9 +199,14 @@ def run_pagerank(
     num_workers: int = 4,
     parallelism: int = 1,
     snapshot_path: str | None = None,
+    backend: str | None = None,
 ) -> tuple[dict[VertexId, float], RunStatistics]:
     coordinator = VertexCentric(
-        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+        graph,
+        num_workers=num_workers,
+        parallelism=parallelism,
+        snapshot_path=snapshot_path,
+        backend=backend,
     )
     stats = coordinator.run(PageRankProgram(iterations, damping), max_supersteps=iterations + 2)
     return coordinator.values("rank"), stats
@@ -205,9 +218,14 @@ def run_connected_components(
     max_supersteps: int = 200,
     parallelism: int = 1,
     snapshot_path: str | None = None,
+    backend: str | None = None,
 ) -> tuple[dict[VertexId, object], RunStatistics]:
     coordinator = VertexCentric(
-        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+        graph,
+        num_workers=num_workers,
+        parallelism=parallelism,
+        snapshot_path=snapshot_path,
+        backend=backend,
     )
     stats = coordinator.run(ConnectedComponentsProgram(), max_supersteps=max_supersteps)
     return coordinator.values("component"), stats
@@ -220,9 +238,14 @@ def run_sssp(
     max_supersteps: int = 200,
     parallelism: int = 1,
     snapshot_path: str | None = None,
+    backend: str | None = None,
 ) -> tuple[dict[VertexId, int | None], RunStatistics]:
     coordinator = VertexCentric(
-        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+        graph,
+        num_workers=num_workers,
+        parallelism=parallelism,
+        snapshot_path=snapshot_path,
+        backend=backend,
     )
     stats = coordinator.run(SingleSourceShortestPathsProgram(source), max_supersteps=max_supersteps)
     return coordinator.values("distance"), stats
@@ -234,9 +257,14 @@ def run_label_propagation(
     max_supersteps: int = 50,
     parallelism: int = 1,
     snapshot_path: str | None = None,
+    backend: str | None = None,
 ) -> tuple[dict[VertexId, object], RunStatistics]:
     coordinator = VertexCentric(
-        graph, num_workers=num_workers, parallelism=parallelism, snapshot_path=snapshot_path
+        graph,
+        num_workers=num_workers,
+        parallelism=parallelism,
+        snapshot_path=snapshot_path,
+        backend=backend,
     )
     stats = coordinator.run(LabelPropagationProgram(), max_supersteps=max_supersteps)
     return coordinator.values("community"), stats

@@ -265,6 +265,134 @@ class TestSnapshotCacheAndParallel:
         assert "triangles:" in output
         assert "running serial kernel" in output
 
+class TestAlgoFlag:
+    """The repeatable --algo flag: batches share one snapshot build."""
+
+    BASE = ("analyze", "--dataset", "univ", "--scale", "0.2", "--top", "3")
+
+    def test_multi_algo_output_has_per_algorithm_sections(self):
+        code, output = run_cli(*self.BASE, "--algo", "pagerank", "--algo", "components")
+        assert code == 0
+        assert "--- pagerank ---" in output
+        assert "--- components ---" in output
+        assert "components:" in output
+
+    def test_multi_algo_matches_individual_runs(self):
+        code, batched = run_cli(*self.BASE, "--algo", "pagerank", "--algo", "components")
+        assert code == 0
+        code, pagerank_only = run_cli(*self.BASE, "--algorithm", "pagerank")
+        assert code == 0
+        code, components_only = run_cli(*self.BASE, "--algorithm", "components")
+        assert code == 0
+        assert batched == (
+            "--- pagerank ---\n" + pagerank_only + "--- components ---\n" + components_only
+        )
+
+    def test_multi_algo_builds_snapshot_exactly_once(self):
+        from repro.graph.kernel import CSRGraph
+
+        before = CSRGraph.build_count
+        code, _ = run_cli(
+            *self.BASE, "--algo", "pagerank", "--algo", "components", "--algo", "triangles"
+        )
+        assert code == 0
+        assert CSRGraph.build_count - before == 1
+
+    def test_single_algo_output_identical_to_legacy_flag(self):
+        code, legacy = run_cli(*self.BASE, "--algorithm", "degree")
+        assert code == 0
+        code, modern = run_cli(*self.BASE, "--algo", "degree")
+        assert code == 0
+        assert modern == legacy
+
+    def test_new_plan_algorithms_reachable_from_cli(self):
+        code, output = run_cli(
+            *self.BASE, "--algo", "clustering", "--algo", "closeness", "--algo", "diameter"
+        )
+        assert code == 0
+        assert "average clustering:" in output
+        assert "closeness" in output
+        assert "approximate diameter:" in output
+
+    def test_unknown_algo_is_usage_error_naming_the_flag(self, capsys):
+        code, _ = run_cli(*self.BASE, "--algo", "sssp")
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "--algo" in err and "'sssp'" in err
+        assert "pagerank" in err  # the valid choices are listed
+        assert "Traceback" not in err
+
+    def test_algo_and_algorithm_together_is_usage_error(self, capsys):
+        code, _ = run_cli(*self.BASE, "--algorithm", "degree", "--algo", "pagerank")
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "--algorithm" in err and "--algo" in err
+        assert "Traceback" not in err
+
+    def test_algo_bfs_requires_source(self, capsys):
+        code, _ = run_cli(*self.BASE, "--algo", "bfs")
+        assert code == 1
+        assert "--source is required" in capsys.readouterr().err
+
+    def test_algo_batch_with_parallel_and_cache(self, tmp_path):
+        code, serial = run_cli(*self.BASE, "--algo", "degree", "--algo", "components")
+        assert code == 0
+        code, parallel = run_cli(
+            *self.BASE, "--algo", "degree", "--algo", "components",
+            "--parallel", "2", "--snapshot-cache", str(tmp_path / "snaps"),
+        )
+        assert code == 0
+        assert parallel == serial  # superstep results are canonicalised
+
+
+class TestSnapshotCacheKeying:
+    """Regression: the cache key covers everything that changes snapshot
+    content/identity (dataset args + query + representation)."""
+
+    def test_different_representations_never_collide(self, tmp_path):
+        cache = tmp_path / "snapshots"
+        for representation in ("cdup", "exp"):
+            code, _ = run_cli(
+                "analyze", "--dataset", "univ", "--scale", "0.2",
+                "--algorithm", "degree", "--representation", representation,
+                "--snapshot-cache", str(cache),
+            )
+            assert code == 0
+        files = sorted(path.name for path in cache.glob("*.csr"))
+        assert len(files) == 2, f"representations share a cache file: {files}"
+        assert any("cdup" in name for name in files)
+        assert any("exp" in name for name in files)
+
+    def test_dataset_args_and_query_in_key(self, tmp_path):
+        cache = tmp_path / "snapshots"
+        base = ("analyze", "--dataset", "univ", "--algorithm", "degree",
+                "--snapshot-cache", str(cache))
+        for extra in ((), ("--scale", "0.4"), ("--seed", "7")):
+            code, _ = run_cli(*base, *extra)
+            assert code == 0
+        assert len(list(cache.glob("*.csr"))) == 3
+
+    def test_same_named_data_dirs_never_collide(self, tmp_path):
+        """Two CSV directories with the same basename get distinct keys."""
+        from repro.relational.csv_io import write_database
+
+        cache = tmp_path / "snapshots"
+        for parent, extra_person in (("one", []), ("two", [(4, "d")])):
+            db = Database("friends")
+            db.create_table("Person", [("id", "int"), ("name", "str")], primary_key="id")
+            db.create_table("Likes", [("src", "int"), ("item", "int")])
+            db.insert("Person", [(1, "a"), (2, "b"), (3, "c")] + extra_person)
+            db.insert("Likes", [(1, 10), (2, 10), (2, 11), (3, 11)])
+            directory = tmp_path / parent / "db"
+            write_database(db, directory)
+            code, _ = run_cli(
+                "analyze", "--data", str(directory), "--query", CSV_QUERY,
+                "--algorithm", "degree", "--snapshot-cache", str(cache),
+            )
+            assert code == 0
+        assert len(list(cache.glob("*.csr"))) == 2
+
+
 class TestBackendFlag:
     BASE = ("analyze", "--dataset", "univ", "--scale", "0.2", "--top", "5")
 
