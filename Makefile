@@ -1,15 +1,16 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast test-session bench smoke all help
+.PHONY: test test-fast test-session bench bench-fig16 smoke all help
 
 help:
 	@echo "make test         - fast unit/integration suite (tests/)"
 	@echo "make test-fast    - same, minus slow-marked stress tests, once per"
 	@echo "                    kernel backend (python reference leg + numpy leg)"
 	@echo "make test-session - session layer: lifecycle, API-compat shims,"
-	@echo "                    public-API stability, CLI"
+	@echo "                    public-API stability, CLI, plan scheduling"
 	@echo "make bench        - paper benchmark reproductions (benchmarks/, slow)"
+	@echo "make bench-fig16  - plan-level scheduling vs per-request parallel path"
 	@echo "make smoke        - seconds-fast sanity subset (kernel, parity, algorithms)"
 	@echo "make all          - everything (tier-1 equivalent)"
 
@@ -22,10 +23,13 @@ test-fast:
 
 test-session:
 	$(PYTEST) -q tests/test_session.py tests/test_api_compat.py \
-		tests/test_public_api.py tests/test_cli.py
+		tests/test_public_api.py tests/test_cli.py tests/test_plan_scheduling.py
 
 bench:
 	$(PYTEST) -q benchmarks/
+
+bench-fig16:
+	$(PYTEST) -q -rA benchmarks/test_bench_fig16_plan_scheduling.py
 
 smoke:
 	$(PYTEST) -q tests/test_kernel.py tests/test_representation_parity.py \

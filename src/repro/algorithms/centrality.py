@@ -41,6 +41,37 @@ def closeness_kernel(csr: "CSRGraph", backend: "KernelBackend | None" = None) ->
     return (backend or get_backend()).closeness_centrality(csr)
 
 
+def betweenness_sources(
+    csr: "CSRGraph", sample_size: int | None, seed: int
+) -> tuple[list[int], float]:
+    """The dense source indexes a betweenness run accumulates from, plus the
+    sampling rescale factor.
+
+    Sampling draws from the snapshot's external-ID list with the same seeded
+    generator the free function always used, so sampled sources are identical
+    for a given seed — shared by the serial kernel and the plan scheduler's
+    chunk-parallel path, which partitions this exact list across workers.
+    """
+    n = csr.n
+    if sample_size is not None and sample_size < n:
+        rng = random.Random(seed)
+        return [csr.index(v) for v in rng.sample(csr.external_ids, sample_size)], n / sample_size
+    return list(range(n)), 1.0
+
+
+def apply_betweenness_scale(
+    values: list[float], n: int, normalized: bool, scale_sources: float
+) -> list[float]:
+    """Final normalisation/sampling rescale, shared by the serial kernel and
+    the chunk-parallel merge (identical arithmetic keeps them bit-identical)."""
+    scale = scale_sources
+    if normalized:
+        scale /= (n - 1) * (n - 2)
+    if scale != 1.0:
+        values = [value * scale for value in values]
+    return values
+
+
 def betweenness_kernel(
     csr: "CSRGraph",
     normalized: bool = True,
@@ -48,32 +79,13 @@ def betweenness_kernel(
     seed: int = 0,
     backend: "KernelBackend | None" = None,
 ) -> list[float]:
-    """Kernel-level entry point: Brandes betweenness per dense index.
-
-    Sampling draws from the snapshot's external-ID list with the same seeded
-    generator the free function always used, so sampled sources are identical
-    for a given seed.
-    """
+    """Kernel-level entry point: Brandes betweenness per dense index."""
     n = csr.n
     if n <= 2:
         return [0.0] * n
-
-    if sample_size is not None and sample_size < n:
-        rng = random.Random(seed)
-        sources = [csr.index(v) for v in rng.sample(csr.external_ids, sample_size)]
-        scale_sources = n / sample_size
-    else:
-        sources = list(range(n))
-        scale_sources = 1.0
-
+    sources, scale_sources = betweenness_sources(csr, sample_size, seed)
     betweenness = (backend or get_backend()).betweenness(csr, sources)
-
-    scale = scale_sources
-    if normalized:
-        scale /= (n - 1) * (n - 2)
-    if scale != 1.0:
-        betweenness = [value * scale for value in betweenness]
-    return betweenness
+    return apply_betweenness_scale(betweenness, n, normalized, scale_sources)
 
 
 def degree_centrality(graph: Graph) -> dict[VertexId, float]:

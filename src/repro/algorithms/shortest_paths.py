@@ -26,6 +26,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.kernel import CSRGraph
 
 
+def diameter_sample_indexes(csr: "CSRGraph", samples: int, seed: int) -> list[int]:
+    """Dense indexes of the seeded BFS sample a diameter estimate sweeps from.
+
+    Shared by the serial kernel and the plan scheduler's chunk-parallel path
+    (which partitions this exact list across workers), so both sweep the same
+    sources for a given seed.
+    """
+    vertices = csr.external_ids
+    if not vertices:
+        return []
+    rng = SeededRandom(seed)
+    return [csr.index(vertex) for vertex in rng.sample(vertices, min(samples, len(vertices)))]
+
+
 def diameter_kernel(
     csr: "CSRGraph",
     samples: int = 10,
@@ -33,14 +47,11 @@ def diameter_kernel(
     backend: "KernelBackend | None" = None,
 ) -> int:
     """Kernel-level entry point: diameter lower bound from sampled BFS runs."""
-    vertices = csr.external_ids
-    if not vertices:
+    if csr.n == 0:
         return 0
-    rng = SeededRandom(seed)
-    chosen = rng.sample(vertices, min(samples, len(vertices)))
     return max(
-        max(distances_kernel(csr, csr.index(vertex), backend=backend), default=0)
-        for vertex in chosen
+        max(distances_kernel(csr, source, backend=backend), default=0)
+        for source in diameter_sample_indexes(csr, samples, seed)
     )
 
 

@@ -159,11 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=1,
                 metavar="N",
-                help="run degree/pagerank/components/bfs through the superstep "
-                "engine in N worker processes mapping the shared snapshot "
-                "(identical results for any N; pagerank may differ from the "
-                "serial kernel in low-order digits, and non-symmetric graphs "
-                "fall back to the serial kernel with a note)",
+                help="schedule the whole --algo batch over one pool of N "
+                "worker processes mapping the shared snapshot: "
+                "degree/pagerank/components/bfs run on the superstep engine, "
+                "triangles/closeness/diameter (and sampled betweenness) run "
+                "chunk-parallel, remaining algorithms run concurrently on "
+                "single workers (identical results for any N; pagerank may "
+                "differ from the serial kernel in low-order digits, and "
+                "non-symmetric graphs fall back to the serial kernel with a "
+                "note)",
             )
             sub.add_argument(
                 "--backend",

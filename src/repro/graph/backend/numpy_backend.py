@@ -320,14 +320,23 @@ class NumpyBackend(KernelBackend):
     # ------------------------------------------------------------------ #
     # triangles / clustering
     # ------------------------------------------------------------------ #
-    def _triangle_counts(self, csr: "CSRGraph") -> tuple[int, np.ndarray]:
-        """``(total, per-vertex counts)`` over the u < v < w orientation."""
+    def _triangle_counts(
+        self, csr: "CSRGraph", lo: int = 0, hi: int | None = None
+    ) -> tuple[int, np.ndarray]:
+        """``(total, per-vertex counts)`` over the u < v < w orientation.
+
+        With a ``[lo, hi)`` range only triangles whose smallest vertex lies
+        in the range are counted (the per-vertex counts then cover only those
+        triangles — whole-graph callers use the default full range).
+        """
         n = csr.n
+        if hi is None:
+            hi = n
         offsets, targets = _undirected_csr(csr)
         counts = np.zeros(n, dtype=np.int64)
         hits: list[np.ndarray] = []
         total = 0
-        for u in range(n):
+        for u in range(lo, hi):
             row = _sorted_row(offsets, targets, u)
             higher = row[np.searchsorted(row, u + 1) :]  # rows are sorted
             if higher.size < 2:
@@ -348,8 +357,8 @@ class NumpyBackend(KernelBackend):
             counts += np.bincount(np.concatenate(hits), minlength=n)
         return total, counts
 
-    def count_triangles(self, csr: "CSRGraph") -> int:
-        return self._triangle_counts(csr)[0]
+    def count_triangles(self, csr: "CSRGraph", lo: int = 0, hi: int | None = None) -> int:
+        return self._triangle_counts(csr, lo, hi)[0]
 
     def triangles_per_vertex(self, csr: "CSRGraph") -> list[int]:
         return self._triangle_counts(csr)[1].tolist()
@@ -390,56 +399,70 @@ class NumpyBackend(KernelBackend):
     # ------------------------------------------------------------------ #
     # centrality
     # ------------------------------------------------------------------ #
-    def closeness_centrality(self, csr: "CSRGraph") -> list[float]:
+    def closeness_centrality(
+        self, csr: "CSRGraph", lo: int = 0, hi: int | None = None
+    ) -> list[float]:
         n = csr.n
-        result = [0.0] * n
+        if hi is None:
+            hi = n
+        result = [0.0] * (hi - lo)
         if n <= 1:
             return result
-        for vertex in range(n):
+        for vertex in range(lo, hi):
             distances = self._bfs_distances_array(csr, vertex)
             positive = distances > 0
             reachable = int(np.count_nonzero(positive))
             total = int(distances[positive].sum())
             if reachable <= 0 or total <= 0:
                 continue
-            result[vertex] = (reachable / (n - 1)) * (reachable / total)
+            result[vertex - lo] = (reachable / (n - 1)) * (reachable / total)
         return result
 
-    def betweenness(self, csr: "CSRGraph", sources: list[int]) -> list[float]:
+    def _betweenness_delta(self, csr: "CSRGraph", source: int) -> np.ndarray:
+        """One source's Brandes dependency vector, source entry zeroed."""
         n = csr.n
         offsets, targets = _views(csr)
-        betweenness = np.zeros(n, dtype=np.float64)
+        distance = np.full(n, -1, dtype=np.int64)
+        distance[source] = 0
+        sigma = np.zeros(n, dtype=np.float64)  # exact: path counts < 2^53
+        sigma[source] = 1.0
+        levels: list[np.ndarray] = [np.array([source], dtype=np.int64)]
+        depth = 0
+        while True:
+            candidates, srcs = _gather(offsets, targets, levels[-1])
+            if candidates.size == 0:
+                break
+            frontier = np.unique(candidates[distance[candidates] < 0])
+            distance[frontier] = depth + 1
+            forward = distance[candidates] == depth + 1
+            sigma += np.bincount(
+                candidates[forward], weights=sigma[srcs[forward]], minlength=n
+            )
+            if frontier.size == 0:
+                break
+            levels.append(frontier)
+            depth += 1
+        delta = np.zeros(n, dtype=np.float64)
+        for depth in range(len(levels) - 1, 0, -1):
+            candidates, srcs = _gather(offsets, targets, levels[depth - 1])
+            down = distance[candidates] == depth
+            w, v = candidates[down], srcs[down]
+            delta += np.bincount(
+                v, weights=(sigma[v] / sigma[w]) * (1.0 + delta[w]), minlength=n
+            )
+        delta[source] = 0.0
+        return delta
+
+    def betweenness_contribution(self, csr: "CSRGraph", source: int) -> list[float]:
+        return self._betweenness_delta(csr, source).tolist()
+
+    def betweenness(self, csr: "CSRGraph", sources: list[int]) -> list[float]:
+        # elementwise float64 addition per source, in source order — the
+        # exact operation sequence the chunk-parallel merge replays, so
+        # serial and scheduled results are bit-identical per backend
+        betweenness = np.zeros(csr.n, dtype=np.float64)
         for source in sources:
-            distance = np.full(n, -1, dtype=np.int64)
-            distance[source] = 0
-            sigma = np.zeros(n, dtype=np.float64)  # exact: path counts < 2^53
-            sigma[source] = 1.0
-            levels: list[np.ndarray] = [np.array([source], dtype=np.int64)]
-            depth = 0
-            while True:
-                candidates, srcs = _gather(offsets, targets, levels[-1])
-                if candidates.size == 0:
-                    break
-                frontier = np.unique(candidates[distance[candidates] < 0])
-                distance[frontier] = depth + 1
-                forward = distance[candidates] == depth + 1
-                sigma += np.bincount(
-                    candidates[forward], weights=sigma[srcs[forward]], minlength=n
-                )
-                if frontier.size == 0:
-                    break
-                levels.append(frontier)
-                depth += 1
-            delta = np.zeros(n, dtype=np.float64)
-            for depth in range(len(levels) - 1, 0, -1):
-                candidates, srcs = _gather(offsets, targets, levels[depth - 1])
-                down = distance[candidates] == depth
-                w, v = candidates[down], srcs[down]
-                delta += np.bincount(
-                    v, weights=(sigma[v] / sigma[w]) * (1.0 + delta[w]), minlength=n
-                )
-            betweenness += delta
-            betweenness[source] -= delta[source]
+            betweenness += self._betweenness_delta(csr, source)
         return betweenness.tolist()
 
     # ------------------------------------------------------------------ #

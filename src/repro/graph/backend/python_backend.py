@@ -246,11 +246,20 @@ class KernelBackend:
     # ------------------------------------------------------------------ #
     # triangles / clustering
     # ------------------------------------------------------------------ #
-    def count_triangles(self, csr: "CSRGraph") -> int:
-        """Number of distinct triangles (each counted once, ``u < v < w``)."""
+    def count_triangles(self, csr: "CSRGraph", lo: int = 0, hi: int | None = None) -> int:
+        """Number of distinct triangles (each counted once, ``u < v < w``).
+
+        With a ``[lo, hi)`` range, only triangles whose *smallest* dense
+        index falls in the range are counted — every triangle is attributed
+        to exactly one vertex, so partition totals sum to the whole-graph
+        count exactly (the chunk-parallel contract).
+        """
         adjacency = csr.undirected_sets()
+        if hi is None:
+            hi = csr.n
         total = 0
-        for u, neighbors in enumerate(adjacency):
+        for u in range(lo, hi):
+            neighbors = adjacency[u]
             higher_u = {v for v in neighbors if v > u}
             for v in higher_u:
                 total += sum(1 for w in adjacency[v] if w > v and w in higher_u)
@@ -297,11 +306,20 @@ class KernelBackend:
     # ------------------------------------------------------------------ #
     # centrality
     # ------------------------------------------------------------------ #
-    def closeness_centrality(self, csr: "CSRGraph") -> list[float]:
-        """Wasserman–Faust closeness per dense index (one BFS per vertex)."""
+    def closeness_centrality(
+        self, csr: "CSRGraph", lo: int = 0, hi: int | None = None
+    ) -> list[float]:
+        """Wasserman–Faust closeness for dense indexes ``[lo, hi)`` (one BFS
+        per vertex; the default range covers the whole graph).
+
+        Per-vertex values are independent, so concatenating partition slices
+        in partition order reproduces the whole-graph call bit-for-bit.
+        """
         n = csr.n
-        result = [0.0] * n
-        for vertex in range(n):
+        if hi is None:
+            hi = n
+        result = [0.0] * (hi - lo)
+        for vertex in range(lo, hi):
             reachable = 0
             total = 0
             for distance in self.bfs_distances(csr, vertex):
@@ -310,45 +328,63 @@ class KernelBackend:
                     total += distance
             if reachable <= 0 or total <= 0 or n <= 1:
                 continue
-            result[vertex] = (reachable / (n - 1)) * (reachable / total)
+            result[vertex - lo] = (reachable / (n - 1)) * (reachable / total)
         return result
 
-    def betweenness(self, csr: "CSRGraph", sources: list[int]) -> list[float]:
-        """Brandes accumulation from ``sources`` over dense indexes."""
+    def betweenness_contribution(self, csr: "CSRGraph", source: int) -> list[float]:
+        """One source's Brandes dependency (delta) per dense index, with the
+        source's own entry zeroed.
+
+        :meth:`betweenness` is the flat left-to-right sum of these over the
+        source list, so shipping per-source contributions and re-summing in
+        global source order (the chunk-parallel merge) is bit-identical to
+        the serial accumulation.
+        """
         n = csr.n
         offsets = csr.offsets_list
         targets = csr.targets_list
-        betweenness = [0.0] * n
+        # single-source shortest paths (unweighted -> BFS)
+        predecessors: list[list[int]] = [[] for _ in range(n)]
+        sigma = [0.0] * n
+        distance = [-1] * n
+        sigma[source] = 1.0
+        distance[source] = 0
+        stack: list[int] = [source]
+        head = 0
+        while head < len(stack):
+            current = stack[head]
+            head += 1
+            next_distance = distance[current] + 1
+            for e in range(offsets[current], offsets[current + 1]):
+                neighbor = targets[e]
+                if distance[neighbor] < 0:
+                    distance[neighbor] = next_distance
+                    stack.append(neighbor)
+                if distance[neighbor] == next_distance:
+                    sigma[neighbor] += sigma[current]
+                    predecessors[neighbor].append(current)
+        # accumulation in reverse visit order
+        delta = [0.0] * n
+        for w in reversed(stack):
+            for v in predecessors[w]:
+                if sigma[w] > 0:
+                    delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+        delta[source] = 0.0
+        return delta
 
+    def betweenness(self, csr: "CSRGraph", sources: list[int]) -> list[float]:
+        """Brandes accumulation from ``sources`` over dense indexes.
+
+        Sums per-source contributions in source order; unreached vertices
+        contribute an exact ``+ 0.0``, so this equals the historical
+        accumulate-in-place loop bit-for-bit.
+        """
+        n = csr.n
+        betweenness = [0.0] * n
         for source in sources:
-            # single-source shortest paths (unweighted -> BFS)
-            predecessors: list[list[int]] = [[] for _ in range(n)]
-            sigma = [0.0] * n
-            distance = [-1] * n
-            sigma[source] = 1.0
-            distance[source] = 0
-            stack: list[int] = [source]
-            head = 0
-            while head < len(stack):
-                current = stack[head]
-                head += 1
-                next_distance = distance[current] + 1
-                for e in range(offsets[current], offsets[current + 1]):
-                    neighbor = targets[e]
-                    if distance[neighbor] < 0:
-                        distance[neighbor] = next_distance
-                        stack.append(neighbor)
-                    if distance[neighbor] == next_distance:
-                        sigma[neighbor] += sigma[current]
-                        predecessors[neighbor].append(current)
-            # accumulation in reverse visit order
-            delta = [0.0] * n
-            for w in reversed(stack):
-                for v in predecessors[w]:
-                    if sigma[w] > 0:
-                        delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
-                if w != source:
-                    betweenness[w] += delta[w]
+            delta = self.betweenness_contribution(csr, source)
+            for w in range(n):
+                betweenness[w] += delta[w]
         return betweenness
 
     # ------------------------------------------------------------------ #

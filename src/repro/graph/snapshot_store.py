@@ -98,6 +98,11 @@ _ITEM = 8  # bytes per offsets/targets element
 
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
+#: cumulative :func:`save_snapshot` calls in this process (tempfile and store
+#: writes alike) — the plan scheduler reads deltas of this to report, and its
+#: tests to assert, "at most one snapshot file written per plan"
+SAVE_COUNT = 0
+
 
 @dataclass(frozen=True)
 class SnapshotHeader:
@@ -181,6 +186,8 @@ def save_snapshot(csr: "CSRGraph", path: str | os.PathLike) -> Path:
     ``csr.content_hash``, so a later :meth:`SnapshotStore.load_or_build` can
     cheaply decide whether the file still matches the live graph.
     """
+    global SAVE_COUNT
+    SAVE_COUNT += 1
     path = Path(path)
     codec_bytes = encode_codec(csr.external_ids)
     content_hash = csr.content_hash

@@ -17,21 +17,31 @@ against that shared physical core through the kernel-level entry points of
 extraction, snapshot encoding and backend scratch a single time.  Results
 come back as an :class:`~repro.session.AnalysisReport`.
 
-Execution routing mirrors the CLI's rules: with session ``parallelism > 1``,
-algorithms that have a superstep program (degree, pagerank, components, bfs)
-run on the process-parallel vertex-centric executor over the store-backed
-snapshot file; pagerank/components/bfs require a symmetric snapshot and fall
-back to the serial kernel (with a note on the result) on directed graphs,
-because the superstep programs gather from out-neighbors.  Requests whose
-parameters the superstep programs cannot honor — bfs with a ``max_depth``
-limit, pagerank with non-default convergence settings — likewise fall back
-to the serial kernel with a note, so parameters in a result are always the
-parameters that actually ran.  Degree,
-components and bfs superstep results are canonicalised to match the serial
-kernels exactly; superstep pagerank runs 20 fixed iterations and its note
-says so.  With ``parallelism == 1`` every result is the exact value the
-matching free function returns — bit-identical, including float kernels,
-since both sides call the same backend kernel on the same snapshot.
+With session ``parallelism > 1``, ``run()`` is a **plan-level scheduler**:
+the whole batch executes over (at most) one worker pool and one persisted
+snapshot file.  Algorithms that have a superstep program (degree, pagerank,
+components, bfs) install it on the pool's reused workers — one fork per
+plan, not per request; pagerank/components/bfs require a symmetric snapshot
+and fall back to the serial kernel (with a note on the result) on directed
+graphs, because the superstep programs gather from out-neighbors, and
+requests whose parameters the superstep programs cannot honor — bfs with a
+``max_depth`` limit, pagerank with non-default convergence settings —
+likewise fall back with a note, so parameters in a result are always the
+parameters that actually ran.  Embarrassingly parallel direct kernels
+(triangles, closeness, sampled betweenness, diameter) run **chunk-parallel**
+across the same pool: each worker runs the backend kernel over its share of
+the shared mmap'd snapshot and the master merges partials in partition
+order.  Remaining serial-kernel requests are dispatched *concurrently*
+across the worker budget (or inline when nothing else needs the pool).
+Degree, components and bfs superstep results are canonicalised to match the
+serial kernels exactly; superstep pagerank runs 20 fixed iterations and its
+note says so; chunk-parallel and task-dispatched results are bit-identical
+to the serial kernels (including float kernels) and carry no note.  With
+``parallelism == 1`` every result is the exact value the matching free
+function returns — bit-identical, including float kernels, since both sides
+call the same backend kernel on the same snapshot.  Per-result
+``scheduled``/engine fields and the report's ``pool_starts`` /
+``snapshot_writes`` counters record how the batch actually executed.
 
 The registry :data:`PLAN_ALGORITHMS` is the single source of truth for what
 a plan (and the CLI's repeatable ``--algo`` flag) can request.
@@ -39,22 +49,32 @@ a plan (and the CLI's repeatable ``--algo`` flag) can request.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.algorithms.bfs import distances_kernel
-from repro.algorithms.centrality import betweenness_kernel, closeness_kernel
+from repro.algorithms.centrality import (
+    apply_betweenness_scale,
+    betweenness_kernel,
+    betweenness_sources,
+    closeness_kernel,
+)
 from repro.algorithms.connected_components import components_kernel
 from repro.algorithms.degree import degrees_kernel
 from repro.algorithms.kcore import core_numbers_kernel
 from repro.algorithms.label_propagation import label_propagation_kernel
 from repro.algorithms.pagerank import pagerank_kernel
-from repro.algorithms.shortest_paths import diameter_kernel
+from repro.algorithms.shortest_paths import diameter_kernel, diameter_sample_indexes
 from repro.algorithms.similarity import SCORE_NAMES, link_predictions_kernel
 from repro.algorithms.triangles import average_clustering_kernel, count_triangles_kernel
 from repro.exceptions import RepresentationError, UsageError
+from repro.graph import snapshot_store
 from repro.session.report import AnalysisReport, AnalysisResult, Provenance
+from repro.session.scheduler import PlanWorkerFactory
+from repro.vertexcentric.parallel import ParallelSuperstepExecutor, partition_range
 from repro.vertexcentric.programs import (
     run_connected_components,
     run_degree,
@@ -173,15 +193,20 @@ def _kernel_link_predictions(csr, backend, params):
 
 
 # --------------------------------------------------------------------------- #
-# superstep runners: (graph, parallelism, snapshot_path, backend_name, params)
-# -> values canonicalised to the serial kernels' shape
+# superstep runners:
+# (graph, parallelism, snapshot_path, backend_name, params, pool)
+# -> values canonicalised to the serial kernels' shape.  ``pool`` is the
+# plan's shared worker pool; the coordinator installs the program on it
+# instead of forking processes of its own.
 # --------------------------------------------------------------------------- #
-def _superstep_degree(graph, parallelism, path, backend, params):
-    values, _ = run_degree(graph, parallelism=parallelism, snapshot_path=path, backend=backend)
+def _superstep_degree(graph, parallelism, path, backend, params, pool=None):
+    values, _ = run_degree(
+        graph, parallelism=parallelism, snapshot_path=path, backend=backend, pool=pool
+    )
     return values
 
 
-def _superstep_pagerank(graph, parallelism, path, backend, params):
+def _superstep_pagerank(graph, parallelism, path, backend, params, pool=None):
     values, _ = run_pagerank(
         graph,
         iterations=SUPERSTEP_PAGERANK_ITERATIONS,
@@ -189,6 +214,7 @@ def _superstep_pagerank(graph, parallelism, path, backend, params):
         parallelism=parallelism,
         snapshot_path=path,
         backend=backend,
+        pool=pool,
     )
     return values
 
@@ -211,18 +237,73 @@ def _bfs_superstep_params_ok(params) -> str | None:
     return "note: bfs with a max_depth limit has no superstep program; running serial kernel"
 
 
-def _superstep_components(graph, parallelism, path, backend, params):
+def _superstep_components(graph, parallelism, path, backend, params, pool=None):
     raw, _ = run_connected_components(
-        graph, parallelism=parallelism, snapshot_path=path, backend=backend
+        graph, parallelism=parallelism, snapshot_path=path, backend=backend, pool=pool
     )
     return canonical_component_labels(raw)
 
 
-def _superstep_bfs(graph, parallelism, path, backend, params):
+def _superstep_bfs(graph, parallelism, path, backend, params, pool=None):
     with_unreachable, _ = run_sssp(
-        graph, params["source"], parallelism=parallelism, snapshot_path=path, backend=backend
+        graph,
+        params["source"],
+        parallelism=parallelism,
+        snapshot_path=path,
+        backend=backend,
+        pool=pool,
     )
     return {v: d for v, d in with_unreachable.items() if d is not None}
+
+
+# --------------------------------------------------------------------------- #
+# chunk runners (master half): (csr, backend, params, pool) -> decoded values.
+# Each splits the work along the pool's fixed partitions (vertex ranges for
+# triangles/closeness, contiguous slices of the seeded source list for
+# betweenness/diameter), runs the worker half from
+# repro.session.scheduler.CHUNK_RUNNERS over the shared mmap'd snapshot, and
+# merges partials in partition order — integer merges are exact, float merges
+# replay the serial kernels' flat left-to-right accumulation, so results are
+# bit-identical to the serial path.
+# --------------------------------------------------------------------------- #
+def _chunked_triangles(csr, backend, params, pool):
+    return sum(pool.call("run_chunk", [("triangles", bounds) for bounds in pool.partitions]))
+
+
+def _chunked_closeness(csr, backend, params, pool):
+    partials = pool.call("run_chunk", [("closeness", bounds) for bounds in pool.partitions])
+    return csr.decode([value for partial in partials for value in partial])
+
+
+def _chunked_betweenness(csr, backend, params, pool):
+    n = csr.n
+    sources, scale_sources = betweenness_sources(csr, params["sample_size"], params["seed"])
+    slices = [sources[lo:hi] for lo, hi in partition_range(len(sources), len(pool.partitions))]
+    partials = pool.call("run_chunk", [("betweenness", chunk) for chunk in slices])
+    totals = [0.0] * n
+    for partial in partials:  # partition order == global source order
+        for delta in partial:
+            # same per-element left-to-right addition sequence as the serial
+            # kernels' accumulation, so the merge stays bit-identical
+            totals = [total + value for total, value in zip(totals, delta)]
+    return csr.decode(apply_betweenness_scale(totals, n, params["normalized"], scale_sources))
+
+
+def _betweenness_chunk_ok(params, csr) -> bool:
+    # per-source contribution shipping is the price of bit-identity; it only
+    # pays (and only bounds traffic) for genuinely sampled runs — anything
+    # touching all n sources (unsampled, or sample_size >= n) stays on the
+    # serial kernel
+    sample_size = params["sample_size"]
+    return sample_size is not None and 2 < csr.n and sample_size < csr.n
+
+
+def _chunked_diameter(csr, backend, params, pool):
+    sources = diameter_sample_indexes(csr, params["samples"], params["seed"])
+    if not sources:
+        return diameter_kernel(csr, samples=params["samples"], seed=params["seed"], backend=backend)
+    slices = [sources[lo:hi] for lo, hi in partition_range(len(sources), len(pool.partitions))]
+    return max(pool.call("run_chunk", [("diameter", chunk) for chunk in slices]), default=0)
 
 
 # --------------------------------------------------------------------------- #
@@ -236,8 +317,31 @@ def _validate_pagerank(params):
 
 
 def _validate_bfs(params):
-    if params["source"] is REQUIRED or params["source"] is None:
+    # a still-REQUIRED source is caught by add()'s missing-argument check
+    # before any validator runs; only an explicit None reaches this
+    if params["source"] is None:
         raise UsageError("bfs requires a source vertex (pass source=...)")
+
+
+def _is_positive_int(value) -> bool:
+    # bool is an int subclass; reject it explicitly (True would silently
+    # mean "1 sample")
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 1
+
+
+def _validate_betweenness(params):
+    sample_size = params["sample_size"]
+    if sample_size is not None and not _is_positive_int(sample_size):
+        raise UsageError(
+            f"betweenness: sample_size must be a positive integer or None "
+            f"(got {sample_size!r})"
+        )
+
+
+def _validate_diameter(params):
+    samples = params["samples"]
+    if not _is_positive_int(samples):
+        raise UsageError(f"diameter: samples must be a positive integer (got {samples!r})")
 
 
 def _validate_link_predictions(params):
@@ -268,6 +372,12 @@ class PlanAlgorithm:
     #: params -> fallback note when the superstep program cannot honor these
     #: parameters (None = eligible); the request then runs the serial kernel
     superstep_params_ok: Callable[[dict], str | None] | None = None
+    #: chunk-parallel path over the plan's shared worker pool, or None when
+    #: the algorithm has no profitable/deterministic partitioning
+    chunk: Callable[["CSRGraph", "KernelBackend", dict, Any], Any] | None = None
+    #: (params, csr) -> whether this request may take the chunk path
+    #: (None = always); ineligible requests run the serial kernel
+    chunk_ok: Callable[[dict, "CSRGraph"], bool] | None = None
 
 
 PLAN_ALGORITHMS: dict[str, PlanAlgorithm] = {
@@ -310,23 +420,32 @@ PLAN_ALGORITHMS: dict[str, PlanAlgorithm] = {
             superstep_params_ok=_bfs_superstep_params_ok,
         ),
         PlanAlgorithm("kcore", defaults={}, kernel=_kernel_kcore),
-        PlanAlgorithm("triangles", defaults={}, kernel=_kernel_triangles),
+        PlanAlgorithm(
+            "triangles", defaults={}, kernel=_kernel_triangles, chunk=_chunked_triangles
+        ),
         PlanAlgorithm("clustering", defaults={}, kernel=_kernel_clustering),
         PlanAlgorithm(
             "label_propagation",
             defaults={"max_iterations": 20, "seed": 0},
             kernel=_kernel_label_propagation,
         ),
-        PlanAlgorithm("closeness", defaults={}, kernel=_kernel_closeness),
+        PlanAlgorithm(
+            "closeness", defaults={}, kernel=_kernel_closeness, chunk=_chunked_closeness
+        ),
         PlanAlgorithm(
             "betweenness",
             defaults={"normalized": True, "sample_size": None, "seed": 0},
             kernel=_kernel_betweenness,
+            validate=_validate_betweenness,
+            chunk=_chunked_betweenness,
+            chunk_ok=_betweenness_chunk_ok,
         ),
         PlanAlgorithm(
             "diameter",
             defaults={"samples": 10, "seed": 0},
             kernel=_kernel_diameter,
+            validate=_validate_diameter,
+            chunk=_chunked_diameter,
         ),
         PlanAlgorithm(
             "link_predictions",
@@ -369,13 +488,16 @@ class AnalysisPlan:
             )
         effective = dict(spec.defaults)
         effective.update(params)
+        # missing-argument check strictly before any validator: validators
+        # may inspect required params and must never see the REQUIRED
+        # sentinel (a sentinel-typed crash instead of a UsageError)
         missing = [key for key, value in effective.items() if value is REQUIRED]
-        if spec.validate is not None:
-            spec.validate(effective)
         if missing:
             raise UsageError(
                 f"{name}: missing required argument(s) {', '.join(sorted(missing))}"
             )
+        if spec.validate is not None:
+            spec.validate(effective)
         self._requests.append((spec, effective))
         return self
 
@@ -435,8 +557,77 @@ class AnalysisPlan:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+    def _route(self, csr, parallelism: int) -> list[tuple[str, list[str]]]:
+        """Decide each request's execution mode once for the whole batch.
+
+        Modes: ``"superstep"`` (process-parallel vertex-centric program over
+        the shared pool), ``"chunks"`` (chunk-parallel direct kernel over the
+        shared pool), ``"task"`` (whole-graph serial kernel, dispatched
+        concurrently to a single pool worker), ``"inline"`` (serial kernel on
+        the master — always the mode at ``parallelism == 1``).  Symmetry is a
+        property of the shared snapshot, checked lazily only when a
+        symmetric-requiring program survives the parameter check.
+        """
+        symmetric: bool | None = None
+        routed: list[tuple[str, list[str]]] = []
+        for spec, params in self._requests:
+            notes: list[str] = []
+            mode = "inline"
+            if parallelism > 1 and csr.n > 0:
+                if spec.superstep is not None:
+                    param_note = (
+                        spec.superstep_params_ok(params)
+                        if spec.superstep_params_ok is not None
+                        else None
+                    )
+                    if param_note is not None:
+                        notes.append(param_note)
+                        mode = "task"
+                    else:
+                        if spec.requires_symmetric and symmetric is None:
+                            symmetric = csr.is_symmetric()
+                        if spec.requires_symmetric and not symmetric:
+                            notes.append(
+                                f"note: the {spec.name} superstep program requires a "
+                                "symmetric graph; running serial kernel"
+                            )
+                            mode = "task"
+                        else:
+                            mode = "superstep"
+                            if spec.superstep_note:
+                                notes.append(spec.superstep_note)
+                elif spec.chunk is not None and (
+                    spec.chunk_ok is None or spec.chunk_ok(params, csr)
+                ):
+                    mode = "chunks"
+                elif spec.chunk is not None:
+                    notes.append(
+                        f"note: {spec.name} with these parameters is not "
+                        "chunk-parallel eligible (requires sampling a strict "
+                        "subset of sources); running serial kernel"
+                    )
+                    mode = "task"
+                else:
+                    notes.append(
+                        f"note: {spec.name} has no superstep program; running serial kernel"
+                    )
+                    mode = "task"
+            routed.append((mode, notes))
+        return routed
+
     def run(self) -> AnalysisReport:
-        """Execute every request over one shared snapshot and backend."""
+        """Execute every request over one shared snapshot and backend.
+
+        With session ``parallelism > 1`` the whole batch is scheduled over
+        (at most) **one** worker pool and **one** persisted snapshot file:
+        superstep-routed requests install their programs on the same reused
+        workers, chunk-parallel direct kernels split along the pool's fixed
+        partitions, and remaining serial-kernel requests are dispatched
+        concurrently across the worker budget.  The pool is started only when
+        at least one request uses workers (a lone serial request runs inline,
+        as at ``parallelism == 1``), and a store-less session writes the
+        workers' snapshot file to a tempfile exactly once per plan.
+        """
         if not self._requests:
             raise UsageError(
                 "analysis plan is empty: chain at least one algorithm "
@@ -449,82 +640,117 @@ class AnalysisPlan:
 
         started = time.perf_counter()
         builds_before = handle.builds
+        pool_starts_before = ParallelSuperstepExecutor.started_total
+        writes_before = snapshot_store.SAVE_COUNT
         csr = handle.snapshot()
         snapshot_source = handle.snapshot_source
 
-        # superstep routing is decided once for the whole batch, before any
-        # execution: symmetry is a property of the shared snapshot (checked
-        # lazily, only when a symmetric-requiring program survives the
-        # parameter check), and the snapshot file parallel workers mmap is
-        # persisted only when at least one request actually takes the
-        # superstep path
-        symmetric: bool | None = None
-        routed: list[tuple[bool, list[str]]] = []
-        for spec, params in self._requests:
-            notes: list[str] = []
-            use_superstep = False
-            if parallelism > 1:
-                param_note = (
-                    spec.superstep_params_ok(params)
-                    if spec.superstep is not None and spec.superstep_params_ok is not None
-                    else None
-                )
-                if spec.superstep is None:
-                    notes.append(
-                        f"note: {spec.name} has no superstep program; running serial kernel"
-                    )
-                elif param_note is not None:
-                    notes.append(param_note)
-                else:
-                    if spec.requires_symmetric and symmetric is None:
-                        symmetric = csr.is_symmetric()
-                    if spec.requires_symmetric and not symmetric:
-                        notes.append(
-                            f"note: the {spec.name} superstep program requires a "
-                            "symmetric graph; running serial kernel"
-                        )
-                    else:
-                        use_superstep = True
-                        if spec.superstep_note:
-                            notes.append(spec.superstep_note)
-            routed.append((use_superstep, notes))
+        routed = self._route(csr, parallelism)
+        modes = [mode for mode, _ in routed]
+        # one concurrent task cannot beat running it inline; require either a
+        # pool-parallel request or at least two concurrent tasks before
+        # paying for worker processes
+        wants_pool = (
+            "superstep" in modes or "chunks" in modes or modes.count("task") >= 2
+        )
+        if not wants_pool:
+            routed = [
+                ("inline" if mode == "task" else mode, notes) for mode, notes in routed
+            ]
 
+        pool = None
         snapshot_path: str | None = None
-        if any(use_superstep for use_superstep, _ in routed):
-            snapshot_path = handle.persist()
+        cleanup_path: str | None = None
+        try:
+            if wants_pool:
+                # one snapshot file per plan: the store's content-checked
+                # file when configured, else a single tempfile for the run
+                if session.store is not None:
+                    snapshot_path = handle.persist()
+                else:
+                    fd, snapshot_path = tempfile.mkstemp(suffix=".csr", prefix="ggplan-")
+                    os.close(fd)
+                    cleanup_path = snapshot_path
+                    csr.save(snapshot_path)
+                pool = ParallelSuperstepExecutor(
+                    parallelism, csr.n, PlanWorkerFactory(snapshot_path, backend.name)
+                ).start()
 
-        results: list[AnalysisResult] = []
-        seen_labels: dict[str, int] = {}
-        for (spec, params), (use_superstep, notes) in zip(self._requests, routed):
-            tick = time.perf_counter()
-            if use_superstep:
-                values = spec.superstep(
-                    handle.graph, parallelism, snapshot_path, backend.name, params
-                )
-            else:
-                values = spec.kernel(csr, backend, params)
-            seconds = time.perf_counter() - tick
+            # independent serial-kernel requests first, load-balanced across
+            # the whole worker budget; results keep their plan positions
+            task_results: dict[int, tuple[float, Any]] = {}
+            if pool is not None:
+                task_indexes = [
+                    index for index, (mode, _) in enumerate(routed) if mode == "task"
+                ]
+                if task_indexes:
+                    payloads = [
+                        (self._requests[index][0].name, self._requests[index][1])
+                        for index in task_indexes
+                    ]
+                    for index, outcome in zip(
+                        task_indexes, pool.map_tasks("run_task", payloads)
+                    ):
+                        if outcome[0] == "error":
+                            # caller mistakes keep their original type and
+                            # one-line message, exactly as if run inline
+                            raise outcome[1]
+                        task_results[index] = outcome[1:]
 
-            count = seen_labels.get(spec.name, 0) + 1
-            seen_labels[spec.name] = count
-            label = spec.name if count == 1 else f"{spec.name}#{count}"
-            results.append(
-                AnalysisResult(
-                    algorithm=spec.name,
-                    label=label,
-                    params={k: v for k, v in params.items()},
-                    values=values,
-                    seconds=seconds,
-                    engine="superstep" if use_superstep else "kernel",
-                    provenance=Provenance(
-                        representation=handle.representation,
-                        backend=backend.name,
-                        snapshot_source=snapshot_source,
-                        parallelism=parallelism if use_superstep else 1,
-                    ),
-                    notes=tuple(notes),
+            results: list[AnalysisResult] = []
+            seen_labels: dict[str, int] = {}
+            for position, ((spec, params), (mode, notes)) in enumerate(
+                zip(self._requests, routed)
+            ):
+                tick = time.perf_counter()
+                if mode == "superstep":
+                    values = spec.superstep(
+                        handle.graph, parallelism, snapshot_path, backend.name, params, pool
+                    )
+                    seconds = time.perf_counter() - tick
+                    engine = "superstep"
+                elif mode == "chunks":
+                    values = spec.chunk(csr, backend, params, pool)
+                    seconds = time.perf_counter() - tick
+                    engine = "chunks"
+                elif mode == "task":
+                    # executed concurrently above; seconds are worker-measured
+                    seconds, values = task_results[position]
+                    engine = "kernel"
+                else:
+                    values = spec.kernel(csr, backend, params)
+                    seconds = time.perf_counter() - tick
+                    engine = "kernel"
+
+                count = seen_labels.get(spec.name, 0) + 1
+                seen_labels[spec.name] = count
+                label = spec.name if count == 1 else f"{spec.name}#{count}"
+                results.append(
+                    AnalysisResult(
+                        algorithm=spec.name,
+                        label=label,
+                        params={k: v for k, v in params.items()},
+                        values=values,
+                        seconds=seconds,
+                        engine=engine,
+                        provenance=Provenance(
+                            representation=handle.representation,
+                            backend=backend.name,
+                            snapshot_source=snapshot_source,
+                            parallelism=parallelism if mode in ("superstep", "chunks") else 1,
+                        ),
+                        notes=tuple(notes),
+                        scheduled="inline" if mode == "inline" else "pool",
+                    )
                 )
-            )
+        finally:
+            if pool is not None:
+                pool.close()
+            if cleanup_path is not None:
+                try:
+                    os.unlink(cleanup_path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
 
         return AnalysisReport(
             results=results,
@@ -536,4 +762,6 @@ class AnalysisPlan:
             ),
             total_seconds=time.perf_counter() - started,
             snapshot_builds=handle.builds - builds_before,
+            pool_starts=ParallelSuperstepExecutor.started_total - pool_starts_before,
+            snapshot_writes=snapshot_store.SAVE_COUNT - writes_before,
         )

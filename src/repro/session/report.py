@@ -49,14 +49,20 @@ class AnalysisResult:
     params: dict[str, Any]
     #: decoded values, shaped exactly like the matching free function's return
     values: Any
-    #: wall-clock seconds spent executing this algorithm (snapshot excluded)
+    #: wall-clock seconds spent executing this algorithm (snapshot excluded;
+    #: worker-measured for pool-dispatched serial kernels, which overlap)
     seconds: float
-    #: ``"kernel"`` (direct backend kernel) or ``"superstep"`` (routed through
-    #: the parallel vertex-centric executor)
+    #: ``"kernel"`` (serial backend kernel), ``"superstep"`` (parallel
+    #: vertex-centric executor) or ``"chunks"`` (chunk-parallel direct kernel
+    #: merged from per-partition partials)
     engine: str
     provenance: Provenance
     #: human-readable execution notes (e.g. a serial fallback explanation)
     notes: tuple[str, ...] = ()
+    #: how the plan scheduler dispatched this request: ``"inline"`` (master
+    #: process) or ``"pool"`` (the plan's shared worker pool — superstep and
+    #: chunk engines always, serial kernels when dispatched concurrently)
+    scheduled: str = "inline"
 
 
 @dataclass
@@ -70,6 +76,16 @@ class AnalysisReport:
     total_seconds: float = 0.0
     #: CSR snapshot builds/loads this run performed (0 = pure cache hit)
     snapshot_builds: int = 0
+    #: worker pools forked during this run — the plan scheduler's contract is
+    #: at most 1 per plan, shared by every pool-dispatched request.  Measured
+    #: as a delta of process-global instrumentation so hidden per-request
+    #: forks anywhere in the stack are caught; plans running concurrently in
+    #: one process would therefore see each other's counts
+    pool_starts: int = 0
+    #: snapshot files written during this run (store writes and the
+    #: store-less tempfile alike) — at most 1 per plan; process-global delta,
+    #: same caveat as :attr:`pool_starts`
+    snapshot_writes: int = 0
 
     def __iter__(self) -> Iterator[AnalysisResult]:
         return iter(self.results)
@@ -117,6 +133,6 @@ class AnalysisReport:
         for result in self.results:
             lines.append(
                 f"  {result.label}: engine={result.engine} "
-                f"{result.seconds:.3f}s"
+                f"scheduled={result.scheduled} {result.seconds:.3f}s"
             )
         return "\n".join(lines)

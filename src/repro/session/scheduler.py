@@ -1,0 +1,161 @@
+"""Plan-level scheduling: one worker pool, one snapshot file per plan.
+
+PR 4 put every request of an :class:`~repro.session.AnalysisPlan` onto one
+shared snapshot, but ``parallelism > 1`` plans still paid per request: each
+superstep-routed algorithm forked its own worker pool and, on store-less
+sessions, wrote its own tempfile copy of the snapshot, while direct kernels
+never used workers at all.  This module holds the worker-side machinery the
+plan scheduler drives instead:
+
+* :class:`PlanWorkerFactory` / :class:`PlanWorker` — one *generic* worker per
+  partition, forked once per plan, mmap-loading the plan's single snapshot
+  file.  A worker serves three kinds of work over the run's lifetime:
+
+  - ``install_program`` + the standard superstep protocol — the
+    vertex-centric coordinator installs each superstep-routed request's
+    program (shipped by value through the pipe) on the same processes, so a
+    plan with three superstep requests forks one pool, not three;
+  - ``run_chunk`` — one partition's share of a chunk-parallel direct kernel
+    (see :data:`CHUNK_RUNNERS`); the master merges partials in partition
+    order, which keeps results bit-identical to the serial kernels;
+  - ``run_task`` — a whole-graph serial kernel executed on a single worker,
+    so independent kernel-only requests run *concurrently* across the worker
+    budget instead of sequentially on the master.
+
+* :data:`CHUNK_RUNNERS` — the worker half of the chunk-parallel direct
+  kernels.  Range tasks (triangles, closeness) receive the worker's
+  ``(lo, hi)`` vertex partition; source tasks (sampled betweenness, diameter
+  sweeps) receive their contiguous slice of the master's seeded source list.
+  Merge determinism mirrors the superstep executor's contract: integer
+  partials are exact under any regrouping, float partials are shipped as
+  *ordered per-source contribution lists* and re-summed by the master with
+  one flat left-to-right pass in global source order — exactly the serial
+  kernels' accumulation order, so floats are bit-identical, not merely
+  close.
+
+The master half (routing, pool lifecycle, merges) lives in
+:mod:`repro.session.plan`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.graph.backend import get_backend
+from repro.graph.kernel import CSRGraph
+from repro.vertexcentric.parallel import VertexChunkWorker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+
+
+# --------------------------------------------------------------------------- #
+# chunk runners: (csr, backend, payload) -> partial result, executed inside a
+# worker over the shared mmap'd snapshot
+# --------------------------------------------------------------------------- #
+def _chunk_triangles(csr: CSRGraph, backend: "KernelBackend", payload: Any) -> int:
+    lo, hi = payload
+    return backend.count_triangles(csr, lo, hi)
+
+
+def _chunk_closeness(csr: CSRGraph, backend: "KernelBackend", payload: Any) -> list[float]:
+    lo, hi = payload
+    return backend.closeness_centrality(csr, lo, hi)
+
+
+def _chunk_betweenness(
+    csr: CSRGraph, backend: "KernelBackend", payload: Any
+) -> list[list[float]]:
+    # ordered per-source Brandes contributions for this worker's slice of the
+    # master's seeded source list; the master re-sums them in global source
+    # order, replaying the serial kernel's addition sequence exactly
+    return [backend.betweenness_contribution(csr, source) for source in payload]
+
+
+def _chunk_diameter(csr: CSRGraph, backend: "KernelBackend", payload: Any) -> int:
+    best = 0
+    for source in payload:
+        best = max(best, max(backend.bfs_distances(csr, source), default=0))
+    return best
+
+
+#: chunk task name -> worker-side runner
+CHUNK_RUNNERS: dict[str, Callable[[CSRGraph, "KernelBackend", Any], Any]] = {
+    "triangles": _chunk_triangles,
+    "closeness": _chunk_closeness,
+    "betweenness": _chunk_betweenness,
+    "diameter": _chunk_diameter,
+}
+
+
+class PlanWorker:
+    """One partition's generic worker for a scheduled plan (see module doc)."""
+
+    def __init__(self, csr: CSRGraph, lo: int, hi: int, backend: "KernelBackend") -> None:
+        self.csr = csr
+        self.lo = lo
+        self.hi = hi
+        self.backend = backend
+        self._program_worker: VertexChunkWorker | None = None
+
+    # -- superstep protocol (pool reuse across programs) ----------------- #
+    def install_program(self, executor) -> None:
+        """Adopt a new vertex-centric program: fresh per-program state, same
+        process, same mmap'd snapshot."""
+        self._program_worker = VertexChunkWorker(
+            self.csr, executor, self.lo, self.hi, backend=self.backend
+        )
+
+    def run_superstep(self, payload):
+        if self._program_worker is None:
+            raise RuntimeError("no superstep program installed on this worker")
+        return self._program_worker.run_superstep(payload)
+
+    def collect(self):  # pragma: no cover - master merges every superstep
+        return None
+
+    # -- direct-kernel work ---------------------------------------------- #
+    def run_chunk(self, payload):
+        """One partition's share of a chunk-parallel kernel."""
+        name, argument = payload
+        return CHUNK_RUNNERS[name](self.csr, self.backend, argument)
+
+    def run_task(self, payload):
+        """A whole-graph serial kernel on this worker.
+
+        Returns ``("ok", seconds, values)`` with worker-measured execution
+        time, or ``("error", exc)`` for caller-mistake exceptions
+        (:class:`UsageError` / :class:`RepresentationError`) — the master
+        re-raises them as-is, so a bad request fails with the same one-line
+        message type whether it ran inline or on a worker.
+        """
+        # local import: plan.py imports this module at load time
+        from repro.exceptions import RepresentationError, UsageError
+        from repro.session.plan import PLAN_ALGORITHMS
+
+        name, params = payload
+        started = time.perf_counter()
+        try:
+            values = PLAN_ALGORITHMS[name].kernel(self.csr, self.backend, params)
+        except (UsageError, RepresentationError) as exc:
+            return ("error", exc)
+        return ("ok", time.perf_counter() - started, values)
+
+
+class PlanWorkerFactory:
+    """Builds a :class:`PlanWorker` inside a forked worker process.
+
+    Loads the plan's snapshot file with ``mmap=True`` so all workers (and the
+    master, when its snapshot came off the store) share one physical copy of
+    the arrays, and re-resolves the session's backend by name so workers run
+    the same kernels regardless of their inherited environment.
+    """
+
+    def __init__(self, snapshot_path, backend: str | None = None) -> None:
+        self.snapshot_path = snapshot_path
+        self.backend = backend
+
+    def __call__(self, lo: int, hi: int) -> PlanWorker:
+        csr = CSRGraph.load(self.snapshot_path, mmap=True, verify=False)
+        return PlanWorker(csr, lo, hi, get_backend(self.backend))

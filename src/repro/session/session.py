@@ -73,8 +73,10 @@ class GraphHandle:
         self.graph = graph
         #: resolved representation name ("cdup", "exp", ...)
         self.representation = representation
-        #: key under which this handle's snapshot persists in the session store
-        self.store_key = store_key
+        #: key under which this handle's snapshot persists in the session
+        #: store; None = derive lazily from the first snapshot's content hash
+        #: (wrapped graphs, so equal graphs share one stable store file)
+        self._store_key = store_key
         #: full extraction result (plan, condensed graph, report), when the
         #: handle came out of an extraction; None for wrapped graphs
         self.extraction = extraction
@@ -82,6 +84,23 @@ class GraphHandle:
         self._snapshot_source: str | None = None
 
     # ------------------------------------------------------------------ #
+    @property
+    def store_key(self) -> str:
+        """The handle's snapshot-store key.
+
+        Extracted handles get a query-derived key up front; wrapped graphs
+        derive theirs lazily as ``wrapped_<representation>_<content hash>``
+        of the first snapshot — *stable across processes and sessions*, so a
+        second session wrapping an equal graph gets an mmap cache hit instead
+        of leaking a fresh ``.csr`` file per run (the key stays fixed after a
+        mutation; the store then detects the stale file by hash and rewrites
+        it, exactly like extracted handles).
+        """
+        if self._store_key is None:
+            digest = self.graph.snapshot().content_hash.hex()[:16]
+            self._store_key = f"wrapped_{self.representation}_{digest}"
+        return self._store_key
+
     @property
     def builds(self) -> int:
         """How many snapshot builds/loads this handle has performed (an
@@ -146,7 +165,7 @@ class GraphHandle:
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
-            f"<GraphHandle {self.representation} key={self.store_key!r} "
+            f"<GraphHandle {self.representation} key={self._store_key!r} "
             f"builds={self._builds}>"
         )
 
@@ -243,12 +262,14 @@ class GraphSession:
 
     def wrap(self, graph: "Graph", *, key: str | None = None) -> GraphHandle:
         """Adopt an already-built :class:`~repro.graph.api.Graph` into this
-        session (it gains a store-backed snapshot and ``analyze()``)."""
-        store_key = key or (
-            f"{self.database.name}_{graph.representation_name}_"
-            f"wrapped_{id(graph):x}"
-        )
-        return GraphHandle(self, graph, graph.representation_name, store_key)
+        session (it gains a store-backed snapshot and ``analyze()``).
+
+        Without an explicit ``key`` the store key is derived lazily from the
+        representation and the first snapshot's content hash (see
+        :attr:`GraphHandle.store_key`), so wrapping an equal graph in any
+        session or process hits the same cached ``.csr`` file.
+        """
+        return GraphHandle(self, graph, graph.representation_name, key)
 
     # ------------------------------------------------------------------ #
     def _store_key(

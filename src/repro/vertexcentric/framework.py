@@ -161,6 +161,7 @@ class VertexCentric:
         parallelism: int = 1,
         snapshot_path: str | None = None,
         backend: str | None = None,
+        pool: "Any | None" = None,
     ) -> None:
         if num_workers < 1:
             raise VertexCentricError("num_workers must be at least 1")
@@ -179,6 +180,10 @@ class VertexCentric:
         self._parallelism = parallelism
         #: where to persist the snapshot for parallel workers (None = tempfile)
         self._snapshot_path = snapshot_path
+        #: an already-running shared worker pool (plan-level scheduling): the
+        #: coordinator installs its program on the pool's generic workers and
+        #: neither persists a snapshot nor starts/stops processes itself
+        self._pool = pool
 
         self.superstep = 0
         self._previous: dict[VertexId, dict[str, Any]] = {v: {} for v in self._vertices}
@@ -245,7 +250,7 @@ class VertexCentric:
         """Run ``executor.compute`` until every vertex halts or the limit hits."""
         if not isinstance(executor, Executor):
             raise VertexCentricError("executor must implement the Executor interface")
-        if self._parallelism > 1 and self.num_vertices > 0:
+        if (self._parallelism > 1 or self._pool is not None) and self.num_vertices > 0:
             return self._run_parallel(executor, max_supersteps)
         stats = RunStatistics()
         ids = self.csr.external_ids
@@ -284,15 +289,26 @@ class VertexCentric:
     # process-parallel supersteps (see repro.vertexcentric.parallel)
     # ------------------------------------------------------------------ #
     def _run_parallel(self, executor: Executor, max_supersteps: int) -> RunStatistics:
-        """Run supersteps in ``parallelism`` worker processes over a shared
-        mmap'd snapshot file, merging chunk outputs in fixed chunk order.
+        """Run supersteps in worker processes over a shared mmap'd snapshot
+        file, merging chunk outputs in fixed chunk order.
 
         The merge order makes every result — value maps, halting, and
         floating-point aggregator totals — bit-identical to the serial path.
         Compute functions must not touch ``ctx.graph`` (workers only hold the
         snapshot) and must not rely on mutable executor state carried across
         supersteps (each worker runs on its own copy of the executor).
+
+        With a shared ``pool`` (plan-level scheduling) the executor is
+        installed on the pool's generic workers by value — it must be
+        picklable — and the pool's snapshot file and process lifetime are
+        owned by the caller; otherwise this run forks its own pool and, when
+        no ``snapshot_path`` was given, persists the snapshot to a tempfile
+        for the run's duration.
         """
+        if self._pool is not None:
+            self._pool.broadcast("install_program", executor)
+            return self._superstep_loop(self._pool, max_supersteps)
+
         import os
         import tempfile
 
@@ -300,12 +316,6 @@ class VertexCentric:
             ParallelSuperstepExecutor,
             VertexChunkWorkerFactory,
         )
-
-        stats = RunStatistics()
-        ids = self.csr.external_ids
-        self.superstep = 0
-        self._aggregate_previous = {}
-        self._aggregate_next = {}
 
         cleanup_path: str | None = None
         if self._snapshot_path is None:
@@ -322,65 +332,7 @@ class VertexCentric:
         pool = ParallelSuperstepExecutor(self._parallelism, self.num_vertices, factory)
         try:
             pool.start()
-            deltas: dict[VertexId, dict[str, Any]] = {}
-            while self.superstep < max_supersteps:
-                halted = self._halted
-                if halted:
-                    active = [i for i in range(self.num_vertices) if ids[i] not in halted]
-                else:
-                    active = list(range(self.num_vertices))
-                if not active:
-                    stats.halted_early = True
-                    break
-                stats.per_superstep_active.append(len(active))
-                # scatter: split the (ascending) active list along the fixed
-                # partition bounds; broadcast last superstep's merged writes
-                payloads = []
-                position = 0
-                for _, hi in pool.partitions:
-                    start = position
-                    while position < len(active) and active[position] < hi:
-                        position += 1
-                    payloads.append(
-                        (self.superstep, active[start:position], deltas, self._aggregate_previous)
-                    )
-                results = pool.superstep(payloads)
-
-                # merge in fixed chunk order — identical to the serial engine's
-                # chunk-sequential execution
-                self._next = {v: dict(data) for v, data in self._previous.items()}
-                self._woken = set()
-                merged_writes: dict[VertexId, dict[str, Any]] = {}
-                aggregate_next: dict[str, float] = {}
-                for writes, halts, woken, contributions, calls in results:
-                    stats.chunk_count += 1
-                    stats.compute_calls += calls
-                    for vertex, data in writes.items():
-                        slot = self._next.get(vertex)
-                        if slot is None:
-                            self._next[vertex] = dict(data)
-                        else:
-                            slot.update(data)
-                        merged = merged_writes.get(vertex)
-                        if merged is None:
-                            merged_writes[vertex] = dict(data)
-                        else:
-                            merged.update(data)
-                    self._halted.update(halts)
-                    self._woken.update(woken)
-                    for name, values in contributions.items():
-                        # flat left-to-right sum in chunk order == serial order
-                        total = aggregate_next.get(name, 0.0)
-                        for value in values:
-                            total = total + value
-                        aggregate_next[name] = total
-                self._previous = self._next
-                self._aggregate_previous = aggregate_next
-                self._aggregate_next = {}
-                self._halted -= self._woken
-                deltas = merged_writes
-                self.superstep += 1
-                stats.supersteps = self.superstep
+            return self._superstep_loop(pool, max_supersteps)
         finally:
             pool.close()
             if cleanup_path is not None:
@@ -388,4 +340,71 @@ class VertexCentric:
                     os.unlink(cleanup_path)
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
+
+    def _superstep_loop(self, pool, max_supersteps: int) -> RunStatistics:
+        """Drive supersteps against a running pool (owned or shared)."""
+        stats = RunStatistics()
+        ids = self.csr.external_ids
+        self.superstep = 0
+        self._aggregate_previous = {}
+        self._aggregate_next = {}
+        deltas: dict[VertexId, dict[str, Any]] = {}
+        while self.superstep < max_supersteps:
+            halted = self._halted
+            if halted:
+                active = [i for i in range(self.num_vertices) if ids[i] not in halted]
+            else:
+                active = list(range(self.num_vertices))
+            if not active:
+                stats.halted_early = True
+                break
+            stats.per_superstep_active.append(len(active))
+            # scatter: split the (ascending) active list along the fixed
+            # partition bounds; broadcast last superstep's merged writes
+            payloads = []
+            position = 0
+            for _, hi in pool.partitions:
+                start = position
+                while position < len(active) and active[position] < hi:
+                    position += 1
+                payloads.append(
+                    (self.superstep, active[start:position], deltas, self._aggregate_previous)
+                )
+            results = pool.superstep(payloads)
+
+            # merge in fixed chunk order — identical to the serial engine's
+            # chunk-sequential execution
+            self._next = {v: dict(data) for v, data in self._previous.items()}
+            self._woken = set()
+            merged_writes: dict[VertexId, dict[str, Any]] = {}
+            aggregate_next: dict[str, float] = {}
+            for writes, halts, woken, contributions, calls in results:
+                stats.chunk_count += 1
+                stats.compute_calls += calls
+                for vertex, data in writes.items():
+                    slot = self._next.get(vertex)
+                    if slot is None:
+                        self._next[vertex] = dict(data)
+                    else:
+                        slot.update(data)
+                    merged = merged_writes.get(vertex)
+                    if merged is None:
+                        merged_writes[vertex] = dict(data)
+                    else:
+                        merged.update(data)
+                self._halted.update(halts)
+                self._woken.update(woken)
+                for name, values in contributions.items():
+                    # flat left-to-right sum in chunk order == serial order
+                    total = aggregate_next.get(name, 0.0)
+                    for value in values:
+                        total = total + value
+                    aggregate_next[name] = total
+            self._previous = self._next
+            self._aggregate_previous = aggregate_next
+            self._aggregate_next = {}
+            self._halted -= self._woken
+            deltas = merged_writes
+            self.superstep += 1
+            stats.supersteps = self.superstep
         return stats

@@ -139,6 +139,9 @@ def _worker_main(conn, lo: int, hi: int, worker_factory) -> None:
                     result = worker.run_superstep(payload)
                 elif command == "collect":
                     result = worker.collect()
+                elif command == "call":
+                    method, argument = payload
+                    result = getattr(worker, method)(argument)
                 else:
                     raise VertexCentricError(f"unknown worker command {command!r}")
                 conn.send(("ok", result))
@@ -156,7 +159,18 @@ class ParallelSuperstepExecutor:
     fork (or, for vertex-centric workers, loaded from the snapshot file).
 
     Use as a context manager, or call :meth:`start` / :meth:`close`.
+
+    Beyond the superstep protocol, workers may expose extra methods invoked
+    by name through :meth:`call` (broadcast one payload per partition, gather
+    in partition order) or :meth:`map_tasks` (independent whole-graph tasks
+    load-balanced over free workers) — the plan-level scheduler uses these to
+    reuse one pool across heterogeneous requests.
     """
+
+    #: cumulative successful :meth:`start` calls in this process — the
+    #: instrumentation the plan-scheduling tests and the fig16 benchmark read
+    #: to assert "one worker pool per plan"
+    started_total = 0
 
     def __init__(
         self,
@@ -200,6 +214,7 @@ class ParallelSuperstepExecutor:
             self.close()
             raise
         self._started = True
+        ParallelSuperstepExecutor.started_total += 1
         return self
 
     def __enter__(self) -> "ParallelSuperstepExecutor":
@@ -238,6 +253,66 @@ class ParallelSuperstepExecutor:
     def collect(self) -> list[Any]:
         """Gather each worker's ``collect()`` result in partition order."""
         return self._round("collect", [None] * len(self.partitions))
+
+    # ------------------------------------------------------------------ #
+    # generic named-method rounds (plan-level scheduling)
+    # ------------------------------------------------------------------ #
+    def call(self, method: str, payloads: Sequence[Any]) -> list[Any]:
+        """Invoke ``worker.<method>(payload)`` on every worker — one payload
+        per partition — and gather results in partition order."""
+        if len(payloads) != len(self.partitions):
+            raise VertexCentricError(
+                f"expected {len(self.partitions)} payloads, got {len(payloads)}"
+            )
+        return self._round("call", [(method, payload) for payload in payloads])
+
+    def broadcast(self, method: str, payload: Any) -> list[Any]:
+        """Invoke ``worker.<method>(payload)`` with the same payload on every
+        worker (e.g. installing a new superstep program on a reused pool)."""
+        return self.call(method, [payload] * len(self.partitions))
+
+    def map_tasks(self, method: str, arguments: Sequence[Any]) -> list[Any]:
+        """Run independent whole-graph tasks load-balanced over the workers.
+
+        Each task is ``worker.<method>(argument)``; tasks are handed to free
+        workers as they finish, so heterogeneous task durations do not
+        serialise on the slowest.  Results come back in ``arguments`` order.
+        Tasks must not depend on worker identity or partition bounds.
+        """
+        if not self._started:
+            raise VertexCentricError("executor is not running (call start() first)")
+        from multiprocessing.connection import wait
+
+        results: list[Any] = [None] * len(arguments)
+        free = list(range(len(self._conns)))
+        pending: dict[Any, tuple[int, int]] = {}  # connection -> (task, worker)
+        next_task = 0
+        while next_task < len(arguments) or pending:
+            while free and next_task < len(arguments):
+                worker = free.pop()
+                conn = self._conns[worker]
+                conn.send(("call", (method, arguments[next_task])))
+                pending[conn] = (next_task, worker)
+                next_task += 1
+            if not pending:
+                break
+            for conn in wait(list(pending)):
+                index, worker = pending.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except EOFError:
+                    self.close()
+                    raise VertexCentricError(
+                        f"parallel worker {worker} died running task {index}"
+                    ) from None
+                if status != "ok":
+                    self.close()
+                    raise VertexCentricError(
+                        f"task {index} failed in parallel worker {worker}:\n{payload}"
+                    )
+                results[index] = payload
+                free.append(worker)
+        return results
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -180,6 +180,7 @@ def run_degree(
     parallelism: int = 1,
     snapshot_path: str | None = None,
     backend: str | None = None,
+    pool=None,
 ) -> tuple[dict[VertexId, int], RunStatistics]:
     coordinator = VertexCentric(
         graph,
@@ -187,6 +188,7 @@ def run_degree(
         parallelism=parallelism,
         snapshot_path=snapshot_path,
         backend=backend,
+        pool=pool,
     )
     stats = coordinator.run(DegreeProgram(), max_supersteps=2)
     return coordinator.values("degree"), stats
@@ -200,6 +202,7 @@ def run_pagerank(
     parallelism: int = 1,
     snapshot_path: str | None = None,
     backend: str | None = None,
+    pool=None,
 ) -> tuple[dict[VertexId, float], RunStatistics]:
     coordinator = VertexCentric(
         graph,
@@ -207,6 +210,7 @@ def run_pagerank(
         parallelism=parallelism,
         snapshot_path=snapshot_path,
         backend=backend,
+        pool=pool,
     )
     stats = coordinator.run(PageRankProgram(iterations, damping), max_supersteps=iterations + 2)
     return coordinator.values("rank"), stats
@@ -219,6 +223,7 @@ def run_connected_components(
     parallelism: int = 1,
     snapshot_path: str | None = None,
     backend: str | None = None,
+    pool=None,
 ) -> tuple[dict[VertexId, object], RunStatistics]:
     coordinator = VertexCentric(
         graph,
@@ -226,6 +231,7 @@ def run_connected_components(
         parallelism=parallelism,
         snapshot_path=snapshot_path,
         backend=backend,
+        pool=pool,
     )
     stats = coordinator.run(ConnectedComponentsProgram(), max_supersteps=max_supersteps)
     return coordinator.values("component"), stats
@@ -239,6 +245,7 @@ def run_sssp(
     parallelism: int = 1,
     snapshot_path: str | None = None,
     backend: str | None = None,
+    pool=None,
 ) -> tuple[dict[VertexId, int | None], RunStatistics]:
     coordinator = VertexCentric(
         graph,
@@ -246,6 +253,7 @@ def run_sssp(
         parallelism=parallelism,
         snapshot_path=snapshot_path,
         backend=backend,
+        pool=pool,
     )
     stats = coordinator.run(SingleSourceShortestPathsProgram(source), max_supersteps=max_supersteps)
     return coordinator.values("distance"), stats
@@ -258,6 +266,7 @@ def run_label_propagation(
     parallelism: int = 1,
     snapshot_path: str | None = None,
     backend: str | None = None,
+    pool=None,
 ) -> tuple[dict[VertexId, object], RunStatistics]:
     coordinator = VertexCentric(
         graph,
@@ -265,6 +274,7 @@ def run_label_propagation(
         parallelism=parallelism,
         snapshot_path=snapshot_path,
         backend=backend,
+        pool=pool,
     )
     stats = coordinator.run(LabelPropagationProgram(), max_supersteps=max_supersteps)
     return coordinator.values("community"), stats

@@ -257,13 +257,27 @@ class TestSnapshotCacheAndParallel:
             assert rest == serial  # identical answer below the note line
 
     def test_parallel_fallback_note_for_kernel_only_algorithms(self):
+        """A lone kernel-only algorithm runs inline (one concurrent task
+        cannot beat the master), keeping the serial-fallback note."""
         code, output = run_cli(
             "analyze", "--dataset", "univ", "--scale", "0.2",
-            "--algorithm", "triangles", "--parallel", "2",
+            "--algorithm", "kcore", "--parallel", "2",
         )
         assert code == 0
-        assert "triangles:" in output
+        assert "degeneracy:" in output
         assert "running serial kernel" in output
+
+    def test_parallel_triangles_runs_chunked_with_identical_output(self):
+        """--parallel now accelerates direct kernels: triangles is counted
+        per-partition over the shared snapshot, merged exactly — the output
+        is byte-identical to the serial run, with no fallback note."""
+        base = ("analyze", "--dataset", "univ", "--scale", "0.2", "--algorithm", "triangles")
+        code, serial = run_cli(*base)
+        assert code == 0
+        code, parallel = run_cli(*base, "--parallel", "2")
+        assert code == 0
+        assert "running serial kernel" not in parallel
+        assert parallel == serial
 
 class TestAlgoFlag:
     """The repeatable --algo flag: batches share one snapshot build."""

@@ -253,11 +253,44 @@ class TestPlanValidation:
             plan.add("sssp")
 
     def test_bfs_without_source_is_usage_error(self, session):
+        """An omitted source is reported by add()'s missing-argument check
+        (which runs strictly *before* any validator — validators must never
+        see the REQUIRED sentinel); an explicit ``source=None`` reaches the
+        bfs validator and gets its message."""
         plan = session.graph(COAUTHOR_QUERY).analyze()
-        with pytest.raises(UsageError, match="bfs requires a source vertex"):
+        with pytest.raises(UsageError, match="bfs: missing required argument\\(s\\) source"):
             plan.bfs()
-        with pytest.raises(UsageError, match="bfs requires a source vertex"):
+        with pytest.raises(UsageError, match="bfs: missing required argument\\(s\\) source"):
             plan.add("bfs")
+        with pytest.raises(UsageError, match="bfs requires a source vertex"):
+            plan.bfs(source=None)
+
+    def test_missing_required_check_runs_before_validators(self, session, monkeypatch):
+        """Regression for the PR-4 ordering: a validator touching a required
+        parameter must see a real value or not run at all, never the
+        REQUIRED sentinel (which crashed with a sentinel-typed traceback)."""
+        from repro.session import plan as plan_module
+
+        spec = plan_module.PLAN_ALGORITHMS["bfs"]
+
+        def sentinel_sensitive(params):
+            assert params["source"] is not plan_module.REQUIRED
+            if params["source"] is None:
+                raise UsageError("bfs requires a source vertex (pass source=...)")
+
+        monkeypatch.setitem(
+            plan_module.PLAN_ALGORITHMS,
+            "bfs",
+            plan_module.PlanAlgorithm(
+                "bfs",
+                defaults=spec.defaults,
+                kernel=spec.kernel,
+                validate=sentinel_sensitive,
+            ),
+        )
+        plan = session.graph(COAUTHOR_QUERY).analyze()
+        with pytest.raises(UsageError, match="missing required argument"):
+            plan.add("bfs")  # the validator's assert must not have fired
 
     def test_bad_pagerank_damping_is_usage_error(self, session):
         plan = session.graph(COAUTHOR_QUERY).analyze()
@@ -342,11 +375,14 @@ class TestParallelPlans:
         assert any("serial kernel" in note for note in result.notes)
         assert result.values == pagerank(handle.graph, max_iterations=3, tolerance=0.0)
 
-    def test_no_persist_call_when_every_request_falls_back(self, tmp_path, monkeypatch):
-        """A directed graph + symmetric-only requests: nothing takes the
-        superstep path, so run() must not ask for the worker snapshot file.
-        (The store still caches the snapshot at build time — that is its
-        job — but no superstep persistence round happens on top.)"""
+    def test_single_fallback_request_runs_inline_without_pool_or_persist(
+        self, tmp_path, monkeypatch
+    ):
+        """A directed graph + one symmetric-only request: one concurrent
+        task cannot beat running it inline, so run() must not fork a pool or
+        ask for the worker snapshot file.  (The store still caches the
+        snapshot at build time — that is its job — but no scheduler
+        persistence round happens on top.)"""
         db = Database("bipartite")
         db.create_table("Person", [("id", "int"), ("name", "str")], primary_key="id")
         db.create_table("Taught", [("iid", "int"), ("cid", "int")])
@@ -367,9 +403,41 @@ class TestParallelPlans:
         monkeypatch.setattr(
             handle, "persist", lambda: calls.append(1) or original()
         )
-        report = handle.analyze().components().pagerank().run()
-        assert all(result.engine == "kernel" for result in report)
+        report = handle.analyze().components().run()
+        result = report["components"]
+        assert result.engine == "kernel"
+        assert result.scheduled == "inline"
+        assert report.pool_starts == 0
         assert calls == []
+
+    def test_multiple_fallback_requests_are_dispatched_concurrently(self, tmp_path):
+        """Two serial-kernel requests on a directed graph: the scheduler
+        forks one pool, persists the snapshot once, and runs both kernels
+        concurrently on workers — results identical to the free functions."""
+        db = Database("bipartite")
+        db.create_table("Person", [("id", "int"), ("name", "str")], primary_key="id")
+        db.create_table("Taught", [("iid", "int"), ("cid", "int")])
+        db.create_table("Took", [("sid", "int"), ("cid", "int")])
+        db.insert("Person", [(1, "i1"), (2, "s1"), (3, "s2")])
+        db.insert("Taught", [(1, 10)])
+        db.insert("Took", [(2, 10), (3, 10)])
+        query = """
+        Nodes(ID, Name) :- Person(ID, Name).
+        Edges(ID1, ID2) :- Taught(ID1, CourseID), Took(ID2, CourseID).
+        """
+        session = GraphSession(
+            db, snapshot_cache=str(tmp_path / "snaps"), parallelism=2, backend="python"
+        )
+        handle = session.graph(query)
+        report = handle.analyze().components().pagerank().run()
+        for result in report:
+            assert result.engine == "kernel"
+            assert result.scheduled == "pool"
+            assert result.provenance.parallelism == 1  # one worker each
+        assert report.pool_starts == 1
+        assert report.snapshot_writes <= 1
+        assert report["components"].values == connected_components(handle.graph)
+        assert report["pagerank"].values == pagerank(handle.graph)
 
     def test_non_symmetric_graph_falls_back_with_note(self, tmp_path):
         db = Database("bipartite")
