@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast test-session bench bench-fig16 smoke all help
+.PHONY: test test-fast test-session bench bench-fig16 bench-fig17 smoke all help
 
 help:
 	@echo "make test         - fast unit/integration suite (tests/)"
@@ -11,6 +11,7 @@ help:
 	@echo "                    public-API stability, CLI, plan scheduling"
 	@echo "make bench        - paper benchmark reproductions (benchmarks/, slow)"
 	@echo "make bench-fig16  - plan-level scheduling vs per-request parallel path"
+	@echo "make bench-fig17  - optimizing plan compiler (shared-sweep DAG) vs per-request"
 	@echo "make smoke        - seconds-fast sanity subset (kernel, parity, algorithms)"
 	@echo "make all          - everything (tier-1 equivalent)"
 
@@ -23,13 +24,17 @@ test-fast:
 
 test-session:
 	$(PYTEST) -q tests/test_session.py tests/test_api_compat.py \
-		tests/test_public_api.py tests/test_cli.py tests/test_plan_scheduling.py
+		tests/test_public_api.py tests/test_cli.py tests/test_plan_scheduling.py \
+		tests/test_plan_compiler.py
 
 bench:
 	$(PYTEST) -q benchmarks/
 
 bench-fig16:
 	$(PYTEST) -q -rA benchmarks/test_bench_fig16_plan_scheduling.py
+
+bench-fig17:
+	$(PYTEST) -q -rA benchmarks/test_bench_fig17_plan_compiler.py
 
 smoke:
 	$(PYTEST) -q tests/test_kernel.py tests/test_representation_parity.py \

@@ -41,6 +41,19 @@ def closeness_kernel(csr: "CSRGraph", backend: "KernelBackend | None" = None) ->
     return (backend or get_backend()).closeness_centrality(csr)
 
 
+def closeness_value(n: int, reachable: int, total: int) -> float:
+    """Wasserman–Faust closeness of one vertex from its BFS-tree stats.
+
+    A pure function of integers — ``reachable`` vertices at ``total`` summed
+    hop distance in an ``n``-vertex graph — so every backend (and the plan
+    compiler's shared-sweep finaliser) computing it from the same tree
+    produces the same float, bit for bit.
+    """
+    if reachable <= 0 or total <= 0 or n <= 1:
+        return 0.0
+    return (reachable / (n - 1)) * (reachable / total)
+
+
 def betweenness_sources(
     csr: "CSRGraph", sample_size: int | None, seed: int
 ) -> tuple[list[int], float]:

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.algorithms.bfs import bfs_distances, distances_kernel
 from repro.graph.api import Graph, VertexId
+from repro.graph.backend import get_backend
 from repro.utils.rand import SeededRandom
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,6 +41,16 @@ def diameter_sample_indexes(csr: "CSRGraph", samples: int, seed: int) -> list[in
     return [csr.index(vertex) for vertex in rng.sample(vertices, min(samples, len(vertices)))]
 
 
+def source_eccentricity(
+    csr: "CSRGraph", source: int, backend: "KernelBackend | None" = None
+) -> int:
+    """Eccentricity of one dense index via the backend's shared BFS-tree
+    entry point (the same integer the plan compiler's sweep reads out of
+    ``tree_stats``, so sampled diameters agree however the tree was grown)."""
+    active = backend or get_backend()
+    return active.tree_stats(active.bfs_tree(csr, source))[2]
+
+
 def diameter_kernel(
     csr: "CSRGraph",
     samples: int = 10,
@@ -50,8 +61,11 @@ def diameter_kernel(
     if csr.n == 0:
         return 0
     return max(
-        max(distances_kernel(csr, source, backend=backend), default=0)
-        for source in diameter_sample_indexes(csr, samples, seed)
+        (
+            source_eccentricity(csr, source, backend=backend)
+            for source in diameter_sample_indexes(csr, samples, seed)
+        ),
+        default=0,
     )
 
 

@@ -180,6 +180,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "'auto' picks numpy when importable (default: the "
                 "REPRO_KERNEL_BACKEND environment variable, else auto)",
             )
+            sub.add_argument(
+                "--plan-report",
+                action="store_true",
+                help="after the results, print the plan compiler's execution "
+                "report: per-request engine and timing plus per-node "
+                "provenance (which snapshot/derived-view/sweep/algorithm "
+                "nodes each request computed vs reused)",
+            )
 
     return parser
 
@@ -456,6 +464,9 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
         for note in result.notes:
             print(note, file=out)
         RESULT_PRINTERS[result.algorithm](result, args, out)
+    if args.plan_report:
+        print("--- plan report ---", file=out)
+        print(report.summary(), file=out)
     return 0
 
 

@@ -34,6 +34,7 @@ definition and do not vectorise.
 from __future__ import annotations
 
 import math
+from array import array
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -70,11 +71,24 @@ def _undirected_csr(csr: "CSRGraph") -> tuple[np.ndarray, np.ndarray]:
     Same logical view as :meth:`CSRGraph.undirected_sets` — ``u ~ v`` iff
     ``u→v`` or ``v→u``, self-loops dropped — with each row's targets sorted
     ascending so membership tests are ``searchsorted`` probes.
+
+    The arrays are shared with the other backends through the snapshot's
+    backend-neutral ``"und_csr"`` cache entry: if any consumer (python
+    kernels included) already derived the symmetrised form, it is wrapped
+    zero-copy here instead of being rebuilt, and a fresh vectorised build is
+    published back under the neutral key for them.
     """
     cache = csr._backend_cache
     und = cache.get("np_undirected")
     if und is None:
         n = csr.n
+        if "und_csr" in cache or csr._undirected is not None:
+            neutral_offsets, neutral_targets = csr.undirected_csr()
+            und = cache["np_undirected"] = (
+                np.frombuffer(neutral_offsets, dtype=np.int64),
+                np.frombuffer(neutral_targets, dtype=np.int64),
+            )
+            return und
         offsets, targets = _views(csr)
         sources = np.repeat(np.arange(n, dtype=np.int64), _out_degrees(csr))
         keep = sources != targets
@@ -88,6 +102,13 @@ def _undirected_csr(csr: "CSRGraph") -> tuple[np.ndarray, np.ndarray]:
         und_offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(np.bincount(uu, minlength=n), out=und_offsets[1:])
         und = cache["np_undirected"] = (und_offsets, vv)
+        # publish the backend-neutral form so python kernels (undirected_sets)
+        # and future backends reuse this derivation instead of re-symmetrising
+        neutral_offsets = array("q")
+        neutral_offsets.frombytes(np.ascontiguousarray(und_offsets).tobytes())
+        neutral_targets = array("q")
+        neutral_targets.frombytes(np.ascontiguousarray(vv).tobytes())
+        cache["und_csr"] = (neutral_offsets, neutral_targets)
     return und
 
 
@@ -402,6 +423,8 @@ class NumpyBackend(KernelBackend):
     def closeness_centrality(
         self, csr: "CSRGraph", lo: int = 0, hi: int | None = None
     ) -> list[float]:
+        from repro.algorithms.centrality import closeness_value
+
         n = csr.n
         if hi is None:
             hi = n
@@ -409,17 +432,46 @@ class NumpyBackend(KernelBackend):
         if n <= 1:
             return result
         for vertex in range(lo, hi):
-            distances = self._bfs_distances_array(csr, vertex)
-            positive = distances > 0
-            reachable = int(np.count_nonzero(positive))
-            total = int(distances[positive].sum())
-            if reachable <= 0 or total <= 0:
-                continue
-            result[vertex - lo] = (reachable / (n - 1)) * (reachable / total)
+            reachable, total, _ = self.tree_stats(self._bfs_distances_array(csr, vertex))
+            result[vertex - lo] = closeness_value(n, reachable, total)
         return result
 
-    def _betweenness_delta(self, csr: "CSRGraph", source: int) -> np.ndarray:
-        """One source's Brandes dependency vector, source entry zeroed."""
+    # ------------------------------------------------------------------ #
+    # shared traversal intermediates (plan-compiler sweep protocol): native
+    # form is the np.int64 / np.float64 array, converted only on demand
+    # ------------------------------------------------------------------ #
+    def bfs_tree(self, csr: "CSRGraph", source: int) -> np.ndarray:
+        return self._bfs_distances_array(csr, source)
+
+    def brandes_tree(
+        self, csr: "CSRGraph", source: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        distance, delta = self._brandes_arrays(csr, source)
+        return distance, delta
+
+    def tree_stats(self, tree: np.ndarray) -> tuple[int, int, int]:
+        positive = tree > 0
+        reached = tree[positive]
+        return (
+            int(reached.size),
+            int(reached.sum()),
+            int(reached.max()) if reached.size else 0,
+        )
+
+    def tree_distances(self, tree: np.ndarray) -> list[int]:
+        return tree.tolist()
+
+    def tree_delta(self, delta: np.ndarray) -> list[float]:
+        return delta.tolist()
+
+    def warm_undirected(self, csr: "CSRGraph") -> None:
+        _undirected_csr(csr)
+
+    def _brandes_arrays(
+        self, csr: "CSRGraph", source: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One source's Brandes traversal: ``(distance, delta)`` arrays, the
+        delta's source entry zeroed."""
         n = csr.n
         offsets, targets = _views(csr)
         distance = np.full(n, -1, dtype=np.int64)
@@ -451,7 +503,10 @@ class NumpyBackend(KernelBackend):
                 v, weights=(sigma[v] / sigma[w]) * (1.0 + delta[w]), minlength=n
             )
         delta[source] = 0.0
-        return delta
+        return distance, delta
+
+    def _betweenness_delta(self, csr: "CSRGraph", source: int) -> np.ndarray:
+        return self._brandes_arrays(csr, source)[1]
 
     def betweenness_contribution(self, csr: "CSRGraph", source: int) -> list[float]:
         return self._betweenness_delta(csr, source).tolist()

@@ -90,6 +90,94 @@ class KernelBackend:
         return bfs_parents_kernel(csr, source)
 
     # ------------------------------------------------------------------ #
+    # shared traversal intermediates (plan-compiler sweep protocol)
+    #
+    # One traversal per source feeds closeness, diameter, bfs *and*
+    # betweenness finalisers: hop distances are uniquely determined
+    # integers, so any backend's tree yields the same stats, and a Brandes
+    # traversal's internal distance array doubles as the BFS tree.  Trees
+    # and deltas stay in the backend's native form until a ``tree_*``
+    # accessor converts them, so a vectorised backend never round-trips
+    # through Python lists just to compute (reachable, total, ecc).
+    # ------------------------------------------------------------------ #
+    def bfs_tree(self, csr: "CSRGraph", source: int):
+        """Full-depth hop-distance array from ``source`` in this backend's
+        native form (``-1`` marks unreachable); feed to ``tree_*``."""
+        return bfs_distances_kernel(csr, source)
+
+    def brandes_tree(self, csr: "CSRGraph", source: int):
+        """``(tree, delta)``: the Brandes traversal's native distance array
+        plus the source's dependency vector (source entry zeroed).
+
+        The tree equals :meth:`bfs_tree` element-for-element, which is what
+        lets one Brandes traversal serve closeness/diameter/bfs demands of
+        the same source; the delta is what :meth:`betweenness_contribution`
+        returns.
+        """
+        n = csr.n
+        offsets = csr.offsets_list
+        targets = csr.targets_list
+        # single-source shortest paths (unweighted -> BFS)
+        predecessors: list[list[int]] = [[] for _ in range(n)]
+        sigma = [0.0] * n
+        distance = [-1] * n
+        sigma[source] = 1.0
+        distance[source] = 0
+        stack: list[int] = [source]
+        head = 0
+        while head < len(stack):
+            current = stack[head]
+            head += 1
+            next_distance = distance[current] + 1
+            for e in range(offsets[current], offsets[current + 1]):
+                neighbor = targets[e]
+                if distance[neighbor] < 0:
+                    distance[neighbor] = next_distance
+                    stack.append(neighbor)
+                if distance[neighbor] == next_distance:
+                    sigma[neighbor] += sigma[current]
+                    predecessors[neighbor].append(current)
+        # accumulation in reverse visit order
+        delta = [0.0] * n
+        for w in reversed(stack):
+            for v in predecessors[w]:
+                if sigma[w] > 0:
+                    delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+        delta[source] = 0.0
+        return distance, delta
+
+    def tree_stats(self, tree) -> tuple[int, int, int]:
+        """``(reachable, distance_total, eccentricity)`` of a native tree —
+        integer-exact on every backend, hence shareable across them."""
+        reachable = 0
+        total = 0
+        ecc = 0
+        for distance in tree:
+            if distance > 0:
+                reachable += 1
+                total += distance
+                if distance > ecc:
+                    ecc = distance
+        return reachable, total, ecc
+
+    def tree_distances(self, tree) -> list[int]:
+        """A native tree as a plain hop-distance list."""
+        return tree
+
+    def tree_delta(self, delta) -> list[float]:
+        """A native Brandes dependency vector as a plain float list."""
+        return delta
+
+    # ------------------------------------------------------------------ #
+    # derived-view warmers (plan-compiler derive nodes)
+    # ------------------------------------------------------------------ #
+    def warm_undirected(self, csr: "CSRGraph") -> None:
+        """Materialise this backend's symmetrised adjacency view so the
+        derivation cost is attributable to one plan node instead of hiding
+        inside the first consuming kernel."""
+        csr.undirected_sets()
+
+    # ------------------------------------------------------------------ #
     # PageRank
     # ------------------------------------------------------------------ #
     def pagerank(
@@ -315,20 +403,16 @@ class KernelBackend:
         Per-vertex values are independent, so concatenating partition slices
         in partition order reproduces the whole-graph call bit-for-bit.
         """
+        # local import: repro.algorithms.centrality imports the backend layer
+        from repro.algorithms.centrality import closeness_value
+
         n = csr.n
         if hi is None:
             hi = n
         result = [0.0] * (hi - lo)
         for vertex in range(lo, hi):
-            reachable = 0
-            total = 0
-            for distance in self.bfs_distances(csr, vertex):
-                if distance > 0:
-                    reachable += 1
-                    total += distance
-            if reachable <= 0 or total <= 0 or n <= 1:
-                continue
-            result[vertex - lo] = (reachable / (n - 1)) * (reachable / total)
+            reachable, total, _ = self.tree_stats(self.bfs_tree(csr, vertex))
+            result[vertex - lo] = closeness_value(n, reachable, total)
         return result
 
     def betweenness_contribution(self, csr: "CSRGraph", source: int) -> list[float]:
@@ -340,37 +424,7 @@ class KernelBackend:
         global source order (the chunk-parallel merge) is bit-identical to
         the serial accumulation.
         """
-        n = csr.n
-        offsets = csr.offsets_list
-        targets = csr.targets_list
-        # single-source shortest paths (unweighted -> BFS)
-        predecessors: list[list[int]] = [[] for _ in range(n)]
-        sigma = [0.0] * n
-        distance = [-1] * n
-        sigma[source] = 1.0
-        distance[source] = 0
-        stack: list[int] = [source]
-        head = 0
-        while head < len(stack):
-            current = stack[head]
-            head += 1
-            next_distance = distance[current] + 1
-            for e in range(offsets[current], offsets[current + 1]):
-                neighbor = targets[e]
-                if distance[neighbor] < 0:
-                    distance[neighbor] = next_distance
-                    stack.append(neighbor)
-                if distance[neighbor] == next_distance:
-                    sigma[neighbor] += sigma[current]
-                    predecessors[neighbor].append(current)
-        # accumulation in reverse visit order
-        delta = [0.0] * n
-        for w in reversed(stack):
-            for v in predecessors[w]:
-                if sigma[w] > 0:
-                    delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
-        delta[source] = 0.0
-        return delta
+        return self.tree_delta(self.brandes_tree(csr, source)[1])
 
     def betweenness(self, csr: "CSRGraph", sources: list[int]) -> list[float]:
         """Brandes accumulation from ``sources`` over dense indexes.

@@ -315,19 +315,63 @@ class CSRGraph:
     def undirected_sets(self) -> list[set[int]]:
         """Symmetrised adjacency (``u ~ v`` iff ``u→v`` or ``v→u``) as a list
         of dense-index sets with self-loops dropped.  Cached: triangles,
-        k-core and similarity kernels all start from this view."""
+        k-core and similarity kernels all start from this view.
+
+        When another consumer (e.g. the NumPy backend) already derived the
+        backend-neutral :meth:`undirected_csr`, the sets are rebuilt from
+        those shared arrays instead of re-symmetrising the edge list."""
         if self._undirected is None:
-            adjacency: list[set[int]] = [set() for _ in range(self.n)]
-            offsets = self.offsets_list
-            targets = self.targets_list
-            for u in range(self.n):
-                for e in range(offsets[u], offsets[u + 1]):
-                    v = targets[e]
-                    if v != u:
-                        adjacency[u].add(v)
-                        adjacency[v].add(u)
-            self._undirected = adjacency
+            neutral = self._backend_cache.get("und_csr")
+            if neutral is not None:
+                offsets, targets = neutral
+                self._undirected = [
+                    set(targets[offsets[u] : offsets[u + 1]]) for u in range(self.n)
+                ]
+            else:
+                adjacency: list[set[int]] = [set() for _ in range(self.n)]
+                offsets = self.offsets_list
+                targets = self.targets_list
+                for u in range(self.n):
+                    for e in range(offsets[u], offsets[u + 1]):
+                        v = targets[e]
+                        if v != u:
+                            adjacency[u].add(v)
+                            adjacency[v].add(u)
+                self._undirected = adjacency
         return self._undirected
+
+    def undirected_csr(self) -> tuple[array, array]:
+        """Symmetrised, deduplicated adjacency as a backend-neutral sorted CSR:
+        ``('q')`` offset/target arrays with each row ascending, self-loops
+        dropped — the same logical view as :meth:`undirected_sets`.
+
+        Cached in ``_backend_cache`` under the single backend-independent key
+        ``"und_csr"`` so a session that runs python *and* numpy kernels over
+        one snapshot derives the symmetrised form once: the NumPy backend
+        wraps these arrays zero-copy (and publishes its own vectorised build
+        here), while :meth:`undirected_sets` converts in either direction."""
+        neutral = self._backend_cache.get("und_csr")
+        if neutral is None:
+            if self._undirected is not None:
+                rows: list[list[int]] = [sorted(s) for s in self._undirected]
+            else:
+                sets: list[set[int]] = [set() for _ in range(self.n)]
+                offsets_list = self.offsets_list
+                targets_list = self.targets_list
+                for u in range(self.n):
+                    for e in range(offsets_list[u], offsets_list[u + 1]):
+                        v = targets_list[e]
+                        if v != u:
+                            sets[u].add(v)
+                            sets[v].add(u)
+                rows = [sorted(s) for s in sets]
+            offsets = array("q", [0])
+            targets = array("q")
+            for row in rows:
+                targets.extend(row)
+                offsets.append(len(targets))
+            neutral = self._backend_cache["und_csr"] = (offsets, targets)
+        return neutral
 
     # ------------------------------------------------------------------ #
     # property pass-through (snapshots are structural; properties live on

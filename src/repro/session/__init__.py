@@ -6,12 +6,18 @@ amortised (extractor, snapshot store, kernel backend, worker processes);
 store-backed, version-tracked CSR snapshot; :class:`AnalysisPlan` chains
 algorithm requests that execute over **one** shared snapshot; and
 :class:`AnalysisReport` / :class:`AnalysisResult` / :class:`Provenance`
-carry the structured outcome.  See :mod:`repro.session.session` for the
-object model and a usage example.
+carry the structured outcome, including per-node :class:`NodeProvenance`
+records for compiled runs (see :mod:`repro.session.compiler`).  See
+:mod:`repro.session.session` for the object model and a usage example.
 """
 
 from repro.session.plan import PLAN_ALGORITHMS, AnalysisPlan
-from repro.session.report import AnalysisReport, AnalysisResult, Provenance
+from repro.session.report import (
+    AnalysisReport,
+    AnalysisResult,
+    NodeProvenance,
+    Provenance,
+)
 from repro.session.session import GraphHandle, GraphSession
 
 __all__ = [
@@ -21,5 +27,6 @@ __all__ = [
     "AnalysisReport",
     "AnalysisResult",
     "Provenance",
+    "NodeProvenance",
     "PLAN_ALGORITHMS",
 ]

@@ -1,0 +1,810 @@
+"""Optimizing plan compiler: a DAG of shared primitive nodes per plan.
+
+PR 5's scheduler routed every :class:`~repro.session.AnalysisPlan` request
+independently: a ``closeness + diameter + sampled-betweenness`` batch ran
+three full BFS/SSSP source sweeps over the same snapshot, duplicate requests
+executed twice, and derived views (the symmetrised sorted CSR, degree
+arrays) were materialised by whichever kernel touched them first.  This
+module lowers the request list into a small DAG of **primitive nodes**
+instead and executes the DAG in dependency order through the PR-5 scheduler
+machinery (one pool, one snapshot file per plan):
+
+* ``snapshot`` — acquisition of the handle's shared CSR (cache-aware:
+  reported ``reused`` when it came off the in-process cache or a store mmap);
+* ``derive`` nodes — the backend-neutral symmetrised/sorted adjacency CSR
+  (``und-csr``) and degree arrays, created once per plan when an inline
+  consumer needs them, so the derivation cost is attributed to a node
+  instead of hiding inside the first consuming kernel;
+* one fused ``sweep`` node — per-source BFS trees / Brandes contributions
+  over the union of every source-sweep demand in the plan.  Hop distances
+  are uniquely determined integers, so a single traversal per source feeds
+  closeness stats, diameter eccentricities, bfs distance maps *and*
+  betweenness dependency vectors at once, and a Brandes traversal's internal
+  distance array doubles as the BFS tree;
+* ``algo`` nodes — per-request execution or (for sweep-covered requests) a
+  cheap finaliser over the sweep's products.
+
+Nodes are deduplicated by **structural key**: two requests with the same
+algorithm and identical effective parameters resolve to one node (the
+second result reports ``reused``), and ``closeness + diameter +
+sampled-betweenness`` in one plan perform the BFS/Brandes sweeps once.
+
+**Bit-identity.**  Results equal the uncompiled path exactly, floats
+included, by reusing the PR-5 merge contracts: closeness values are the
+pure-integer-stat expression every backend computes
+(:func:`repro.algorithms.centrality.closeness_value`), diameter is a max of
+integer eccentricities, and betweenness re-sums ordered per-source
+contribution lists with one flat left-to-right pass in each request's own
+global source order — exactly the serial kernels' accumulation sequence.
+Uncovered requests run the PR-5 routes (superstep / chunks / task / inline)
+with identical notes and fallbacks.
+
+**Cost model.**  Execution choices are fed by the snapshot's ``n`` and ``m``
+plus constants calibrated against the fig13/fig15/fig16 measurements (see
+:data:`TRAVERSAL_SECONDS_PER_ELEMENT` and friends): concurrent serial-kernel
+tasks are dispatched longest-first to minimise pool makespan, pool sweeps
+partition their source list by weighted cost (a Brandes source counts
+:data:`BRANDES_FACTOR` plain-BFS traversals), and an inline sweep with no
+float (Brandes) demand — where every product is integer-exact across
+backends — may run its traversals on the cheaper backend for the snapshot's
+size.  Session ``parallelism`` remains a directive: pool-vs-inline follows
+the PR-5 rules, so scheduling behaviour (pool starts, snapshot writes,
+engines, notes) is unchanged for plans with no shareable work.
+
+Every result gains per-node provenance
+(:class:`~repro.session.NodeProvenance`): the nodes in its dependency
+closure, each ``computed`` or ``reused``, with per-node seconds.
+:class:`CompilerCounters` exposes process-global instrumentation deltas
+(nodes computed/reused, sweep traversals) that the CSE regression tests
+assert against.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.algorithms.centrality import (
+    apply_betweenness_scale,
+    betweenness_sources,
+    closeness_value,
+)
+from repro.algorithms.shortest_paths import diameter_sample_indexes
+from repro.graph import snapshot_store
+from repro.graph.backend import get_backend
+from repro.session.report import (
+    AnalysisReport,
+    AnalysisResult,
+    NodeProvenance,
+    Provenance,
+)
+from repro.session.scheduler import PlanWorkerFactory
+from repro.vertexcentric.parallel import ParallelSuperstepExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+    from repro.session.plan import AnalysisPlan, PlanAlgorithm
+
+
+class CompilerCounters:
+    """Process-global instrumentation (read as deltas, like
+    ``ParallelSuperstepExecutor.started_total``): the CSE regression tests
+    assert node-level compute counts through these."""
+
+    #: plans lowered through the compiler
+    plans_compiled = 0
+    #: DAG nodes actually executed (snapshot builds included)
+    nodes_computed = 0
+    #: reuse events: a result's closure entry resolving to an
+    #: already-available node (CSE hits, duplicate requests, cached snapshots)
+    nodes_reused = 0
+    #: sources traversed by sweep nodes — ``closeness + diameter +
+    #: betweenness`` over an ``n``-vertex snapshot moves this by exactly
+    #: ``n``, not ``n + samples + sample_size``
+    sweep_traversals = 0
+
+
+# --------------------------------------------------------------------------- #
+# cost model constants, calibrated on the fig13/fig15/fig16 rigs (synthetic
+# condensed graphs, container hardware).  Decisions depend on *ratios*, which
+# are stable across machines even when absolute seconds drift.
+# --------------------------------------------------------------------------- #
+#: one full-depth traversal costs about this many seconds per n + m element
+TRAVERSAL_SECONDS_PER_ELEMENT = {"python": 2.3e-8, "numpy": 1.2e-8}
+#: a Brandes traversal costs this multiple of a plain BFS (predecessor lists
+#: plus the reverse accumulation pass; measured on the fig16/fig17 rigs)
+BRANDES_FACTOR = {"python": 2.85, "numpy": 2.04}
+#: below this many n + m elements one python-loop traversal beats numpy's
+#: per-level vectorisation overhead (fig15 rig crossover, measured ~3.5k)
+NUMPY_TRAVERSAL_CROSSOVER = 3500
+#: coarse whole-request weights (multiples of one n + m scan) for ordering
+#: concurrent task dispatch longest-first; per-source algorithms are costed
+#: from their actual source counts instead
+REQUEST_SCAN_WEIGHT = {
+    "degree": 0.2,
+    "pagerank": 20.0,
+    "components": 2.0,
+    "bfs": 1.0,
+    "kcore": 3.0,
+    "triangles": 5.0,
+    "clustering": 6.0,
+    "label_propagation": 10.0,
+    "link_predictions": 8.0,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-plan execution cost estimates from the snapshot's size."""
+
+    n: int
+    m: int
+    backend_name: str
+
+    @property
+    def elements(self) -> int:
+        return max(1, self.n + self.m)
+
+    def traversal_seconds(self, brandes: bool = False, backend_name: str | None = None) -> float:
+        name = backend_name or self.backend_name
+        per = TRAVERSAL_SECONDS_PER_ELEMENT.get(name, TRAVERSAL_SECONDS_PER_ELEMENT["python"])
+        seconds = per * self.elements
+        if brandes:
+            seconds *= BRANDES_FACTOR.get(name, BRANDES_FACTOR["python"])
+        return seconds
+
+    def request_seconds(self, name: str, params: dict, csr: "CSRGraph") -> float:
+        """Coarse whole-request estimate (drives longest-first task dispatch)."""
+        if name == "closeness":
+            return self.n * self.traversal_seconds()
+        if name == "diameter":
+            return min(params.get("samples", 10), self.n) * self.traversal_seconds()
+        if name == "betweenness":
+            sample = params.get("sample_size")
+            sources = self.n if sample is None else min(sample, self.n)
+            return sources * self.traversal_seconds(brandes=True)
+        return REQUEST_SCAN_WEIGHT.get(name, 1.0) * self.traversal_seconds()
+
+    def inline_sweep_backend(self, backend: "KernelBackend", has_delta: bool) -> "KernelBackend":
+        """The backend an *inline* sweep grows its traversals on.
+
+        With a Brandes (float) demand the session backend is pinned — float
+        deltas are bit-identical only per backend.  Stats/distance-only
+        sweeps are integer-exact everywhere, so the model picks whichever
+        side of the measured crossover the snapshot falls on; an unavailable
+        alternative (no numpy in the environment) just keeps the session
+        backend.
+        """
+        if has_delta:
+            return backend
+        faster = "python" if self.elements < NUMPY_TRAVERSAL_CROSSOVER else "numpy"
+        if faster == backend.name:
+            return backend
+        try:
+            return get_backend(faster)
+        except Exception:  # pragma: no cover - numpy-less environments
+            return backend
+
+    def partition_sweep_sources(
+        self, sources: list[int], needs_delta: set[int] | None, stream: bool, parts: int
+    ) -> list[list[int]]:
+        """Contiguous slices of the sweep's source list, cut so each worker
+        carries a near-equal *weighted* share (Brandes sources count
+        :data:`BRANDES_FACTOR` plain traversals)."""
+        factor = BRANDES_FACTOR.get(self.backend_name, BRANDES_FACTOR["python"])
+        weights = [
+            factor if (stream or (needs_delta is not None and src in needs_delta)) else 1.0
+            for src in sources
+        ]
+        total = sum(weights)
+        bounds = [0]
+        accumulated = 0.0
+        cut = 1
+        for position, weight in enumerate(weights):
+            accumulated += weight
+            while cut < parts and accumulated >= total * cut / parts - 1e-12:
+                bounds.append(position + 1)
+                cut += 1
+        while len(bounds) < parts:
+            bounds.append(len(sources))
+        bounds.append(len(sources))
+        return [sources[bounds[i] : bounds[i + 1]] for i in range(parts)]
+
+
+# --------------------------------------------------------------------------- #
+# DAG structures
+# --------------------------------------------------------------------------- #
+@dataclass
+class Node:
+    """One primitive node of a compiled plan."""
+
+    key: str
+    kind: str  # "snapshot" | "derive" | "sweep" | "algo"
+    mode: str = "inline"  # algo: inline|superstep|chunks|task|sweep; sweep: inline|chunks
+    spec: "PlanAlgorithm | None" = None
+    params: dict | None = None
+    notes: tuple[str, ...] = ()
+    deps: tuple["Node", ...] = ()
+    demand: dict | None = None  # sweep-extraction info for sweep-covered algo nodes
+    est_seconds: float = 0.0
+    # runtime state
+    done: bool = False
+    value: Any = None
+    seconds: float = 0.0
+    attributed: bool = False
+
+
+@dataclass
+class SweepPlan:
+    """The plan's single fused source sweep and its per-source products."""
+
+    node: Node
+    sources: list[int] = field(default_factory=list)
+    #: sources whose Brandes dependency vector must be stored per source
+    #: (strict-subset betweenness samples; re-summed per request)
+    delta_sources: set[int] = field(default_factory=set)
+    #: sources whose full distance list must be stored (bfs demands)
+    dist_sources: set[int] = field(default_factory=set)
+    #: accumulate a running delta total over *every* source in sweep order
+    #: (full-source betweenness; inline sweeps only, where sweep order is the
+    #: serial kernel's ascending source order)
+    stream: bool = False
+    covers_all: bool = False
+    # runtime products
+    stats: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+    dists: dict[int, list[int]] = field(default_factory=dict)
+    deltas: dict[int, list[float]] = field(default_factory=dict)
+    stream_total: list[float] | None = None
+
+    @property
+    def has_delta(self) -> bool:
+        return self.stream or bool(self.delta_sources)
+
+
+@dataclass
+class CompiledPlan:
+    """A lowered plan: deduplicated nodes plus per-request bindings."""
+
+    bindings: list[Node]  # one entry per original request, in plan order
+    algo_nodes: list[Node]  # unique algo nodes, first-appearance order
+    derive_nodes: list[Node]
+    sweep: SweepPlan | None
+    wants_pool: bool
+    cost: CostModel
+
+
+#: algorithms whose inline kernels consume the symmetrised adjacency view
+_UND_CONSUMERS = {"kcore", "triangles", "clustering"}
+
+
+def _params_signature(params: dict) -> tuple:
+    return tuple(sorted(params.items(), key=lambda item: item[0]))
+
+
+def _algo_key(name: str, params: dict) -> str:
+    if not params:
+        return f"algo:{name}"
+    rendered = ", ".join(f"{key}={value!r}" for key, value in _params_signature(params))
+    return f"algo:{name}({rendered})"
+
+
+# --------------------------------------------------------------------------- #
+# compilation
+# --------------------------------------------------------------------------- #
+def compile_plan(
+    requests: list[tuple["PlanAlgorithm", dict]],
+    csr: "CSRGraph",
+    backend: "KernelBackend",
+    parallelism: int,
+) -> CompiledPlan:
+    """Lower a request list into a deduplicated node DAG (no execution)."""
+    from repro.session.plan import _encode_source
+
+    cost = CostModel(n=csr.n, m=csr.num_edges, backend_name=backend.name)
+    n = csr.n
+
+    # -- CSE: one algo node per structural key --------------------------- #
+    by_key: dict[str, Node] = {}
+    bindings: list[Node] = []
+    algo_nodes: list[Node] = []
+    for spec, params in requests:
+        key = _algo_key(spec.name, params)
+        node = by_key.get(key)
+        if node is None:
+            node = by_key[key] = Node(
+                key=key,
+                kind="algo",
+                spec=spec,
+                params=params,
+                est_seconds=cost.request_seconds(spec.name, params, csr),
+            )
+            algo_nodes.append(node)
+        bindings.append(node)
+
+    # -- sweep demand collection (two passes: bfs coverage depends on
+    #    whether some other demand already sweeps every source) ----------- #
+    sweep = SweepPlan(node=Node(key="sweep", kind="sweep"))
+    demanding: list[Node] = []
+    for node in algo_nodes:
+        name = node.spec.name
+        params = node.params
+        if name == "closeness" and n > 0:
+            node.demand = {"kind": "closeness"}
+            sweep.covers_all = True
+            demanding.append(node)
+        elif name == "diameter" and n > 0:
+            sources = diameter_sample_indexes(csr, params["samples"], params["seed"])
+            if sources:
+                node.demand = {"kind": "diameter", "sources": sources}
+                demanding.append(node)
+        elif name == "betweenness" and n > 2:
+            sources, scale = betweenness_sources(csr, params["sample_size"], params["seed"])
+            strict_subset = len(sources) < n
+            if strict_subset:
+                node.demand = {
+                    "kind": "betweenness",
+                    "sources": sources,
+                    "scale": scale,
+                    "stream": False,
+                }
+                sweep.delta_sources.update(sources)
+                demanding.append(node)
+            elif parallelism == 1:
+                # full-source Brandes: stream the running total in the serial
+                # kernel's ascending source order (inline sweeps only — on a
+                # pool this request keeps its PR-5 serial-kernel fallback)
+                node.demand = {
+                    "kind": "betweenness",
+                    "sources": sources,
+                    "scale": scale,
+                    "stream": True,
+                }
+                sweep.stream = True
+                sweep.covers_all = True
+                demanding.append(node)
+    for node in algo_nodes:
+        if (
+            node.spec.name == "bfs"
+            and node.demand is None
+            and parallelism == 1
+            and sweep.covers_all
+            and node.params["max_depth"] is None
+        ):
+            source = _encode_source(csr, node.params["source"])
+            node.demand = {"kind": "bfs", "source": source}
+            sweep.dist_sources.add(source)
+            demanding.append(node)
+
+    if demanding:
+        if sweep.covers_all:
+            sweep.sources = list(range(n))
+        else:
+            seen: set[int] = set()
+            for node in demanding:
+                for source in node.demand.get("sources", ()):
+                    if source not in seen:
+                        seen.add(source)
+                        sweep.sources.append(source)
+        plain = len(sweep.sources) - (
+            len(sweep.sources) if sweep.stream else len(sweep.delta_sources)
+        )
+        brandes = len(sweep.sources) - plain
+        sweep.node.est_seconds = plain * cost.traversal_seconds() + brandes * cost.traversal_seconds(brandes=True)
+        sweep.node.key = "sweep[{}:{} sources]".format(
+            "+".join(dict.fromkeys(node.spec.name for node in demanding)),
+            len(sweep.sources),
+        )
+        sweep.node.mode = "chunks" if parallelism > 1 else "inline"
+    covered = {id(node) for node in demanding}
+
+    # -- routing: sweep-covered nodes bypass their kernels; everything else
+    #    keeps the PR-5 scheduler's routes, fallbacks and notes ----------- #
+    symmetric: bool | None = None
+    for node in algo_nodes:
+        spec, params = node.spec, node.params
+        notes: list[str] = []
+        if id(node) in covered:
+            node.mode = "sweep"
+            continue
+        mode = "inline"
+        if parallelism > 1 and n > 0:
+            if spec.superstep is not None:
+                param_note = (
+                    spec.superstep_params_ok(params)
+                    if spec.superstep_params_ok is not None
+                    else None
+                )
+                if param_note is not None:
+                    notes.append(param_note)
+                    mode = "task"
+                else:
+                    if spec.requires_symmetric and symmetric is None:
+                        symmetric = csr.is_symmetric()
+                    if spec.requires_symmetric and not symmetric:
+                        notes.append(
+                            f"note: the {spec.name} superstep program requires a "
+                            "symmetric graph; running serial kernel"
+                        )
+                        mode = "task"
+                    else:
+                        mode = "superstep"
+                        if spec.superstep_note:
+                            notes.append(spec.superstep_note)
+            elif spec.chunk is not None and (
+                spec.chunk_ok is None or spec.chunk_ok(params, csr)
+            ):
+                mode = "chunks"
+            elif spec.chunk is not None:
+                notes.append(
+                    f"note: {spec.name} with these parameters is not "
+                    "chunk-parallel eligible (requires sampling a strict "
+                    "subset of sources); running serial kernel"
+                )
+                mode = "task"
+            else:
+                notes.append(
+                    f"note: {spec.name} has no superstep program; running serial kernel"
+                )
+                mode = "task"
+        node.mode = mode
+        node.notes = tuple(notes)
+
+    # -- pool decision: the PR-5 rule over *unique* nodes (deduplicated
+    #    requests no longer count twice), sweep-on-pool counts as chunks -- #
+    modes = [node.mode for node in algo_nodes]
+    sweep_active = bool(demanding)
+    wants_pool = (
+        "superstep" in modes
+        or "chunks" in modes
+        or (sweep_active and sweep.node.mode == "chunks")
+        or modes.count("task") >= 2
+    )
+    if not wants_pool:
+        for node in algo_nodes:
+            if node.mode == "task":
+                node.mode = "inline"
+
+    # -- derive nodes: shared views for *inline* consumers (pool workers
+    #    materialise their own over the mmap'd snapshot) ------------------ #
+    derive_nodes: list[Node] = []
+    und_consumers = set(_UND_CONSUMERS)
+    if backend.name == "numpy":
+        und_consumers.add("components")
+    und_node = None
+    degrees_node = None
+    for node in algo_nodes:
+        if node.mode != "inline":
+            continue
+        if node.spec.name in und_consumers:
+            if und_node is None:
+                und_node = Node(
+                    key="und-csr",
+                    kind="derive",
+                    est_seconds=2.0 * cost.traversal_seconds(),
+                )
+                derive_nodes.append(und_node)
+            node.deps = node.deps + (und_node,)
+        if node.spec.name == "degree":
+            if degrees_node is None:
+                degrees_node = Node(
+                    key="degrees",
+                    kind="derive",
+                    est_seconds=0.1 * cost.traversal_seconds(),
+                )
+                derive_nodes.append(degrees_node)
+            node.deps = node.deps + (degrees_node,)
+    for node in demanding:
+        node.deps = node.deps + (sweep.node,)
+
+    return CompiledPlan(
+        bindings=bindings,
+        algo_nodes=algo_nodes,
+        derive_nodes=derive_nodes,
+        sweep=sweep if sweep_active else None,
+        wants_pool=wants_pool,
+        cost=cost,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# sweep execution
+# --------------------------------------------------------------------------- #
+def _accumulate(total: list[float] | None, delta: list[float]) -> list[float]:
+    # same per-element left-to-right addition sequence as the serial kernels'
+    # accumulation (list or ndarray alike), so the running total stays
+    # bit-identical to the uncompiled path
+    if total is None:
+        return [0.0 + value for value in delta]
+    return [current + value for current, value in zip(total, delta)]
+
+
+def _execute_sweep(
+    sweep: SweepPlan,
+    csr: "CSRGraph",
+    backend: "KernelBackend",
+    pool,
+    cost: CostModel,
+) -> None:
+    """Grow one traversal per swept source and materialise every demanded
+    product (stats always; distances and deltas on demand)."""
+    started = time.perf_counter()
+    CompilerCounters.sweep_traversals += len(sweep.sources)
+    if pool is None:
+        active = cost.inline_sweep_backend(backend, sweep.has_delta)
+        for source in sweep.sources:
+            want_delta = sweep.stream or source in sweep.delta_sources
+            if want_delta:
+                tree, delta = backend.brandes_tree(csr, source)
+                delta_list = backend.tree_delta(delta)
+                if sweep.stream:
+                    sweep.stream_total = _accumulate(sweep.stream_total, delta_list)
+                if source in sweep.delta_sources:
+                    sweep.deltas[source] = delta_list
+                owner = backend
+            else:
+                tree = active.bfs_tree(csr, source)
+                owner = active
+            sweep.stats[source] = owner.tree_stats(tree)
+            if source in sweep.dist_sources:
+                sweep.dists[source] = owner.tree_distances(tree)
+    else:
+        # pool sweeps never stream (full-source betweenness keeps its PR-5
+        # fallback on pools), so products are independent per source and the
+        # weighted contiguous split below only balances load
+        slices = cost.partition_sweep_sources(
+            sweep.sources, sweep.delta_sources, sweep.stream, len(pool.partitions)
+        )
+        payloads = [
+            [
+                (source, source in sweep.delta_sources, source in sweep.dist_sources)
+                for source in chunk
+            ]
+            for chunk in slices
+        ]
+        for chunk, products in zip(slices, pool.call("run_sweep", payloads)):
+            for source, (stats, delta_list, dists) in zip(chunk, products):
+                sweep.stats[source] = stats
+                if delta_list is not None:
+                    sweep.deltas[source] = delta_list
+                if dists is not None:
+                    sweep.dists[source] = dists
+    sweep.node.seconds = time.perf_counter() - started
+    sweep.node.done = True
+
+
+def _finalise_from_sweep(node: Node, sweep: SweepPlan, csr: "CSRGraph") -> Any:
+    """Shape one sweep-covered request's values from the shared products —
+    bit-identical to the matching kernel runner (see module docstring)."""
+    demand = node.demand
+    kind = demand["kind"]
+    n = csr.n
+    if kind == "closeness":
+        values = [
+            closeness_value(n, sweep.stats[v][0], sweep.stats[v][1]) for v in range(n)
+        ]
+        return csr.decode(values)
+    if kind == "diameter":
+        return max((sweep.stats[s][2] for s in demand["sources"]), default=0)
+    if kind == "betweenness":
+        if demand["stream"]:
+            totals = list(sweep.stream_total) if sweep.stream_total is not None else [0.0] * n
+        else:
+            totals = [0.0] * n
+            for source in demand["sources"]:
+                # flat left-to-right re-sum in this request's own global
+                # source order: the PR-5 chunk-merge contract
+                totals = _accumulate(totals, sweep.deltas[source])
+        return csr.decode(
+            apply_betweenness_scale(
+                totals, n, node.params["normalized"], demand["scale"]
+            )
+        )
+    if kind == "bfs":
+        distances = sweep.dists[demand["source"]]
+        ids = csr.external_ids
+        return {ids[v]: d for v, d in enumerate(distances) if d >= 0}
+    raise AssertionError(f"unknown sweep demand {kind!r}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------------- #
+# compiled execution (the AnalysisPlan.run() body when compilation is on)
+# --------------------------------------------------------------------------- #
+def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
+    """Compile and execute ``plan``, returning its report (see module doc)."""
+    handle = plan._handle
+    session = handle.session
+    backend = session.backend
+    parallelism = session.parallelism
+
+    started = time.perf_counter()
+    builds_before = handle.builds
+    pool_starts_before = ParallelSuperstepExecutor.started_total
+    writes_before = snapshot_store.SAVE_COUNT
+
+    tick = time.perf_counter()
+    csr = handle.snapshot()
+    snapshot_seconds = time.perf_counter() - tick
+    snapshot_source = handle.snapshot_source
+
+    compiled = compile_plan(plan._requests, csr, backend, parallelism)
+    CompilerCounters.plans_compiled += 1
+    snapshot_node = Node(
+        key="snapshot", kind="snapshot", seconds=snapshot_seconds, done=True
+    )
+    # a heap snapshot was computed by this run; cache hits and store mmaps
+    # reuse work a previous run (or plan) already paid for
+    snapshot_fresh = snapshot_source == "heap"
+    if snapshot_fresh:
+        CompilerCounters.nodes_computed += 1
+
+    pool = None
+    snapshot_path: str | None = None
+    cleanup_path: str | None = None
+    try:
+        if compiled.wants_pool:
+            if session.store is not None:
+                snapshot_path = handle.persist()
+            else:
+                fd, snapshot_path = tempfile.mkstemp(suffix=".csr", prefix="ggplan-")
+                os.close(fd)
+                cleanup_path = snapshot_path
+                csr.save(snapshot_path)
+            pool = ParallelSuperstepExecutor(
+                parallelism, csr.n, PlanWorkerFactory(snapshot_path, backend.name)
+            ).start()
+
+        # concurrent serial-kernel nodes first, longest-first (cost-model
+        # makespan ordering; map_tasks returns results in argument order)
+        if pool is not None:
+            task_nodes = sorted(
+                (node for node in compiled.algo_nodes if node.mode == "task"),
+                key=lambda node: -node.est_seconds,
+            )
+            if task_nodes:
+                payloads = [(node.spec.name, node.params) for node in task_nodes]
+                for node, outcome in zip(task_nodes, pool.map_tasks("run_task", payloads)):
+                    if outcome[0] == "error":
+                        # caller mistakes keep their original type and
+                        # one-line message, exactly as if run inline
+                        raise outcome[1]
+                    node.seconds, node.value = outcome[1:]
+                    node.done = True
+                    CompilerCounters.nodes_computed += 1
+
+        # shared derived views, then the fused sweep, before any consumer
+        for node in compiled.derive_nodes:
+            tick = time.perf_counter()
+            if node.key == "und-csr":
+                backend.warm_undirected(csr)
+            else:  # degrees
+                backend.degrees(csr)
+            node.seconds = time.perf_counter() - tick
+            node.done = True
+            CompilerCounters.nodes_computed += 1
+        if compiled.sweep is not None:
+            _execute_sweep(compiled.sweep, csr, backend, pool, compiled.cost)
+            CompilerCounters.nodes_computed += 1
+
+        sweep_on_pool = (
+            compiled.sweep is not None and compiled.sweep.node.mode == "chunks"
+        )
+        results: list[AnalysisResult] = []
+        seen_labels: dict[str, int] = {}
+        for spec_params, node in zip(plan._requests, compiled.bindings):
+            spec, params = spec_params
+            if not node.done:
+                tick = time.perf_counter()
+                if node.mode == "superstep":
+                    node.value = spec.superstep(
+                        handle.graph, parallelism, snapshot_path, backend.name, params, pool
+                    )
+                elif node.mode == "chunks":
+                    node.value = spec.chunk(csr, backend, params, pool)
+                elif node.mode == "sweep":
+                    node.value = _finalise_from_sweep(node, compiled.sweep, csr)
+                else:
+                    node.value = spec.kernel(csr, backend, params)
+                node.seconds = time.perf_counter() - tick
+                node.done = True
+                CompilerCounters.nodes_computed += 1
+
+            # per-node provenance over the dependency closure, first
+            # consumer attribution; result seconds = the work this request
+            # actually triggered (snapshot excluded, as before)
+            closure = (snapshot_node,) + node.deps + (node,)
+            provenance_nodes = []
+            request_seconds = 0.0
+            for member in closure:
+                if member.kind == "snapshot":
+                    computed = snapshot_fresh and not member.attributed
+                else:
+                    computed = not member.attributed
+                member.attributed = True
+                status = "computed" if computed else "reused"
+                if not computed:
+                    CompilerCounters.nodes_reused += 1
+                if computed and member.kind != "snapshot":
+                    request_seconds += member.seconds
+                provenance_nodes.append(
+                    NodeProvenance(
+                        key=member.key,
+                        kind=member.kind,
+                        status=status,
+                        seconds=member.seconds,
+                    )
+                )
+
+            if node.mode == "sweep":
+                engine = "chunks" if sweep_on_pool else "kernel"
+                scheduled = "pool" if sweep_on_pool else "inline"
+                result_parallelism = parallelism if sweep_on_pool else 1
+            else:
+                engine = {
+                    "superstep": "superstep",
+                    "chunks": "chunks",
+                    "task": "kernel",
+                    "inline": "kernel",
+                }[node.mode]
+                scheduled = "inline" if node.mode == "inline" else "pool"
+                result_parallelism = (
+                    parallelism if node.mode in ("superstep", "chunks") else 1
+                )
+
+            count = seen_labels.get(spec.name, 0) + 1
+            seen_labels[spec.name] = count
+            label = spec.name if count == 1 else f"{spec.name}#{count}"
+            results.append(
+                AnalysisResult(
+                    algorithm=spec.name,
+                    label=label,
+                    params={k: v for k, v in params.items()},
+                    values=node.value,
+                    seconds=request_seconds,
+                    engine=engine,
+                    provenance=Provenance(
+                        representation=handle.representation,
+                        backend=backend.name,
+                        snapshot_source=snapshot_source,
+                        parallelism=result_parallelism,
+                    ),
+                    notes=node.notes,
+                    scheduled=scheduled,
+                    nodes=tuple(provenance_nodes),
+                )
+            )
+    finally:
+        if pool is not None:
+            pool.close()
+        if cleanup_path is not None:
+            try:
+                os.unlink(cleanup_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    computed_total = 0
+    reused_total = 0
+    for result in results:
+        for node in result.nodes:
+            if node.status == "computed":
+                computed_total += 1
+            else:
+                reused_total += 1
+    return AnalysisReport(
+        results=results,
+        provenance=Provenance(
+            representation=handle.representation,
+            backend=backend.name,
+            snapshot_source=snapshot_source,
+            parallelism=parallelism,
+        ),
+        total_seconds=time.perf_counter() - started,
+        snapshot_builds=handle.builds - builds_before,
+        pool_starts=ParallelSuperstepExecutor.started_total - pool_starts_before,
+        snapshot_writes=snapshot_store.SAVE_COUNT - writes_before,
+        nodes_computed=computed_total,
+        nodes_reused=reused_total,
+    )

@@ -615,8 +615,18 @@ class AnalysisPlan:
             routed.append((mode, notes))
         return routed
 
-    def run(self) -> AnalysisReport:
+    def run(self, compiled: bool | None = None) -> AnalysisReport:
         """Execute every request over one shared snapshot and backend.
+
+        By default (session ``compile_plans=True``) the request list is
+        lowered through the optimizing plan compiler
+        (:mod:`repro.session.compiler`): requests are deduplicated by
+        structural key, source sweeps are shared across closeness / diameter
+        / sampled-betweenness / bfs, and every result carries per-node
+        provenance.  Results are bit-identical to the uncompiled path.
+        ``compiled=False`` forces the PR-5 per-request path below (the
+        reference the compiler is tested against); ``compiled=True`` forces
+        compilation regardless of the session default.
 
         With session ``parallelism > 1`` the whole batch is scheduled over
         (at most) **one** worker pool and **one** persisted snapshot file:
@@ -633,6 +643,12 @@ class AnalysisPlan:
                 "analysis plan is empty: chain at least one algorithm "
                 "request (e.g. .pagerank()) before run()"
             )
+        if compiled is None:
+            compiled = getattr(self._handle.session, "compile_plans", True)
+        if compiled:
+            from repro.session.compiler import run_compiled
+
+            return run_compiled(self)
         handle = self._handle
         session = handle.session
         backend = session.backend

@@ -22,6 +22,32 @@ from typing import Any, Iterator
 
 
 @dataclass(frozen=True)
+class NodeProvenance:
+    """One primitive DAG node's contribution to a result (plan compiler).
+
+    The compiler lowers a plan into snapshot / derived-view / shared-sweep /
+    per-algorithm nodes, deduplicated by structural key; each result then
+    records, for every node in its dependency closure, whether *this* result
+    triggered the computation or reused work another result (or a prior run,
+    for cached snapshots) already paid for — the plan-level analogue of
+    determination provenance.
+    """
+
+    #: structural key, e.g. ``"algo:pagerank(damping=0.85, ...)"``,
+    #: ``"sweep[closeness+diameter:60 sources]"``, ``"und-csr"``, ``"snapshot"``
+    key: str
+    #: ``"snapshot"``, ``"derive"``, ``"sweep"`` or ``"algo"``
+    kind: str
+    #: ``"computed"`` — this result paid for the node; ``"reused"`` — the node
+    #: was already available (an earlier result computed it, or the snapshot
+    #: came from a cache/mmap instead of a fresh build)
+    status: str
+    #: wall-clock seconds the node's one execution took (0.0 for reused
+    #: snapshots that were never built this run)
+    seconds: float
+
+
+@dataclass(frozen=True)
 class Provenance:
     """Where and how an analysis executed."""
 
@@ -63,6 +89,19 @@ class AnalysisResult:
     #: process) or ``"pool"`` (the plan's shared worker pool — superstep and
     #: chunk engines always, serial kernels when dispatched concurrently)
     scheduled: str = "inline"
+    #: per-node provenance over this result's dependency closure, in
+    #: execution order (snapshot, derived views, shared sweep, the algorithm
+    #: node itself).  Empty for uncompiled runs.
+    nodes: tuple[NodeProvenance, ...] = ()
+
+    @property
+    def reused(self) -> bool:
+        """True when this result's own algorithm node was computed by an
+        earlier, structurally identical request in the same plan (a duplicate
+        request: same algorithm, same effective parameters)."""
+        return any(
+            node.kind == "algo" and node.status == "reused" for node in self.nodes
+        )
 
 
 @dataclass
@@ -86,6 +125,11 @@ class AnalysisReport:
     #: store-less tempfile alike) — at most 1 per plan; process-global delta,
     #: same caveat as :attr:`pool_starts`
     snapshot_writes: int = 0
+    #: DAG nodes the compiled run executed (0 for uncompiled runs)
+    nodes_computed: int = 0
+    #: reuse events: closure entries that resolved to an already-available
+    #: node (CSE hits, duplicate requests, cached snapshots)
+    nodes_reused: int = 0
 
     def __iter__(self) -> Iterator[AnalysisResult]:
         return iter(self.results)
@@ -118,6 +162,17 @@ class AnalysisReport:
     def labels(self) -> list[str]:
         return [result.label for result in self.results]
 
+    def nodes(self) -> list[NodeProvenance]:
+        """Every distinct DAG node touched by this (compiled) run, in first
+        appearance order, with the status of its first consumer — i.e. shared
+        nodes show up once, as ``computed`` (or ``reused`` for snapshots that
+        came off a cache)."""
+        seen: dict[str, NodeProvenance] = {}
+        for result in self.results:
+            for node in result.nodes:
+                seen.setdefault(node.key, node)
+        return list(seen.values())
+
     def summary(self) -> str:
         """Multi-line human-readable digest of the run."""
         lines = []
@@ -135,4 +190,12 @@ class AnalysisReport:
                 f"  {result.label}: engine={result.engine} "
                 f"scheduled={result.scheduled} {result.seconds:.3f}s"
             )
+            if result.nodes:
+                lines.append(
+                    "    nodes: "
+                    + " ".join(
+                        f"{node.key}={node.status}({node.seconds:.3f}s)"
+                        for node in result.nodes
+                    )
+                )
         return "\n".join(lines)

@@ -76,7 +76,7 @@ def _chunk_betweenness(
 def _chunk_diameter(csr: CSRGraph, backend: "KernelBackend", payload: Any) -> int:
     best = 0
     for source in payload:
-        best = max(best, max(backend.bfs_distances(csr, source), default=0))
+        best = max(best, backend.tree_stats(backend.bfs_tree(csr, source))[2])
     return best
 
 
@@ -120,6 +120,31 @@ class PlanWorker:
         """One partition's share of a chunk-parallel kernel."""
         name, argument = payload
         return CHUNK_RUNNERS[name](self.csr, self.backend, argument)
+
+    def run_sweep(self, payload):
+        """One slice of the plan compiler's shared source sweep.
+
+        ``payload`` is a list of ``(source, want_delta, want_dists)`` tuples;
+        for each source the worker grows one traversal — a Brandes traversal
+        when a betweenness demand needs the dependency vector, a plain BFS
+        tree otherwise — and ships ``(stats, delta|None, dists|None)`` back.
+        Stats are integer-exact and deltas are ordered per-source contribution
+        lists, so the master's partition-order merge keeps every consuming
+        algorithm bit-identical to its serial kernel (see
+        :mod:`repro.session.compiler`).
+        """
+        products = []
+        for source, want_delta, want_dists in payload:
+            if want_delta:
+                tree, delta = self.backend.brandes_tree(self.csr, source)
+                delta_list = self.backend.tree_delta(delta)
+            else:
+                tree = self.backend.bfs_tree(self.csr, source)
+                delta_list = None
+            stats = self.backend.tree_stats(tree)
+            dists = self.backend.tree_distances(tree) if want_dists else None
+            products.append((stats, delta_list, dists))
+        return products
 
     def run_task(self, payload):
         """A whole-graph serial kernel on this worker.

@@ -181,6 +181,7 @@ class GraphSession:
         snapshot_cache: str | None = None,
         backend: str | None = None,
         parallelism: int = 1,
+        compile_plans: bool = True,
         options: ExtractionOptions | None = None,
         **option_overrides: Any,
     ) -> None:
@@ -192,6 +193,7 @@ class GraphSession:
         # with a UsageError message, not at the first kernel call
         self._backend = get_backend(backend)
         self._parallelism = parallelism
+        self._compile_plans = compile_plans
         self._handles: dict[Any, GraphHandle] = {}
 
     # ------------------------------------------------------------------ #
@@ -217,6 +219,13 @@ class GraphSession:
     @property
     def parallelism(self) -> int:
         return self._parallelism
+
+    @property
+    def compile_plans(self) -> bool:
+        """Whether plans lower through the optimizing compiler by default
+        (:mod:`repro.session.compiler`); ``plan.run(compiled=...)`` overrides
+        per run."""
+        return self._compile_plans
 
     # ------------------------------------------------------------------ #
     def explain(self, query: "str | GraphSpec") -> str:

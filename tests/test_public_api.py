@@ -48,6 +48,7 @@ SESSION_ALL = [
     "AnalysisReport",
     "AnalysisResult",
     "Provenance",
+    "NodeProvenance",
     "PLAN_ALGORITHMS",
 ]
 
