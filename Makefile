@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast test-session bench bench-fig16 bench-fig17 smoke all help
+.PHONY: test test-fast test-session test-service bench bench-fig16 bench-fig17 bench-fig18 smoke serve-smoke all help
 
 help:
 	@echo "make test         - fast unit/integration suite (tests/)"
@@ -9,10 +9,14 @@ help:
 	@echo "                    kernel backend (python reference leg + numpy leg)"
 	@echo "make test-session - session layer: lifecycle, API-compat shims,"
 	@echo "                    public-API stability, CLI, plan scheduling"
+	@echo "make test-service - service layer: JSON codec, result cache, HTTP"
+	@echo "                    front-end, session concurrency regressions"
 	@echo "make bench        - paper benchmark reproductions (benchmarks/, slow)"
 	@echo "make bench-fig16  - plan-level scheduling vs per-request parallel path"
 	@echo "make bench-fig17  - optimizing plan compiler (shared-sweep DAG) vs per-request"
+	@echo "make bench-fig18  - service result cache: cached vs uncached req/s"
 	@echo "make smoke        - seconds-fast sanity subset (kernel, parity, algorithms)"
+	@echo "make serve-smoke  - boot 'repro serve' + concurrent HTTP clients end-to-end"
 	@echo "make all          - everything (tier-1 equivalent)"
 
 test:
@@ -36,9 +40,20 @@ bench-fig16:
 bench-fig17:
 	$(PYTEST) -q -rA benchmarks/test_bench_fig17_plan_compiler.py
 
+bench-fig18:
+	$(PYTEST) -q -rA benchmarks/test_bench_fig18_service.py
+
+test-service:
+	$(PYTEST) -q tests/test_service.py tests/test_service_http.py \
+		tests/test_session_concurrency.py
+
 smoke:
 	$(PYTEST) -q tests/test_kernel.py tests/test_representation_parity.py \
 		tests/test_algorithms.py tests/test_graph_representations.py
+
+serve-smoke:
+	$(PYTEST) -q tests/test_service_http.py::TestServeCommand \
+		tests/test_service_http.py::TestConcurrentClients
 
 all:
 	$(PYTEST) -q

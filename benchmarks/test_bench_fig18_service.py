@@ -1,0 +1,163 @@
+"""Figure 18 (new) — the graph service's result cache under client load.
+
+GraphGen is *used* as a front-end service: many analysts (or one dashboard
+refreshing) ask the same questions of one extracted graph.  PR 7's
+:mod:`repro.service` answers repeated questions from a session-level result
+cache keyed on (snapshot content hash, algorithm, canonical params,
+backend) — a cached request deserialises a stored
+:class:`~repro.session.AnalysisResult` instead of executing kernels, and
+bypasses admission control entirely.
+
+Measured here over a real loopback HTTP server with several concurrent
+client threads driving sustained request streams:
+
+* **uncached** — every request carries fresh parameters, so every request
+  misses the cache and executes a plan (the PR-6 cost, plus the wire);
+* **cached** — every request repeats one warmed entry, so every request is
+  a cache hit (wire + codec only).
+
+Asserted: the cached stream sustains **>= 5x** the uncached request rate,
+cached responses are bit-identical to the original execution, and the
+service's counters account for every request.  Results land in
+``benchmarks/results/fig18_service.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.datasets import COAUTHOR_QUERY, generate_dblp
+from repro.service import GraphService, decode_report, make_server, serve_in_thread
+from repro.session import GraphSession
+
+from benchmarks.conftest import record_rows
+
+REQUIRED_SPEEDUP = 5.0
+CLIENT_THREADS = 4
+UNCACHED_REQUESTS = 24
+CACHED_REQUESTS = 200
+
+_ROWS: list[dict[str, object]] = []
+
+
+def _post(base: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        f"{base}/analyze", data=json.dumps(payload).encode("utf-8"), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def _drive(base: str, payloads: list[dict]) -> tuple[float, list[dict]]:
+    """Fire ``payloads`` across CLIENT_THREADS concurrent clients; returns
+    (elapsed seconds, responses)."""
+    queue = list(enumerate(payloads))
+    responses: list[dict | None] = [None] * len(payloads)
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            with lock:
+                if not queue or errors:
+                    return
+                index, payload = queue.pop()
+            try:
+                responses[index] = _post(base, payload)
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                with lock:
+                    errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENT_THREADS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    assert all(response is not None for response in responses)
+    return elapsed, responses
+
+
+class TestFig18ServiceCache:
+    def test_cached_stream_sustains_5x_the_uncached_rate(self):
+        db = generate_dblp(
+            num_authors=500, num_publications=900, mean_authors_per_pub=4.0, seed=1
+        )
+        session = GraphSession(db, backend="python")
+        service = GraphService(
+            session,
+            session.graph(COAUTHOR_QUERY),
+            cache_size=max(256, UNCACHED_REQUESTS + 8),
+            max_inflight=CLIENT_THREADS,
+            max_queue=UNCACHED_REQUESTS + CACHED_REQUESTS,
+        )
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        serve_in_thread(server)
+        try:
+            # uncached stream: every request carries fresh parameters, so
+            # every request executes a plan
+            uncached_payloads = [
+                {
+                    "algorithm": "pagerank",
+                    "params": {"damping": round(0.5 + 0.001 * i, 6)},
+                }
+                for i in range(UNCACHED_REQUESTS)
+            ]
+            uncached_seconds, _ = _drive(base, uncached_payloads)
+            uncached_rps = UNCACHED_REQUESTS / uncached_seconds
+
+            # cached stream: one warmed entry, repeated
+            hot = {"algorithm": "pagerank", "params": {"damping": 0.85}}
+            reference = decode_report(_post(base, hot))
+            assert reference.cache["misses"] == 1
+            hits_before = service.cache.stats()["hits"]
+            cached_seconds, responses = _drive(
+                base, [hot] * CACHED_REQUESTS
+            )
+            cached_rps = CACHED_REQUESTS / cached_seconds
+            assert service.cache.stats()["hits"] - hits_before == CACHED_REQUESTS
+
+            # cached responses are bit-identical to the original execution
+            sample = decode_report(responses[0])
+            assert sample["pagerank"].provenance.snapshot_source == "result-cache"
+            assert repr(sample["pagerank"].values) == repr(
+                reference["pagerank"].values
+            )
+
+            speedup = cached_rps / uncached_rps
+            csr = service.handle.snapshot()
+            _ROWS.append(
+                {
+                    "graph": f"dblp coauthor (n={csr.n}, m={csr.num_edges})",
+                    "clients": CLIENT_THREADS,
+                    "uncached_rps": round(uncached_rps, 1),
+                    "cached_rps": round(cached_rps, 1),
+                    "speedup": f"{speedup:.1f}x",
+                    "note": f"asserted >= {REQUIRED_SPEEDUP:.0f}x, bit-identical",
+                }
+            )
+            assert speedup >= REQUIRED_SPEEDUP, (
+                f"cached stream only {speedup:.2f}x the uncached rate "
+                f"({cached_rps:.1f} vs {uncached_rps:.1f} req/s)"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            session.close()
+
+    def test_record_results(self):
+        record_rows(
+            "fig18_service",
+            "Figure 18 - service result cache: sustained req/s, cached vs "
+            "uncached streams (loopback HTTP, python backend)",
+            _ROWS,
+        )

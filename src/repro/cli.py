@@ -189,6 +189,76 @@ def build_parser() -> argparse.ArgumentParser:
                 "nodes each request computed vs reused)",
             )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the extracted graph over HTTP with a session result cache",
+    )
+    _add_source_arguments(serve)
+    _add_query_arguments(serve)
+    serve.add_argument(
+        "--representation",
+        choices=REPRESENTATIONS,
+        default="cdup",
+        help="in-memory representation to build (default: cdup)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks a free one and prints it (default: 0)",
+    )
+    serve.add_argument(
+        "--snapshot-cache",
+        metavar="DIR",
+        help="directory of persisted CSR snapshots; defaults to a temporary "
+        "directory when --parallel > 1 (workers mmap the snapshot file)",
+    )
+    serve.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per plan; the service keeps one warm pool "
+        "shared across requests (default: 1)",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        metavar="{python,numpy,auto}",
+        help="kernel backend executing served analyses (default: the "
+        "REPRO_KERNEL_BACKEND environment variable, else auto)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="result-cache capacity in entries, LRU-evicted (default: 128)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="uncached analyses executing concurrently (default: 4)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="uncached analyses allowed to wait for a slot before the "
+        "service answers 503 (default: 16)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shut down after serving N requests (smoke tests; default: run forever)",
+    )
+
     return parser
 
 
@@ -470,11 +540,73 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# serve: the repro.service HTTP front-end
+# --------------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import tempfile
+
+    from repro.service import GraphService, make_server
+
+    _parallelism(args)
+    try:
+        get_backend(args.backend)
+    except UsageError as exc:
+        source = "--backend" if args.backend is not None else BACKEND_ENV_VAR
+        raise UsageError(f"{source}: {exc}") from None
+    db = _resolve_database(args)
+    query = _resolve_query(args)
+
+    # parallel plans need a snapshot *file* for workers to mmap; without a
+    # user-provided store, give the service a private temporary one so every
+    # request shares one file instead of re-writing a tempfile per plan
+    snapshot_cache = args.snapshot_cache
+    temp_store = None
+    if snapshot_cache is None and args.parallel > 1:
+        temp_store = tempfile.TemporaryDirectory(prefix="ggserve-")
+        snapshot_cache = temp_store.name
+
+    session = GraphSession(
+        db,
+        snapshot_cache=snapshot_cache,
+        backend=args.backend,
+        parallelism=args.parallel,
+        warm_pool=True,
+    )
+    try:
+        handle = session.graph(
+            query, representation=args.representation, key=_snapshot_cache_key(args, query)
+        )
+        service = GraphService(
+            session,
+            handle,
+            cache_size=args.cache_size,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+        )
+        server = make_server(service, args.host, args.port, max_requests=args.max_requests)
+        host, port = server.server_address[:2]
+        # machine-readable boot line: smoke tests (and humans) parse the port
+        print(f"serving on http://{host}:{port}", file=out, flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            server.server_close()
+    finally:
+        session.close()
+        if temp_store is not None:
+            temp_store.cleanup()
+    return 0
+
+
 COMMANDS = {
     "datasets": _cmd_datasets,
     "extract": _cmd_extract,
     "explain": _cmd_explain,
     "analyze": _cmd_analyze,
+    "serve": _cmd_serve,
 }
 
 

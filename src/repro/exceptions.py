@@ -66,3 +66,8 @@ class UsageError(GraphGenError):
     """A user-supplied configuration value is invalid (bad CLI flag value,
     unknown kernel backend name, ...); reported as a message, never a
     traceback."""
+
+
+class ServiceOverloadedError(GraphGenError):
+    """The graph service's admission controller rejected a request because
+    every execution slot is busy and the wait queue is full (HTTP 503)."""

@@ -79,6 +79,7 @@ import pickle
 import re
 import struct
 import sys
+import threading
 from array import array
 from dataclasses import dataclass
 from pathlib import Path
@@ -99,9 +100,23 @@ _ITEM = 8  # bytes per offsets/targets element
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
 #: cumulative :func:`save_snapshot` calls in this process (tempfile and store
-#: writes alike) — the plan scheduler reads deltas of this to report, and its
-#: tests to assert, "at most one snapshot file written per plan"
+#: writes alike) — single-threaded tests read deltas of this to assert "at
+#: most one snapshot file written per plan"; incremented under a lock
 SAVE_COUNT = 0
+
+_COUNTER_LOCK = threading.Lock()
+_THREAD_COUNTERS = threading.local()
+
+
+def saves_in_thread() -> int:
+    """Cumulative :func:`save_snapshot` calls *made by the current thread*.
+
+    The per-plan ``report.snapshot_writes`` counter is a delta of this value,
+    so plans running concurrently in one process (the graph service) never
+    see each other's writes, while hidden per-request writes anywhere in the
+    calling thread's stack are still caught.
+    """
+    return getattr(_THREAD_COUNTERS, "saves", 0)
 
 
 @dataclass(frozen=True)
@@ -187,7 +202,9 @@ def save_snapshot(csr: "CSRGraph", path: str | os.PathLike) -> Path:
     cheaply decide whether the file still matches the live graph.
     """
     global SAVE_COUNT
-    SAVE_COUNT += 1
+    with _COUNTER_LOCK:
+        SAVE_COUNT += 1
+    _THREAD_COUNTERS.saves = getattr(_THREAD_COUNTERS, "saves", 0) + 1
     path = Path(path)
     codec_bytes = encode_codec(csr.external_ids)
     content_hash = csr.content_hash
@@ -385,14 +402,19 @@ class SnapshotStore:
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        #: outcome of the most recent :meth:`load_or_build` — ``"hit"`` (file
-        #: matched; the mmap load was returned), ``"stale"`` (file existed but
-        #: was unreadable or its hash no longer matched; rewritten) or
-        #: ``"miss"`` (no file; written).  ``None`` before the first call.
+        #: outcome of the most recent :meth:`fetch` in *any* thread — ``"hit"``
+        #: (file matched; the mmap load was returned), ``"stale"`` (file
+        #: existed but was unreadable or its hash no longer matched;
+        #: rewritten) or ``"miss"`` (no file; written).  ``None`` before the
+        #: first call.  Kept for observability; concurrent callers must use
+        #: the outcome :meth:`fetch` *returns* instead of reading this back
+        #: (a second thread's fetch may land in between)
         self.last_outcome: str | None = None
-        #: cumulative :meth:`load_or_build` outcome counts — the provenance
-        #: instrumentation the session layer and its tests read
+        #: cumulative :meth:`fetch` outcome counts — the provenance
+        #: instrumentation the session layer and its tests read; mutated under
+        #: a lock, so totals stay exact under concurrent plans
         self.counters: dict[str, int] = {"hit": 0, "stale": 0, "miss": 0}
+        self._lock = threading.Lock()
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{_slug(key)}.csr"
@@ -407,7 +429,15 @@ class SnapshotStore:
         return load_snapshot(self.path_for(key), mmap=mmap, verify=verify)
 
     def load_or_build(self, graph: "Graph", key: str, *, mmap: bool = True) -> "CSRGraph":
-        """The current snapshot of ``graph``, backed by the store.
+        """The current snapshot of ``graph``, backed by the store (see
+        :meth:`fetch`, which additionally returns the per-call outcome)."""
+        return self.fetch(graph, key, mmap=mmap)[0]
+
+    def fetch(
+        self, graph: "Graph", key: str, *, mmap: bool = True
+    ) -> "tuple[CSRGraph, str]":
+        """The current snapshot of ``graph``, backed by the store, plus this
+        call's outcome: ``(snapshot, "hit" | "stale" | "miss")``.
 
         Correctness-first caching: this *builds* (or reuses the in-process
         cache of) the graph's snapshot to compare content hashes, so it never
@@ -416,6 +446,11 @@ class SnapshotStore:
         on a hash match the mmap-backed load is adopted as the graph's cached
         snapshot (shared physical memory, and the heap copy can be freed).
         The returned snapshot keeps ``graph`` as its property source.
+
+        The outcome is *returned* rather than left in shared store state:
+        with concurrent plans in one process (the graph service), a
+        read-back of :attr:`last_outcome` could observe another thread's
+        fetch instead of this one's.
         """
         snap = graph.snapshot()
         path = self.path_for(key)
@@ -426,13 +461,15 @@ class SnapshotStore:
                 if header.content_hash == snap.content_hash:
                     loaded = load_snapshot(path, mmap=mmap, verify=False, source=graph)
                     self._record("hit")
-                    return graph.adopt_snapshot(loaded)
+                    return graph.adopt_snapshot(loaded), "hit"
             except SnapshotFormatError:
                 pass  # unreadable/stale file: fall through and rewrite it
         save_snapshot(snap, path)
-        self._record("stale" if existed else "miss")
-        return snap
+        outcome = "stale" if existed else "miss"
+        self._record(outcome)
+        return snap, outcome
 
     def _record(self, outcome: str) -> None:
-        self.last_outcome = outcome
-        self.counters[outcome] += 1
+        with self._lock:
+            self.last_outcome = outcome
+            self.counters[outcome] += 1

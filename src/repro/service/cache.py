@@ -1,0 +1,115 @@
+"""Session-level analysis result cache for the graph service.
+
+The paper's workload is "extract once, analyze many times" — and a *served*
+graph pushes that one step further: many clients ask the same questions of
+the same snapshot.  :class:`ResultCache` memoises finished
+:class:`~repro.session.AnalysisResult` objects under a key that pins down
+everything that could change the answer:
+
+    (snapshot content hash, algorithm name, canonicalized parameters,
+     kernel backend)
+
+The **content hash** term is what makes invalidation automatic: a mutation
+(``add_edge``) bumps the graph's version, the next snapshot has a new hash,
+and every request computes a key no stale entry can match.  Entries under
+superseded hashes are additionally evicted eagerly (``invalidate``) so a
+long-lived service does not accumulate results for graphs that no longer
+exist.  **Canonicalized parameters** (sorted ``key=repr(value)`` pairs over
+the *effective* params, defaults filled in) make ``pagerank()`` and
+``pagerank(damping=0.85)`` the same entry — the same normalisation the plan
+compiler uses for its structural node keys.
+
+Capacity is bounded LRU; all operations are lock-guarded because the
+service's HTTP front-end drives this from many request threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.session.report import AnalysisResult
+
+
+def canonical_params(params: dict[str, Any]) -> str:
+    """Order-insensitive token for an effective parameter dict, e.g.
+    ``"damping=0.85, max_iterations=50, tolerance=1e-09"``."""
+    return ", ".join(f"{key}={value!r}" for key, value in sorted(params.items()))
+
+
+def result_key(
+    content_hash: bytes, algorithm: str, params: dict[str, Any], backend: str
+) -> tuple[str, str, str, str]:
+    """The full cache key for one analysis request (see module docstring)."""
+    return (content_hash.hex(), algorithm, canonical_params(params), backend)
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU of finished analysis results."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be at least 1 (got {capacity})")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, AnalysisResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: monotonic observability counters (exposed via /stats and in every
+        #: service report's ``cache`` dict)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: tuple) -> AnalysisResult | None:
+        """The cached result for ``key`` (refreshing its LRU position), or
+        None — counted as a hit or a miss."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: tuple, result: AnalysisResult) -> None:
+        """Insert (or refresh) ``key``, evicting the least recently used
+        entry when over capacity."""
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, content_hash: bytes | str) -> int:
+        """Drop every entry cached against ``content_hash`` (a superseded
+        snapshot); returns how many were removed."""
+        digest = content_hash.hex() if isinstance(content_hash, bytes) else content_hash
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == digest]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (the dict service reports carry as ``cache``)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+            }

@@ -81,8 +81,7 @@ from repro.session.report import (
     NodeProvenance,
     Provenance,
 )
-from repro.session.scheduler import PlanWorkerFactory
-from repro.vertexcentric.parallel import ParallelSuperstepExecutor
+from repro.vertexcentric.parallel import pool_starts_in_thread
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.backend.python_backend import KernelBackend
@@ -622,8 +621,10 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
 
     started = time.perf_counter()
     builds_before = handle.builds
-    pool_starts_before = ParallelSuperstepExecutor.started_total
-    writes_before = snapshot_store.SAVE_COUNT
+    # thread-local deltas: concurrent plans in one process (the graph
+    # service) must each report only their own forks and writes
+    pool_starts_before = pool_starts_in_thread()
+    writes_before = snapshot_store.saves_in_thread()
 
     tick = time.perf_counter()
     csr = handle.snapshot()
@@ -642,6 +643,7 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
         CompilerCounters.nodes_computed += 1
 
     pool = None
+    release_pool = None
     snapshot_path: str | None = None
     cleanup_path: str | None = None
     try:
@@ -653,9 +655,9 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                 os.close(fd)
                 cleanup_path = snapshot_path
                 csr.save(snapshot_path)
-            pool = ParallelSuperstepExecutor(
-                parallelism, csr.n, PlanWorkerFactory(snapshot_path, backend.name)
-            ).start()
+            pool, release_pool = session.acquire_pool(
+                csr.n, snapshot_path, csr.content_hash, backend.name
+            )
 
         # concurrent serial-kernel nodes first, longest-first (cost-model
         # makespan ordering; map_tasks returns results in argument order)
@@ -777,8 +779,8 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                 )
             )
     finally:
-        if pool is not None:
-            pool.close()
+        if release_pool is not None:
+            release_pool()
         if cleanup_path is not None:
             try:
                 os.unlink(cleanup_path)
@@ -803,8 +805,8 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
         ),
         total_seconds=time.perf_counter() - started,
         snapshot_builds=handle.builds - builds_before,
-        pool_starts=ParallelSuperstepExecutor.started_total - pool_starts_before,
-        snapshot_writes=snapshot_store.SAVE_COUNT - writes_before,
+        pool_starts=pool_starts_in_thread() - pool_starts_before,
+        snapshot_writes=snapshot_store.saves_in_thread() - writes_before,
         nodes_computed=computed_total,
         nodes_reused=reused_total,
     )

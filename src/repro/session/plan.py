@@ -73,8 +73,7 @@ from repro.algorithms.triangles import average_clustering_kernel, count_triangle
 from repro.exceptions import RepresentationError, UsageError
 from repro.graph import snapshot_store
 from repro.session.report import AnalysisReport, AnalysisResult, Provenance
-from repro.session.scheduler import PlanWorkerFactory
-from repro.vertexcentric.parallel import ParallelSuperstepExecutor, partition_range
+from repro.vertexcentric.parallel import partition_range, pool_starts_in_thread
 from repro.vertexcentric.programs import (
     run_connected_components,
     run_degree,
@@ -656,8 +655,10 @@ class AnalysisPlan:
 
         started = time.perf_counter()
         builds_before = handle.builds
-        pool_starts_before = ParallelSuperstepExecutor.started_total
-        writes_before = snapshot_store.SAVE_COUNT
+        # thread-local deltas: concurrent plans in one process (the graph
+        # service) must each report only their own forks and writes
+        pool_starts_before = pool_starts_in_thread()
+        writes_before = snapshot_store.saves_in_thread()
         csr = handle.snapshot()
         snapshot_source = handle.snapshot_source
 
@@ -675,6 +676,7 @@ class AnalysisPlan:
             ]
 
         pool = None
+        release_pool = None
         snapshot_path: str | None = None
         cleanup_path: str | None = None
         try:
@@ -688,9 +690,9 @@ class AnalysisPlan:
                     os.close(fd)
                     cleanup_path = snapshot_path
                     csr.save(snapshot_path)
-                pool = ParallelSuperstepExecutor(
-                    parallelism, csr.n, PlanWorkerFactory(snapshot_path, backend.name)
-                ).start()
+                pool, release_pool = session.acquire_pool(
+                    csr.n, snapshot_path, csr.content_hash, backend.name
+                )
 
             # independent serial-kernel requests first, load-balanced across
             # the whole worker budget; results keep their plan positions
@@ -760,8 +762,8 @@ class AnalysisPlan:
                     )
                 )
         finally:
-            if pool is not None:
-                pool.close()
+            if release_pool is not None:
+                release_pool()
             if cleanup_path is not None:
                 try:
                     os.unlink(cleanup_path)
@@ -778,6 +780,6 @@ class AnalysisPlan:
             ),
             total_seconds=time.perf_counter() - started,
             snapshot_builds=handle.builds - builds_before,
-            pool_starts=ParallelSuperstepExecutor.started_total - pool_starts_before,
-            snapshot_writes=snapshot_store.SAVE_COUNT - writes_before,
+            pool_starts=pool_starts_in_thread() - pool_starts_before,
+            snapshot_writes=snapshot_store.saves_in_thread() - writes_before,
         )

@@ -117,19 +117,25 @@ class AnalysisReport:
     snapshot_builds: int = 0
     #: worker pools forked during this run — the plan scheduler's contract is
     #: at most 1 per plan, shared by every pool-dispatched request.  Measured
-    #: as a delta of process-global instrumentation so hidden per-request
-    #: forks anywhere in the stack are caught; plans running concurrently in
-    #: one process would therefore see each other's counts
+    #: as a delta of *thread-local* instrumentation so hidden per-request
+    #: forks anywhere in the stack are still caught, while plans running
+    #: concurrently in one process (the graph service) each see only their
+    #: own counts
     pool_starts: int = 0
     #: snapshot files written during this run (store writes and the
-    #: store-less tempfile alike) — at most 1 per plan; process-global delta,
-    #: same caveat as :attr:`pool_starts`
+    #: store-less tempfile alike) — at most 1 per plan; thread-local delta,
+    #: same scoping as :attr:`pool_starts`
     snapshot_writes: int = 0
     #: DAG nodes the compiled run executed (0 for uncompiled runs)
     nodes_computed: int = 0
     #: reuse events: closure entries that resolved to an already-available
     #: node (CSE hits, duplicate requests, cached snapshots)
     nodes_reused: int = 0
+    #: service-level result-cache / admission counters for reports assembled
+    #: by :mod:`repro.service` (e.g. ``{"hits": 2, "misses": 1,
+    #: "queue_depth": 0}``); None for reports produced by a plain
+    #: ``AnalysisPlan.run()``
+    cache: dict[str, int] | None = None
 
     def __iter__(self) -> Iterator[AnalysisResult]:
         return iter(self.results)
@@ -137,10 +143,13 @@ class AnalysisReport:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __contains__(self, key: str) -> bool:
+    def __contains__(self, key: str | int) -> bool:
+        # __getitem__ raises KeyError for unknown labels but IndexError for
+        # out-of-range int positions (including negative ones); membership
+        # must swallow both — ``5 in report`` is a question, not a mistake
         try:
             self[key]
-        except KeyError:
+        except (KeyError, IndexError):
             return False
         return True
 
@@ -184,6 +193,11 @@ class AnalysisReport:
                 f"{len(self.results)} algorithm(s), "
                 f"{self.snapshot_builds} snapshot build(s), "
                 f"{self.total_seconds:.3f}s total"
+            )
+        if self.cache is not None:
+            lines.append(
+                "  result cache: "
+                + " ".join(f"{key}={value}" for key, value in sorted(self.cache.items()))
             )
         for result in self.results:
             lines.append(

@@ -39,12 +39,13 @@ The master half (routing, pool lifecycle, merges) lives in
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.graph.backend import get_backend
 from repro.graph.kernel import CSRGraph
-from repro.vertexcentric.parallel import VertexChunkWorker
+from repro.vertexcentric.parallel import ParallelSuperstepExecutor, VertexChunkWorker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.backend.python_backend import KernelBackend
@@ -166,6 +167,73 @@ class PlanWorker:
         except (UsageError, RepresentationError) as exc:
             return ("error", exc)
         return ("ok", time.perf_counter() - started, values)
+
+
+class SharedPoolManager:
+    """One warm :class:`PlanWorker` pool shared across plans (and across
+    service request threads) of a ``warm_pool=True`` session.
+
+    A pool's worker processes are stateful (installed superstep programs,
+    pipe protocol), so at most one plan may drive a pool at a time:
+    :meth:`acquire` blocks until the pool is free, then hands out the cached
+    executor when the *identity key* — snapshot path, snapshot content hash,
+    parallelism, worker geometry, backend — still matches, re-forking only on
+    a mismatch (e.g. the dataset was mutated, so the content hash moved).
+    The returned ``release`` merely frees the lease; worker processes stay
+    alive, keeping their mmap of the snapshot file warm for the next plan.
+
+    ``os.replace`` on the snapshot file keeps the old inode alive for
+    existing mmaps, which is exactly why the content hash must be part of the
+    key: workers holding the *old* mapping would silently serve stale arrays
+    after a store rewrite.
+    """
+
+    def __init__(self) -> None:
+        self._busy = threading.Lock()
+        self._pool: ParallelSuperstepExecutor | None = None
+        self._key: tuple | None = None
+        #: observability: pools forked vs leases served from the warm pool
+        self.counters = {"forks": 0, "reuses": 0, "leases": 0}
+
+    def acquire(
+        self,
+        parallelism: int,
+        num_items: int,
+        snapshot_path: str,
+        content_hash: bytes,
+        backend_name: str | None,
+    ):
+        """Blocks until the warm pool is free; returns ``(pool, release)``."""
+        self._busy.acquire()
+        key = (str(snapshot_path), content_hash, parallelism, num_items, backend_name)
+        try:
+            self.counters["leases"] += 1
+            if self._pool is None or self._key != key:
+                if self._pool is not None:
+                    self._pool.close()
+                    self._pool = None
+                self._pool = ParallelSuperstepExecutor(
+                    parallelism, num_items, PlanWorkerFactory(snapshot_path, backend_name)
+                ).start()
+                self._key = key
+                self.counters["forks"] += 1
+            else:
+                self.counters["reuses"] += 1
+        except BaseException:
+            self._busy.release()
+            raise
+        return self._pool, self._release
+
+    def _release(self) -> None:
+        self._busy.release()
+
+    def close(self) -> None:
+        """Shut the warm pool down (blocks until any active lease returns)."""
+        with self._busy:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+                self._key = None
 
 
 class PlanWorkerFactory:

@@ -33,6 +33,7 @@ the store detects the stale file by content hash and rewrites it).
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import TYPE_CHECKING, Any
 
 from repro.core.config import ExtractionOptions
@@ -82,6 +83,10 @@ class GraphHandle:
         self.extraction = extraction
         self._builds = 0
         self._snapshot_source: str | None = None
+        # serialises snapshot builds/persists across service request threads:
+        # concurrent analyses of one dataset share one build instead of
+        # racing to produce two (RLock: persist() calls snapshot())
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -96,10 +101,11 @@ class GraphHandle:
         mutation; the store then detects the stale file by hash and rewrites
         it, exactly like extracted handles).
         """
-        if self._store_key is None:
-            digest = self.graph.snapshot().content_hash.hex()[:16]
-            self._store_key = f"wrapped_{self.representation}_{digest}"
-        return self._store_key
+        with self._lock:
+            if self._store_key is None:
+                digest = self.graph.snapshot().content_hash.hex()[:16]
+                self._store_key = f"wrapped_{self.representation}_{digest}"
+            return self._store_key
 
     @property
     def builds(self) -> int:
@@ -123,19 +129,23 @@ class GraphHandle:
         rebuilt snapshot is loaded zero-copy (``"mmap"``), anything else is
         (re)written from the fresh heap build (``"heap"``).
         """
-        cached = self.graph.cached_snapshot()
-        if cached is not None:
-            self._snapshot_source = "cache-hit"
-            return cached
-        store = self.session.store
-        if store is not None:
-            csr = store.load_or_build(self.graph, self.store_key)
-            self._snapshot_source = "mmap" if store.last_outcome == "hit" else "heap"
-        else:
-            csr = self.graph.snapshot()
-            self._snapshot_source = "heap"
-        self._builds += 1
-        return csr
+        with self._lock:
+            cached = self.graph.cached_snapshot()
+            if cached is not None:
+                self._snapshot_source = "cache-hit"
+                return cached
+            store = self.session.store
+            if store is not None:
+                # the per-call outcome, not a read-back of shared store state:
+                # another thread's fetch on the same store could land between
+                # the two (see SnapshotStore.fetch)
+                csr, outcome = store.fetch(self.graph, self.store_key)
+                self._snapshot_source = "mmap" if outcome == "hit" else "heap"
+            else:
+                csr = self.graph.snapshot()
+                self._snapshot_source = "heap"
+            self._builds += 1
+            return csr
 
     def persist(self) -> str | None:
         """Make sure the session store holds this handle's current snapshot;
@@ -147,7 +157,8 @@ class GraphHandle:
         store = self.session.store
         if store is None:
             return None
-        return str(ensure_saved(self.snapshot(), store.path_for(self.store_key)))
+        with self._lock:
+            return str(ensure_saved(self.snapshot(), store.path_for(self.store_key)))
 
     # ------------------------------------------------------------------ #
     def analyze(self) -> AnalysisPlan:
@@ -182,6 +193,7 @@ class GraphSession:
         backend: str | None = None,
         parallelism: int = 1,
         compile_plans: bool = True,
+        warm_pool: bool = False,
         options: ExtractionOptions | None = None,
         **option_overrides: Any,
     ) -> None:
@@ -195,6 +207,15 @@ class GraphSession:
         self._parallelism = parallelism
         self._compile_plans = compile_plans
         self._handles: dict[Any, GraphHandle] = {}
+        self._wrapped: dict[tuple[int, str | None], GraphHandle] = {}
+        # guards the handle memos against concurrent service request threads
+        self._memo_lock = threading.Lock()
+        if warm_pool:
+            from repro.session.scheduler import SharedPoolManager
+
+            self._pool_manager: "SharedPoolManager | None" = SharedPoolManager()
+        else:
+            self._pool_manager = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -227,6 +248,53 @@ class GraphSession:
         per run."""
         return self._compile_plans
 
+    @property
+    def pool_manager(self):
+        """The session's :class:`~repro.session.scheduler.SharedPoolManager`
+        when constructed with ``warm_pool=True``, else None."""
+        return self._pool_manager
+
+    # ------------------------------------------------------------------ #
+    def acquire_pool(
+        self, num_items: int, snapshot_path: str, content_hash: bytes, backend_name: str
+    ):
+        """A started :class:`~repro.vertexcentric.parallel.ParallelSuperstepExecutor`
+        of :class:`~repro.session.scheduler.PlanWorker` processes over
+        ``snapshot_path``, plus a ``release()`` callable the plan must invoke
+        when done.
+
+        Default sessions fork a fresh pool per plan and ``release`` closes
+        it — exactly the PR-5 lifecycle.  ``warm_pool=True`` sessions (the
+        graph service) keep one pool alive across plans: ``release`` merely
+        returns the lease, and the same worker processes (and their mmap of
+        the snapshot file) serve the next plan, re-forking only when the
+        snapshot's content hash, path, or the worker geometry changes.
+        """
+        from repro.session.scheduler import PlanWorkerFactory
+
+        if self._pool_manager is not None:
+            return self._pool_manager.acquire(
+                self._parallelism, num_items, snapshot_path, content_hash, backend_name
+            )
+        from repro.vertexcentric.parallel import ParallelSuperstepExecutor
+
+        pool = ParallelSuperstepExecutor(
+            self._parallelism, num_items, PlanWorkerFactory(snapshot_path, backend_name)
+        ).start()
+        return pool, pool.close
+
+    def close(self) -> None:
+        """Release session-owned process resources (the warm worker pool, if
+        any).  Idempotent; a closed session can still run inline plans."""
+        if self._pool_manager is not None:
+            self._pool_manager.close()
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     def explain(self, query: "str | GraphSpec") -> str:
         """Human-readable extraction plan plus generated SQL (no execution)."""
@@ -257,28 +325,43 @@ class GraphSession:
             key,
             tuple(sorted(extract_kwargs.items())),
         )
-        handle = self._handles.get(memo_key)
-        if handle is None:
-            result = self._graphgen.extract_with_report(
-                query, representation=representation, **extract_kwargs
-            )
-            store_key = key or self._store_key(query, result.representation, extract_kwargs)
-            handle = GraphHandle(
-                self, result.graph, result.representation, store_key, extraction=result
-            )
-            self._handles[memo_key] = handle
+        with self._memo_lock:
+            handle = self._handles.get(memo_key)
+            if handle is None:
+                result = self._graphgen.extract_with_report(
+                    query, representation=representation, **extract_kwargs
+                )
+                store_key = key or self._store_key(query, result.representation, extract_kwargs)
+                handle = GraphHandle(
+                    self, result.graph, result.representation, store_key, extraction=result
+                )
+                self._handles[memo_key] = handle
         return handle
 
     def wrap(self, graph: "Graph", *, key: str | None = None) -> GraphHandle:
         """Adopt an already-built :class:`~repro.graph.api.Graph` into this
         session (it gains a store-backed snapshot and ``analyze()``).
 
+        Wrapped handles are memoised by graph identity and ``key``: wrapping
+        the same live graph object twice returns the *same* handle, so
+        build-count provenance and per-dataset sharing (one snapshot, one
+        warm pool in the service) survive repeated ``wrap()`` calls instead
+        of resetting on every fresh handle.  The memo holds the handle (and
+        through it the graph) alive, so an ``id()`` is never recycled while
+        its entry exists.
+
         Without an explicit ``key`` the store key is derived lazily from the
         representation and the first snapshot's content hash (see
         :attr:`GraphHandle.store_key`), so wrapping an equal graph in any
         session or process hits the same cached ``.csr`` file.
         """
-        return GraphHandle(self, graph, graph.representation_name, key)
+        memo_key = (id(graph), key)
+        with self._memo_lock:
+            handle = self._wrapped.get(memo_key)
+            if handle is None or handle.graph is not graph:
+                handle = GraphHandle(self, graph, graph.representation_name, key)
+                self._wrapped[memo_key] = handle
+        return handle
 
     # ------------------------------------------------------------------ #
     def _store_key(

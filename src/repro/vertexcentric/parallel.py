@@ -37,6 +37,7 @@ Workers implement two methods: ``run_superstep(payload) -> result`` and
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import traceback
 from array import array
 from typing import Any, Callable, Sequence
@@ -44,6 +45,22 @@ from typing import Any, Callable, Sequence
 from repro.exceptions import VertexCentricError
 from repro.graph.backend import get_backend
 from repro.graph.kernel import CSRGraph
+
+#: guards the process-global start counter (plans may run concurrently in
+#: one process — the graph service runs one per request thread)
+_COUNTER_LOCK = threading.Lock()
+_THREAD_COUNTERS = threading.local()
+
+
+def pool_starts_in_thread() -> int:
+    """Cumulative successful pool starts *triggered by the current thread*.
+
+    The per-plan ``report.pool_starts`` counter is a delta of this value, so
+    plans running concurrently in one process (the graph service) never see
+    each other's forks, while hidden per-request pools started anywhere in
+    the calling thread's stack are still caught.
+    """
+    return getattr(_THREAD_COUNTERS, "started", 0)
 
 
 def partition_range(n: int, parts: int) -> list[tuple[int, int]]:
@@ -214,7 +231,9 @@ class ParallelSuperstepExecutor:
             self.close()
             raise
         self._started = True
-        ParallelSuperstepExecutor.started_total += 1
+        with _COUNTER_LOCK:
+            ParallelSuperstepExecutor.started_total += 1
+        _THREAD_COUNTERS.started = getattr(_THREAD_COUNTERS, "started", 0) + 1
         return self
 
     def __enter__(self) -> "ParallelSuperstepExecutor":

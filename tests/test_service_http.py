@@ -1,0 +1,308 @@
+"""Tests for the service's HTTP front-end (real sockets, stdlib client).
+
+Boots :class:`repro.service.GraphServiceServer` in-process on a loopback
+port and talks to it with ``urllib`` — the same wire a curl user sees.
+Covers the route table, the error contract (4xx one-line JSON messages,
+never a traceback; 503 on admission refusal), concurrent clients sharing
+one result cache, the mutation endpoint, bounded-lifetime shutdown
+(``max_requests``), and finally the CLI ``serve`` command end-to-end in a
+subprocess (the same path ``make serve-smoke`` drives).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.service import GraphService, decode_report, make_server, serve_in_thread
+from repro.session import GraphSession
+from tests.conftest import COAUTHOR_QUERY
+from tests.test_session import make_db
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def http_get(base: str, path: str):
+    with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def http_post(base: str, path: str, body) -> tuple[int, dict]:
+    data = body if isinstance(body, bytes) else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(f"{base}{path}", data=data, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture
+def served(tmp_path):
+    """(base_url, service, server): a live loopback server over the toy
+    DBLP graph, torn down after the test."""
+    session = GraphSession(
+        make_db(), backend="python", snapshot_cache=str(tmp_path / "snaps")
+    )
+    service = GraphService(session, session.graph(COAUTHOR_QUERY))
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    serve_in_thread(server)
+    try:
+        yield f"http://{host}:{port}", service, server
+    finally:
+        server.shutdown()
+        server.server_close()
+        session.close()
+
+
+class TestRoutes:
+    def test_health(self, served):
+        base, _, _ = served
+        status, body = http_get(base, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["database"] == "toy_dblp"
+
+    def test_algorithms(self, served):
+        base, _, _ = served
+        status, body = http_get(base, "/algorithms")
+        assert status == 200
+        assert body["bfs"]["params"]["source"] == "<required>"
+
+    def test_analyze_round_trip_and_cache_hit(self, served):
+        base, _, _ = served
+        payload = {
+            "algorithms": [
+                {"name": "pagerank"},
+                {"name": "bfs", "params": {"source": 1}},
+            ]
+        }
+        status, body = http_post(base, "/analyze", payload)
+        assert status == 200
+        first = decode_report(body)
+        assert first.cache == {"hits": 0, "misses": 2, "queue_depth": 0}
+        # bfs distances decode with int vertex keys, not JSON strings
+        assert first["bfs"].values[1] == 0
+
+        status, body = http_post(base, "/analyze", payload)
+        assert status == 200
+        second = decode_report(body)
+        assert second.cache == {"hits": 2, "misses": 0, "queue_depth": 0}
+        assert second["pagerank"].provenance.snapshot_source == "result-cache"
+        # bit-identical floats across the wire, fresh and cached alike
+        assert repr(second["pagerank"].values) == repr(first["pagerank"].values)
+
+    def test_edges_moves_the_cache_epoch(self, served):
+        base, _, _ = served
+        http_post(base, "/analyze", {"algorithm": "triangles"})
+        status, body = http_post(base, "/edges", {"source": 7, "target": 1})
+        assert status == 200
+        assert body["content_hash"] != body["old_content_hash"]
+        assert body["invalidated"] == 1
+        status, body = http_post(base, "/analyze", {"algorithm": "triangles"})
+        assert decode_report(body).cache["misses"] == 1
+
+    def test_stats_reflect_traffic(self, served):
+        base, _, _ = served
+        http_post(base, "/analyze", {"algorithm": "degree"})
+        http_post(base, "/analyze", {"algorithm": "degree"})
+        status, body = http_get(base, "/stats")
+        assert status == 200
+        assert body["cache"]["hits"] == 1
+        assert body["admission"]["requests"] == 2
+
+
+class TestErrorContract:
+    def test_unknown_algorithm_is_400_one_liner(self, served):
+        base, _, _ = served
+        status, body = http_post(base, "/analyze", {"algorithm": "nope"})
+        assert status == 400
+        assert "unknown algorithm 'nope'" in body["error"]
+        assert "\n" not in body["error"]
+        assert "Traceback" not in body["error"]
+
+    def test_bad_params_is_400(self, served):
+        base, _, _ = served
+        status, body = http_post(
+            base, "/analyze", {"algorithm": "pagerank", "params": {"damping": 2.0}}
+        )
+        assert status == 400
+        assert "damping must be in" in body["error"]
+
+    def test_invalid_json_body_is_400(self, served):
+        base, _, _ = served
+        status, body = http_post(base, "/analyze", b"{not json")
+        assert status == 400
+        assert "not valid JSON" in body["error"]
+
+    def test_empty_body_is_400(self, served):
+        base, _, _ = served
+        status, body = http_post(base, "/analyze", b"")
+        assert status == 400
+        assert "empty" in body["error"]
+
+    def test_unknown_paths_are_404(self, served):
+        base, _, _ = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/nope", timeout=30)
+        assert excinfo.value.code == 404
+        status, body = http_post(base, "/nope", {})
+        assert status == 404
+
+    def test_admission_refusal_is_503(self, served):
+        base, service, _ = served
+        # hold the service's only-ish slots so an uncached request queues...
+        held = 0
+        while service._slots.acquire(blocking=False):
+            held += 1
+        service._max_queue = 0  # ...and a zero queue bound means refusal
+        try:
+            status, body = http_post(base, "/analyze", {"algorithm": "kcore"})
+            assert status == 503
+            assert "service overloaded" in body["error"]
+        finally:
+            for _ in range(held):
+                service._leave()
+
+
+class TestConcurrentClients:
+    def test_many_threads_one_execution(self, served):
+        """N concurrent identical requests: every response is bit-identical,
+        and the cache shows exactly one miss once the dust settles."""
+        base, service, _ = served
+        payload = {"algorithm": "pagerank"}
+        http_post(base, "/analyze", payload)  # warm the entry
+
+        clients, responses, errors = 8, [], []
+        barrier = threading.Barrier(clients, timeout=30)
+
+        def client():
+            try:
+                barrier.wait()
+                responses.append(http_post(base, "/analyze", payload))
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(responses) == clients
+        reference = None
+        for status, body in responses:
+            assert status == 200
+            report = decode_report(body)
+            assert report.cache["hits"] == 1
+            values = repr(report["pagerank"].values)
+            reference = reference or values
+            assert values == reference
+        assert service.cache.stats()["misses"] == 1
+        assert service.cache.stats()["hits"] == clients
+
+    def test_concurrent_distinct_requests_all_answered(self, served):
+        base, _, _ = served
+        names = ["degree", "kcore", "triangles", "clustering", "components"]
+        responses = {}
+        lock = threading.Lock()
+
+        def client(name):
+            status, body = http_post(base, "/analyze", {"algorithm": name})
+            with lock:
+                responses[name] = (status, body)
+
+        threads = [threading.Thread(target=client, args=(name,)) for name in names]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert set(responses) == set(names)
+        for name, (status, body) in responses.items():
+            assert status == 200, name
+            assert decode_report(body)[name].values is not None
+
+
+class TestBoundedLifetime:
+    def test_max_requests_shuts_the_server_down(self, tmp_path):
+        session = GraphSession(make_db(), backend="python")
+        service = GraphService(session, session.graph(COAUTHOR_QUERY))
+        server = make_server(service, max_requests=2)
+        host, port = server.server_address[:2]
+        thread = serve_in_thread(server)
+        try:
+            base = f"http://{host}:{port}"
+            assert http_get(base, "/health")[0] == 200
+            assert http_get(base, "/health")[0] == 200
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "server should stop after max_requests"
+        finally:
+            server.server_close()
+            session.close()
+
+
+@pytest.mark.slow
+class TestServeCommand:
+    def test_cli_serve_smoke(self, tmp_path):
+        """End-to-end: ``python -m repro.cli serve`` in a subprocess, a
+        client exercising analyze twice (miss then hit) plus health, and a
+        clean exit via --max-requests."""
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--dataset",
+                "dblp",
+                "--scale",
+                "0.1",
+                "--port",
+                "0",
+                "--max-requests",
+                "3",
+                "--backend",
+                "python",
+                "--snapshot-cache",
+                str(tmp_path / "snaps"),
+            ],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            boot_line = process.stdout.readline()
+            match = re.search(r"serving on (http://[\d.]+:\d+)", boot_line)
+            assert match, f"unexpected boot line: {boot_line!r}"
+            base = match.group(1)
+
+            status, body = http_get(base, "/health")
+            assert status == 200 and body["status"] == "ok"
+            first = http_post(base, "/analyze", {"algorithm": "pagerank"})
+            second = http_post(base, "/analyze", {"algorithm": "pagerank"})
+            assert first[0] == 200 and second[0] == 200
+            report_one = decode_report(first[1])
+            report_two = decode_report(second[1])
+            assert report_one.cache["misses"] == 1
+            assert report_two.cache["hits"] == 1
+            assert repr(report_two["pagerank"].values) == repr(
+                report_one["pagerank"].values
+            )
+
+            stdout, stderr = process.communicate(timeout=60)
+            assert process.returncode == 0, stderr
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.communicate()

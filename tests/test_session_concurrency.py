@@ -1,0 +1,236 @@
+"""Regression tests for the session-layer concurrency fixes.
+
+The graph service runs whole analysis plans on concurrent request threads
+of one process, which exposed three latent bugs in the session layer:
+
+* ``AnalysisReport.__contains__`` leaked ``IndexError`` for out-of-range
+  integer keys (``5 in report`` raised instead of answering False),
+* the report's ``pool_starts`` / ``snapshot_writes`` counters were deltas
+  of *process-global* instrumentation, so two plans running concurrently
+  each appeared to fork the other's pool and write the other's snapshot
+  (breaking the "at most one per plan" contract exactly when it matters),
+  and ``SnapshotStore.last_outcome`` was a shared-state read-back with the
+  same interleaving hazard, and
+* ``GraphSession.wrap()`` minted a fresh handle per call, resetting build
+  provenance and per-dataset sharing on every re-wrap.
+
+Each test here fails on the pre-fix behaviour: the counter test inserts a
+barrier into ``ParallelSuperstepExecutor.start`` so both plans are provably
+in flight before either forks — with global deltas at least one report
+*must* then count the other plan's fork and write.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.graph.snapshot_store import SnapshotStore
+from repro.session import GraphSession
+from repro.session.report import AnalysisReport, AnalysisResult, Provenance
+from repro.vertexcentric.parallel import ParallelSuperstepExecutor
+from tests.conftest import COAUTHOR_QUERY
+from tests.test_session import make_db
+
+
+# --------------------------------------------------------------------------- #
+# AnalysisReport.__contains__ (the IndexError leak)
+# --------------------------------------------------------------------------- #
+def _report_with(count: int) -> AnalysisReport:
+    provenance = Provenance("cdup", "python", "heap", 1)
+    return AnalysisReport(
+        results=[
+            AnalysisResult(
+                algorithm=f"algo{i}",
+                label=f"algo{i}",
+                params={},
+                values=i,
+                seconds=0.0,
+                engine="kernel",
+                provenance=provenance,
+            )
+            for i in range(count)
+        ],
+        provenance=provenance,
+    )
+
+
+class TestReportContains:
+    def test_out_of_range_int_is_false_not_indexerror(self):
+        report = _report_with(2)
+        assert 5 not in report  # raised IndexError before the fix
+        assert (5 in report) is False
+
+    def test_in_range_ints_including_negative(self):
+        report = _report_with(2)
+        assert 0 in report
+        assert 1 in report
+        assert -1 in report
+        assert -2 in report
+
+    def test_out_of_range_negative_int_is_false(self):
+        report = _report_with(2)
+        assert -3 not in report
+
+    def test_empty_report(self):
+        report = _report_with(0)
+        assert 0 not in report
+        assert -1 not in report
+        assert "anything" not in report
+
+    def test_label_and_algorithm_membership_still_work(self):
+        report = _report_with(2)
+        assert "algo0" in report
+        assert "nope" not in report
+
+
+# --------------------------------------------------------------------------- #
+# GraphSession.wrap memoisation
+# --------------------------------------------------------------------------- #
+class TestWrapMemoisation:
+    def test_same_graph_same_handle(self):
+        session = GraphSession(make_db(), backend="python")
+        graph = session.graph(COAUTHOR_QUERY).graph
+        first = session.wrap(graph)
+        second = session.wrap(graph)
+        assert first is second
+
+    def test_build_provenance_survives_rewrap(self):
+        session = GraphSession(make_db(), backend="python")
+        graph = session.graph(COAUTHOR_QUERY).graph
+        handle = session.wrap(graph)
+        handle.snapshot()
+        assert handle.builds == 1
+        again = session.wrap(graph)
+        assert again.builds == 1  # was 0 before the fix (fresh handle)
+
+    def test_distinct_keys_get_distinct_handles(self):
+        session = GraphSession(make_db(), backend="python")
+        graph = session.graph(COAUTHOR_QUERY).graph
+        assert session.wrap(graph, key="a") is not session.wrap(graph, key="b")
+        assert session.wrap(graph, key="a") is session.wrap(graph, key="a")
+
+    def test_distinct_graphs_get_distinct_handles(self):
+        session = GraphSession(make_db(), backend="python")
+        graph_a = session.graph(COAUTHOR_QUERY).graph
+        graph_b = session.graph(COAUTHOR_QUERY, representation="exp").graph
+        assert session.wrap(graph_a) is not session.wrap(graph_b)
+
+
+# --------------------------------------------------------------------------- #
+# SnapshotStore.fetch: per-call outcomes, lock-guarded totals
+# --------------------------------------------------------------------------- #
+class TestStoreFetchOutcomes:
+    def test_fetch_returns_the_outcome(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snaps")
+        session = GraphSession(make_db(), backend="python")
+        graph = session.graph(COAUTHOR_QUERY).graph
+        _, outcome = store.fetch(graph, "k")
+        assert outcome == "miss"
+        _, outcome = store.fetch(graph, "k")
+        assert outcome == "hit"
+        graph.add_edge(7, 1)
+        _, outcome = store.fetch(graph, "k")
+        assert outcome == "stale"
+        assert store.counters == {"hit": 1, "stale": 1, "miss": 1}
+
+    def test_load_or_build_still_returns_just_the_snapshot(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snaps")
+        session = GraphSession(make_db(), backend="python")
+        graph = session.graph(COAUTHOR_QUERY).graph
+        snap = store.load_or_build(graph, "k")
+        assert snap.content_hash == graph.snapshot().content_hash
+
+    def test_concurrent_fetches_see_their_own_outcome(self, tmp_path):
+        """Interleaved fetches on one store: every thread's *returned*
+        outcome is correct (a ``last_outcome`` read-back would observe
+        whichever thread recorded last), and the shared totals stay exact."""
+        store = SnapshotStore(tmp_path / "snaps")
+        workers = 4
+        sessions = [GraphSession(make_db(), backend="python") for _ in range(workers)]
+        graphs = [s.graph(COAUTHOR_QUERY).graph for s in sessions]
+        for graph in graphs:
+            graph.snapshot()  # pre-build so the timed region is store-only
+
+        outcomes: dict[tuple[int, int], str] = {}
+        errors: list[Exception] = []
+        barrier = threading.Barrier(workers, timeout=30)
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            try:
+                for round_number in range(2):
+                    barrier.wait()
+                    _, outcome = store.fetch(graphs[index], f"key-{index}")
+                    with lock:
+                        outcomes[(index, round_number)] = outcome
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        for index in range(workers):
+            assert outcomes[(index, 0)] == "miss"
+            assert outcomes[(index, 1)] == "hit"
+        assert store.counters == {"hit": workers, "stale": 0, "miss": workers}
+
+
+# --------------------------------------------------------------------------- #
+# concurrent plans: per-plan pool_starts / snapshot_writes
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+class TestConcurrentPlanCounters:
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_each_plan_counts_only_its_own_forks_and_writes(
+        self, tmp_path, monkeypatch, compiled
+    ):
+        """Two plans on two threads, both provably in flight before either
+        forks (barrier inside ``start``): each report must still say
+        ``pool_starts == 1`` and ``snapshot_writes == 1``.  With the old
+        process-global deltas, at least one report necessarily counted the
+        other plan's fork and write (== 2)."""
+        plans = 2
+        barrier = threading.Barrier(plans, timeout=60)
+        fork_lock = threading.Lock()  # overlap proven; the forks themselves
+        original_start = ParallelSuperstepExecutor.start  # stay serialised
+
+        def synced_start(self):
+            barrier.wait()
+            with fork_lock:
+                return original_start(self)
+
+        monkeypatch.setattr(ParallelSuperstepExecutor, "start", synced_start)
+
+        reports: dict[int, object] = {}
+        errors: list[Exception] = []
+
+        def run_plan(index: int) -> None:
+            try:
+                session = GraphSession(
+                    make_db(f"db{index}"),
+                    snapshot_cache=str(tmp_path / f"snaps{index}"),
+                    backend="python",
+                    parallelism=2,
+                )
+                handle = session.graph(COAUTHOR_QUERY)
+                plan = handle.analyze().pagerank().components()
+                reports[index] = plan.run(compiled=compiled)
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run_plan, args=(i,)) for i in range(plans)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert set(reports) == set(range(plans))
+        for index, report in reports.items():
+            assert report.pool_starts == 1, (index, report.pool_starts)
+            assert report.snapshot_writes == 1, (index, report.snapshot_writes)
+            assert len(report.results) == 2
