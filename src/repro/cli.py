@@ -170,6 +170,27 @@ def build_parser() -> argparse.ArgumentParser:
                 "note)",
             )
             sub.add_argument(
+                "--shards",
+                type=int,
+                default=None,
+                metavar="N",
+                help="persist the snapshot as N per-vertex-range segment "
+                "files and run superstep algorithms out-of-core: each worker "
+                "maps only its own shard, never the whole graph (results "
+                "identical to the monolithic path; mutually exclusive with "
+                "--memory-budget)",
+            )
+            sub.add_argument(
+                "--memory-budget",
+                type=float,
+                default=None,
+                metavar="MB",
+                help="out-of-core memory budget per worker, in megabytes: "
+                "snapshots whose payload exceeds the budget are sharded so "
+                "no segment file is larger than MB, and superstep workers "
+                "map one shard each (mutually exclusive with --shards)",
+            )
+            sub.add_argument(
                 "--backend",
                 default=None,
                 metavar="{python,numpy,auto}",
@@ -221,6 +242,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes per plan; the service keeps one warm pool "
         "shared across requests (default: 1)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve out-of-core: shard the snapshot into N segment files "
+        "and have each plan worker map only its own shard (mutually "
+        "exclusive with --memory-budget)",
+    )
+    serve.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-worker memory budget in megabytes for served analyses; "
+        "oversized snapshots are sharded to fit (mutually exclusive with "
+        "--shards)",
     )
     serve.add_argument(
         "--backend",
@@ -508,6 +547,8 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
         snapshot_cache=args.snapshot_cache,
         backend=args.backend,
         parallelism=args.parallel,
+        shards=args.shards,
+        memory_budget_mb=args.memory_budget,
     )
     handle = session.graph(
         query, representation=args.representation, key=_snapshot_cache_key(args, query)
@@ -572,6 +613,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         backend=args.backend,
         parallelism=args.parallel,
         warm_pool=True,
+        shards=args.shards,
+        memory_budget_mb=args.memory_budget,
     )
     try:
         handle = session.graph(

@@ -109,7 +109,7 @@ _THREAD_COUNTERS = threading.local()
 
 
 def saves_in_thread() -> int:
-    """Cumulative :func:`save_snapshot` calls *made by the current thread*.
+    """Cumulative snapshot saves *made by the current thread*.
 
     The per-plan ``report.snapshot_writes`` counter is a delta of this value,
     so plans running concurrently in one process (the graph service) never
@@ -117,6 +117,14 @@ def saves_in_thread() -> int:
     calling thread's stack are still caught.
     """
     return getattr(_THREAD_COUNTERS, "saves", 0)
+
+
+def _record_save() -> None:
+    """Count one logical snapshot persist (monolithic file or sharded set)."""
+    global SAVE_COUNT
+    with _COUNTER_LOCK:
+        SAVE_COUNT += 1
+    _THREAD_COUNTERS.saves = getattr(_THREAD_COUNTERS, "saves", 0) + 1
 
 
 @dataclass(frozen=True)
@@ -201,10 +209,7 @@ def save_snapshot(csr: "CSRGraph", path: str | os.PathLike) -> Path:
     ``csr.content_hash``, so a later :meth:`SnapshotStore.load_or_build` can
     cheaply decide whether the file still matches the live graph.
     """
-    global SAVE_COUNT
-    with _COUNTER_LOCK:
-        SAVE_COUNT += 1
-    _THREAD_COUNTERS.saves = getattr(_THREAD_COUNTERS, "saves", 0) + 1
+    _record_save()
     path = Path(path)
     codec_bytes = encode_codec(csr.external_ids)
     content_hash = csr.content_hash
@@ -397,11 +402,42 @@ class SnapshotStore:
 
     ``load(key)`` trusts the file without consulting a live graph — that is
     the pay-once-per-dataset path used by worker processes and warm starts.
+
+    Sharding policy
+    ---------------
+    A store can persist **sharded** snapshots (one ``.csrm`` manifest plus
+    per-vertex-range segment files, :mod:`repro.graph.shard_store`) instead
+    of monolithic ``.csr`` files:
+
+    * ``shards=N`` shards every snapshot into exactly ``N`` range segments
+      (the superstep executor's ``partition_range`` geometry), while
+    * ``shard_threshold_bytes=B`` shards only snapshots whose array payload
+      exceeds ``B``, splitting greedily so each segment file stays ≤ ``B`` —
+      the ``--memory-budget`` contract: no worker ever maps more than ``B``
+      bytes of snapshot.
+
+    :meth:`shard_plan` exposes the decision (``None`` means monolithic);
+    :meth:`fetch` transparently maintains whichever format the policy picks,
+    with the same hit/stale/miss accounting either way.
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        shards: int | None = None,
+        shard_threshold_bytes: int | None = None,
+    ) -> None:
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be at least 1 (got {shards})")
+        if shard_threshold_bytes is not None and shard_threshold_bytes < 1:
+            raise ValueError(
+                f"shard_threshold_bytes must be positive (got {shard_threshold_bytes})"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.shards = shards
+        self.shard_threshold_bytes = shard_threshold_bytes
         #: outcome of the most recent :meth:`fetch` in *any* thread — ``"hit"``
         #: (file matched; the mmap load was returned), ``"stale"`` (file
         #: existed but was unreadable or its hash no longer matched;
@@ -419,8 +455,40 @@ class SnapshotStore:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{_slug(key)}.csr"
 
+    def manifest_path_for(self, key: str) -> Path:
+        """Where a *sharded* snapshot's manifest for ``key`` lives."""
+        from repro.graph.shard_store import MANIFEST_SUFFIX
+
+        return self.directory / f"{_slug(key)}{MANIFEST_SUFFIX}"
+
     def contains(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        return self.path_for(key).exists() or self.manifest_path_for(key).exists()
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this store's policy can ever produce sharded snapshots."""
+        return self.shards is not None or self.shard_threshold_bytes is not None
+
+    def shard_plan(self, csr: "CSRGraph") -> "list[tuple[int, int]] | None":
+        """The shard ranges this store's policy assigns ``csr``.
+
+        ``None`` means "persist monolithically": no policy configured, an
+        empty graph, or a payload under the size threshold.  Non-``None`` is
+        the exact, deterministic shard geometry — callers reuse it as the
+        worker partition bounds so shard files and executor partitions align.
+        """
+        from repro.graph import shard_store
+
+        if csr.n == 0:
+            return None
+        if self.shards is not None:
+            return shard_store.plan_shard_ranges(csr, shards=self.shards)
+        if self.shard_threshold_bytes is not None:
+            if shard_store.snapshot_payload_bytes(csr) > self.shard_threshold_bytes:
+                return shard_store.plan_shard_ranges(
+                    csr, max_bytes=self.shard_threshold_bytes
+                )
+        return None
 
     def save(self, csr: "CSRGraph", key: str) -> Path:
         return save_snapshot(csr, self.path_for(key))
@@ -453,6 +521,9 @@ class SnapshotStore:
         fetch instead of this one's.
         """
         snap = graph.snapshot()
+        ranges = self.shard_plan(snap)
+        if ranges is not None:
+            return self._fetch_sharded(graph, snap, key, ranges)
         path = self.path_for(key)
         existed = path.exists()
         if existed:
@@ -465,6 +536,40 @@ class SnapshotStore:
             except SnapshotFormatError:
                 pass  # unreadable/stale file: fall through and rewrite it
         save_snapshot(snap, path)
+        outcome = "stale" if existed else "miss"
+        self._record(outcome)
+        return snap, outcome
+
+    def _fetch_sharded(
+        self, graph: "Graph", snap: "CSRGraph", key: str, ranges: list
+    ) -> "tuple[CSRGraph, str]":
+        """:meth:`fetch` for a policy that sharded this snapshot.
+
+        Hit/stale/miss semantics mirror the monolithic branch, with two
+        differences: staleness additionally covers a *geometry* change (same
+        content, different shard ranges — e.g. a new memory budget), and a
+        hit returns the graph's own heap snapshot rather than an mmap load.
+        The coordinator process keeps the heap arrays it already built; the
+        whole point of the format is that only *workers* map snapshot bytes,
+        each its own segment file.
+        """
+        from repro.graph import shard_store
+
+        path = self.manifest_path_for(key)
+        existed = path.exists()
+        if existed:
+            try:
+                manifest = shard_store.peek_manifest(path)
+                if (
+                    manifest.content_hash == snap.content_hash
+                    and manifest.ranges() == ranges
+                    and shard_store.verify_shard_files(manifest)
+                ):
+                    self._record("hit")
+                    return snap, "hit"
+            except SnapshotFormatError:
+                pass  # unreadable/stale manifest: fall through and rewrite
+        shard_store.save_sharded_snapshot(snap, path, ranges=ranges)
         outcome = "stale" if existed else "miss"
         self._record(outcome)
         return snap, outcome

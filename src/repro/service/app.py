@@ -205,10 +205,19 @@ class GraphService:
                 "rejected": self.rejected,
             }
         pool_manager = self.session.pool_manager
+        store = self.session.store
+        sharding = {
+            "out_of_core": self.session.out_of_core,
+            "shards": store.shards if store is not None else None,
+            "threshold_bytes": (
+                store.shard_threshold_bytes if store is not None else None
+            ),
+        }
         return {
             "cache": self.cache.stats(),
             "admission": admission,
             "pool": dict(pool_manager.counters) if pool_manager is not None else None,
+            "sharding": sharding,
         }
 
     # ------------------------------------------------------------------ #
@@ -313,6 +322,7 @@ class GraphService:
             snapshot_writes=fresh_report.snapshot_writes if fresh_report else 0,
             nodes_computed=fresh_report.nodes_computed if fresh_report else 0,
             nodes_reused=fresh_report.nodes_reused if fresh_report else 0,
+            worker_memory=fresh_report.worker_memory if fresh_report else [],
             cache={"hits": hits, "misses": misses, "queue_depth": self.queue_depth},
         )
 

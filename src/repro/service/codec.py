@@ -85,6 +85,7 @@ def encode_provenance(provenance: Provenance | None) -> dict | None:
         "backend": provenance.backend,
         "snapshot_source": provenance.snapshot_source,
         "parallelism": provenance.parallelism,
+        "shards": provenance.shards,
     }
 
 
@@ -96,6 +97,8 @@ def decode_provenance(data: dict | None) -> Provenance | None:
         backend=data["backend"],
         snapshot_source=data["snapshot_source"],
         parallelism=data["parallelism"],
+        # absent in payloads encoded before sharding existed
+        shards=data.get("shards", 0),
     )
 
 
@@ -156,6 +159,7 @@ def encode_report(report: AnalysisReport) -> dict:
         "nodes_computed": report.nodes_computed,
         "nodes_reused": report.nodes_reused,
         "cache": dict(report.cache) if report.cache is not None else None,
+        "worker_memory": [dict(entry) for entry in report.worker_memory],
     }
 
 
@@ -170,6 +174,8 @@ def decode_report(data: dict) -> AnalysisReport:
         nodes_computed=data["nodes_computed"],
         nodes_reused=data["nodes_reused"],
         cache=dict(data["cache"]) if data.get("cache") is not None else None,
+        # absent in payloads encoded before out-of-core execution existed
+        worker_memory=[dict(entry) for entry in data.get("worker_memory", [])],
     )
 
 

@@ -299,12 +299,26 @@ def compile_plan(
     csr: "CSRGraph",
     backend: "KernelBackend",
     parallelism: int,
+    *,
+    oc: bool = False,
 ) -> CompiledPlan:
-    """Lower a request list into a deduplicated node DAG (no execution)."""
+    """Lower a request list into a deduplicated node DAG (no execution).
+
+    ``oc`` marks an out-of-core plan (the session store sharded this
+    snapshot): pool workers then map only their own shard, so the cost model
+    routes **only shard-local superstep programs** to the pool — sweeps,
+    chunk kernels and whole-graph task kernels need adjacency outside a
+    worker's shard and run inline on the coordinator instead.  An inline
+    sweep still fuses demands exactly as at ``parallelism == 1`` (stream
+    betweenness and bfs coverage included), because the coordinator holds
+    the full heap snapshot it built.
+    """
     from repro.session.plan import _encode_source
 
     cost = CostModel(n=csr.n, m=csr.num_edges, backend_name=backend.name)
     n = csr.n
+    # out-of-core pools serve superstep programs only; every sweep is inline
+    pool_sweep = parallelism > 1 and not oc
 
     # -- CSE: one algo node per structural key --------------------------- #
     by_key: dict[str, Node] = {}
@@ -352,7 +366,7 @@ def compile_plan(
                 }
                 sweep.delta_sources.update(sources)
                 demanding.append(node)
-            elif parallelism == 1:
+            elif not pool_sweep:
                 # full-source Brandes: stream the running total in the serial
                 # kernel's ascending source order (inline sweeps only — on a
                 # pool this request keeps its PR-5 serial-kernel fallback)
@@ -369,7 +383,7 @@ def compile_plan(
         if (
             node.spec.name == "bfs"
             and node.demand is None
-            and parallelism == 1
+            and not pool_sweep
             and sweep.covers_all
             and node.params["max_depth"] is None
         ):
@@ -397,7 +411,7 @@ def compile_plan(
             "+".join(dict.fromkeys(node.spec.name for node in demanding)),
             len(sweep.sources),
         )
-        sweep.node.mode = "chunks" if parallelism > 1 else "inline"
+        sweep.node.mode = "chunks" if pool_sweep else "inline"
     covered = {id(node) for node in demanding}
 
     # -- routing: sweep-covered nodes bypass their kernels; everything else
@@ -410,7 +424,16 @@ def compile_plan(
             node.mode = "sweep"
             continue
         mode = "inline"
-        if parallelism > 1 and n > 0:
+        if (parallelism > 1 or oc) and n > 0:
+            if oc and spec.superstep is None:
+                notes.append(
+                    f"note: {spec.name} needs whole-graph adjacency, which "
+                    "out-of-core workers do not map; running inline on the "
+                    "coordinator"
+                )
+                node.mode = mode
+                node.notes = tuple(notes)
+                continue
             if spec.superstep is not None:
                 param_note = (
                     spec.superstep_params_ok(params)
@@ -449,6 +472,14 @@ def compile_plan(
                     f"note: {spec.name} has no superstep program; running serial kernel"
                 )
                 mode = "task"
+            if oc and mode == "task":
+                # the serial fallback needs the whole graph, which
+                # out-of-core workers do not map — run it on the coordinator
+                notes.append(
+                    "note: out-of-core workers map only their own shard; "
+                    "running inline on the coordinator"
+                )
+                mode = "inline"
         node.mode = mode
         node.notes = tuple(notes)
 
@@ -631,7 +662,15 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
     snapshot_seconds = time.perf_counter() - tick
     snapshot_source = handle.snapshot_source
 
-    compiled = compile_plan(plan._requests, csr, backend, parallelism)
+    # out-of-core: the session store's sharding policy decides once per plan;
+    # a non-None plan is the exact shard geometry, reused as the worker
+    # partitions so shard files and partitions align one-to-one
+    oc_ranges = None
+    if session.store is not None and session.store.sharded:
+        oc_ranges = session.store.shard_plan(csr)
+    oc = oc_ranges is not None
+
+    compiled = compile_plan(plan._requests, csr, backend, parallelism, oc=oc)
     CompilerCounters.plans_compiled += 1
     snapshot_node = Node(
         key="snapshot", kind="snapshot", seconds=snapshot_seconds, done=True
@@ -656,7 +695,12 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                 cleanup_path = snapshot_path
                 csr.save(snapshot_path)
             pool, release_pool = session.acquire_pool(
-                csr.n, snapshot_path, csr.content_hash, backend.name
+                csr.n,
+                snapshot_path,
+                csr.content_hash,
+                backend.name,
+                partitions=oc_ranges,
+                sharded=oc,
             )
 
         # concurrent serial-kernel nodes first, longest-first (cost-model
@@ -688,7 +732,12 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
             node.done = True
             CompilerCounters.nodes_computed += 1
         if compiled.sweep is not None:
-            _execute_sweep(compiled.sweep, csr, backend, pool, compiled.cost)
+            # honour the compiled mode, not mere pool presence: an out-of-core
+            # pool's workers map one shard each and cannot grow whole-graph
+            # traversals, so an "inline" sweep stays on the coordinator even
+            # though a (sharded) pool exists for the superstep nodes
+            sweep_pool = pool if compiled.sweep.node.mode == "chunks" else None
+            _execute_sweep(compiled.sweep, csr, backend, sweep_pool, compiled.cost)
             CompilerCounters.nodes_computed += 1
 
         sweep_on_pool = (
@@ -740,6 +789,8 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                     )
                 )
 
+            result_source = snapshot_source
+            result_shards = 0
             if node.mode == "sweep":
                 engine = "chunks" if sweep_on_pool else "kernel"
                 scheduled = "pool" if sweep_on_pool else "inline"
@@ -755,6 +806,12 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                 result_parallelism = (
                     parallelism if node.mode in ("superstep", "chunks") else 1
                 )
+                if oc and node.mode == "superstep":
+                    # out-of-core execution: workers mapped per-shard segment
+                    # files, and the worker count is the shard count
+                    result_source = "shard-mmap"
+                    result_parallelism = len(pool.partitions)
+                    result_shards = len(oc_ranges)
 
             count = seen_labels.get(spec.name, 0) + 1
             seen_labels[spec.name] = count
@@ -770,14 +827,19 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                     provenance=Provenance(
                         representation=handle.representation,
                         backend=backend.name,
-                        snapshot_source=snapshot_source,
+                        snapshot_source=result_source,
                         parallelism=result_parallelism,
+                        shards=result_shards,
                     ),
                     notes=node.notes,
                     scheduled=scheduled,
                     nodes=tuple(provenance_nodes),
                 )
             )
+
+        worker_memory: list[dict[str, int]] = []
+        if pool is not None and oc:
+            worker_memory = pool.call("memory_stats", [None] * len(pool.partitions))
     finally:
         if release_pool is not None:
             release_pool()
@@ -800,8 +862,9 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
         provenance=Provenance(
             representation=handle.representation,
             backend=backend.name,
-            snapshot_source=snapshot_source,
+            snapshot_source="shard-mmap" if (oc and worker_memory) else snapshot_source,
             parallelism=parallelism,
+            shards=len(oc_ranges) if oc else 0,
         ),
         total_seconds=time.perf_counter() - started,
         snapshot_builds=handle.builds - builds_before,
@@ -809,4 +872,5 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
         snapshot_writes=snapshot_store.saves_in_thread() - writes_before,
         nodes_computed=computed_total,
         nodes_reused=reused_total,
+        worker_memory=worker_memory,
     )

@@ -556,7 +556,9 @@ class AnalysisPlan:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def _route(self, csr, parallelism: int) -> list[tuple[str, list[str]]]:
+    def _route(
+        self, csr, parallelism: int, *, oc: bool = False
+    ) -> list[tuple[str, list[str]]]:
         """Decide each request's execution mode once for the whole batch.
 
         Modes: ``"superstep"`` (process-parallel vertex-centric program over
@@ -566,13 +568,32 @@ class AnalysisPlan:
         the master — always the mode at ``parallelism == 1``).  Symmetry is a
         property of the shared snapshot, checked lazily only when a
         symmetric-requiring program survives the parameter check.
+
+        ``oc`` (out-of-core: the session's store sharded this snapshot)
+        changes the worker contract — each worker maps only its own shard, so
+        only shard-local work may go to the pool.  Superstep programs qualify
+        (their gathers and neighbor walks stay inside the worker's own vertex
+        range; frontier deltas stream through the executor's message pipes).
+        Chunk kernels and whole-graph task kernels need adjacency outside the
+        worker's shard, so they run inline on the coordinator (which already
+        holds the heap snapshot it built), with a note saying why.  ``oc``
+        also routes superstep work to the pool at ``parallelism == 1`` — the
+        pool's geometry is the shard table, not the session's worker budget.
         """
         symmetric: bool | None = None
         routed: list[tuple[str, list[str]]] = []
         for spec, params in self._requests:
             notes: list[str] = []
             mode = "inline"
-            if parallelism > 1 and csr.n > 0:
+            if (parallelism > 1 or oc) and csr.n > 0:
+                if oc and spec.superstep is None:
+                    notes.append(
+                        f"note: {spec.name} needs whole-graph adjacency, which "
+                        "out-of-core workers do not map; running inline on the "
+                        "coordinator"
+                    )
+                    routed.append((mode, notes))
+                    continue
                 if spec.superstep is not None:
                     param_note = (
                         spec.superstep_params_ok(params)
@@ -611,6 +632,15 @@ class AnalysisPlan:
                         f"note: {spec.name} has no superstep program; running serial kernel"
                     )
                     mode = "task"
+                if oc and mode == "task":
+                    # the serial fallback needs the whole graph, which
+                    # out-of-core workers do not map — run it on the
+                    # coordinator instead of a pool worker
+                    notes.append(
+                        "note: out-of-core workers map only their own shard; "
+                        "running inline on the coordinator"
+                    )
+                    mode = "inline"
             routed.append((mode, notes))
         return routed
 
@@ -662,7 +692,15 @@ class AnalysisPlan:
         csr = handle.snapshot()
         snapshot_source = handle.snapshot_source
 
-        routed = self._route(csr, parallelism)
+        # out-of-core: the session store's sharding policy decides once per
+        # plan; a non-None plan is the exact shard geometry — reused as the
+        # worker partitions, so shard files and partitions align one-to-one
+        oc_ranges = None
+        if session.store is not None and session.store.sharded:
+            oc_ranges = session.store.shard_plan(csr)
+        oc = oc_ranges is not None
+
+        routed = self._route(csr, parallelism, oc=oc)
         modes = [mode for mode, _ in routed]
         # one concurrent task cannot beat running it inline; require either a
         # pool-parallel request or at least two concurrent tasks before
@@ -682,7 +720,10 @@ class AnalysisPlan:
         try:
             if wants_pool:
                 # one snapshot file per plan: the store's content-checked
-                # file when configured, else a single tempfile for the run
+                # file when configured, else a single tempfile for the run.
+                # Out-of-core plans persist the sharded form (one manifest +
+                # segment files) and hand its geometry to the pool as the
+                # explicit worker partitions.
                 if session.store is not None:
                     snapshot_path = handle.persist()
                 else:
@@ -691,7 +732,12 @@ class AnalysisPlan:
                     cleanup_path = snapshot_path
                     csr.save(snapshot_path)
                 pool, release_pool = session.acquire_pool(
-                    csr.n, snapshot_path, csr.content_hash, backend.name
+                    csr.n,
+                    snapshot_path,
+                    csr.content_hash,
+                    backend.name,
+                    partitions=oc_ranges,
+                    sharded=oc,
                 )
 
             # independent serial-kernel requests first, load-balanced across
@@ -743,6 +789,17 @@ class AnalysisPlan:
                 count = seen_labels.get(spec.name, 0) + 1
                 seen_labels[spec.name] = count
                 label = spec.name if count == 1 else f"{spec.name}#{count}"
+                pooled = mode in ("superstep", "chunks")
+                if oc and mode == "superstep":
+                    # out-of-core execution: workers mapped per-shard segment
+                    # files, and the worker count is the shard count
+                    result_source = "shard-mmap"
+                    result_parallelism = len(pool.partitions)
+                    result_shards = len(oc_ranges)
+                else:
+                    result_source = snapshot_source
+                    result_parallelism = parallelism if pooled else 1
+                    result_shards = 0
                 results.append(
                     AnalysisResult(
                         algorithm=spec.name,
@@ -754,12 +811,19 @@ class AnalysisPlan:
                         provenance=Provenance(
                             representation=handle.representation,
                             backend=backend.name,
-                            snapshot_source=snapshot_source,
-                            parallelism=parallelism if mode in ("superstep", "chunks") else 1,
+                            snapshot_source=result_source,
+                            parallelism=result_parallelism,
+                            shards=result_shards,
                         ),
                         notes=tuple(notes),
                         scheduled="inline" if mode == "inline" else "pool",
                     )
+                )
+
+            worker_memory: list[dict[str, int]] = []
+            if pool is not None and oc:
+                worker_memory = pool.call(
+                    "memory_stats", [None] * len(pool.partitions)
                 )
         finally:
             if release_pool is not None:
@@ -775,11 +839,13 @@ class AnalysisPlan:
             provenance=Provenance(
                 representation=handle.representation,
                 backend=backend.name,
-                snapshot_source=snapshot_source,
+                snapshot_source="shard-mmap" if (oc and worker_memory) else snapshot_source,
                 parallelism=parallelism,
+                shards=len(oc_ranges) if oc else 0,
             ),
             total_seconds=time.perf_counter() - started,
             snapshot_builds=handle.builds - builds_before,
             pool_starts=pool_starts_in_thread() - pool_starts_before,
             snapshot_writes=snapshot_store.saves_in_thread() - writes_before,
+            worker_memory=worker_memory,
         )

@@ -56,11 +56,15 @@ class Provenance:
     #: kernel backend that executed ("python" or "numpy")
     backend: str
     #: where the snapshot's arrays came from for this run: ``"heap"`` (built
-    #: from the live graph), ``"mmap"`` (zero-copy load of a store file) or
-    #: ``"cache-hit"`` (the graph's still-valid in-process snapshot was reused)
+    #: from the live graph), ``"mmap"`` (zero-copy load of a store file),
+    #: ``"cache-hit"`` (the graph's still-valid in-process snapshot was
+    #: reused) or ``"shard-mmap"`` (out-of-core: each worker mapped only its
+    #: own shard's segment file)
     snapshot_source: str
     #: worker processes used (1 = serial)
     parallelism: int
+    #: shard segment files behind this execution (0 = monolithic snapshot)
+    shards: int = 0
 
 
 @dataclass
@@ -136,6 +140,12 @@ class AnalysisReport:
     #: "queue_depth": 0}``); None for reports produced by a plain
     #: ``AnalysisPlan.run()``
     cache: dict[str, int] | None = None
+    #: per-worker snapshot footprints for out-of-core runs, in partition
+    #: order: ``{"lo", "hi", "mapped_bytes", "peak_rss_bytes"}`` dicts (see
+    #: :meth:`repro.session.scheduler.PlanWorker.memory_stats`).  Empty when
+    #: no sharded pool ran — this is how "no worker mapped more than its
+    #: shard" is asserted rather than eyeballed
+    worker_memory: list[dict[str, int]] = field(default_factory=list)
 
     def __iter__(self) -> Iterator[AnalysisResult]:
         return iter(self.results)
@@ -187,9 +197,10 @@ class AnalysisReport:
         lines = []
         if self.provenance is not None:
             p = self.provenance
+            sharding = f" shards={p.shards}" if p.shards else ""
             lines.append(
                 f"analysis of {p.representation} snapshot ({p.snapshot_source}) "
-                f"on backend={p.backend} parallelism={p.parallelism}: "
+                f"on backend={p.backend} parallelism={p.parallelism}{sharding}: "
                 f"{len(self.results)} algorithm(s), "
                 f"{self.snapshot_builds} snapshot build(s), "
                 f"{self.total_seconds:.3f}s total"

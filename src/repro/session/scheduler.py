@@ -168,6 +168,24 @@ class PlanWorker:
             return ("error", exc)
         return ("ok", time.perf_counter() - started, values)
 
+    # -- observability ---------------------------------------------------- #
+    def memory_stats(self, _payload=None) -> dict:
+        """This worker's snapshot footprint — the out-of-core assertion data.
+
+        ``mapped_bytes`` is the snapshot file bytes this process keeps
+        memory-mapped (one shard's segment file under sharding, the whole
+        snapshot otherwise); ``peak_rss_bytes`` the process-lifetime peak
+        resident set size.
+        """
+        from repro.utils.memstats import mapped_snapshot_bytes, peak_rss_bytes
+
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "mapped_bytes": mapped_snapshot_bytes(self.csr),
+            "peak_rss_bytes": peak_rss_bytes(),
+        }
+
 
 class SharedPoolManager:
     """One warm :class:`PlanWorker` pool shared across plans (and across
@@ -202,10 +220,27 @@ class SharedPoolManager:
         snapshot_path: str,
         content_hash: bytes,
         backend_name: str | None,
+        *,
+        partitions: "list[tuple[int, int]] | None" = None,
+        sharded: bool = False,
     ):
-        """Blocks until the warm pool is free; returns ``(pool, release)``."""
+        """Blocks until the warm pool is free; returns ``(pool, release)``.
+
+        ``partitions``/``sharded`` carry the out-of-core geometry: workers of
+        a sharded pool mmap one segment file each, so the partition bounds
+        (which must equal the manifest's shard ranges) are part of the
+        identity key — a plan that changes the shard geometry re-forks.
+        """
         self._busy.acquire()
-        key = (str(snapshot_path), content_hash, parallelism, num_items, backend_name)
+        key = (
+            str(snapshot_path),
+            content_hash,
+            parallelism,
+            num_items,
+            backend_name,
+            tuple(partitions) if partitions is not None else None,
+            sharded,
+        )
         try:
             self.counters["leases"] += 1
             if self._pool is None or self._key != key:
@@ -213,7 +248,10 @@ class SharedPoolManager:
                     self._pool.close()
                     self._pool = None
                 self._pool = ParallelSuperstepExecutor(
-                    parallelism, num_items, PlanWorkerFactory(snapshot_path, backend_name)
+                    parallelism,
+                    num_items,
+                    PlanWorkerFactory(snapshot_path, backend_name, sharded=sharded),
+                    partitions=partitions,
                 ).start()
                 self._key = key
                 self.counters["forks"] += 1
@@ -243,12 +281,25 @@ class PlanWorkerFactory:
     master, when its snapshot came off the store) share one physical copy of
     the arrays, and re-resolves the session's backend by name so workers run
     the same kernels regardless of their inherited environment.
+
+    With ``sharded=True`` the path is a shard *manifest* and each worker maps
+    only its own partition's segment file (the partition bounds must equal
+    the manifest's shard ranges) — the out-of-core contract: no worker
+    process ever maps the full graph.
     """
 
-    def __init__(self, snapshot_path, backend: str | None = None) -> None:
+    def __init__(
+        self, snapshot_path, backend: str | None = None, *, sharded: bool = False
+    ) -> None:
         self.snapshot_path = snapshot_path
         self.backend = backend
+        self.sharded = sharded
 
     def __call__(self, lo: int, hi: int) -> PlanWorker:
-        csr = CSRGraph.load(self.snapshot_path, mmap=True, verify=False)
+        if self.sharded:
+            from repro.graph.shard_store import load_shard
+
+            csr: CSRGraph = load_shard(self.snapshot_path, (lo, hi), mmap=True)
+        else:
+            csr = CSRGraph.load(self.snapshot_path, mmap=True, verify=False)
         return PlanWorker(csr, lo, hi, get_backend(self.backend))

@@ -140,7 +140,13 @@ class GraphHandle:
                 # another thread's fetch on the same store could land between
                 # the two (see SnapshotStore.fetch)
                 csr, outcome = store.fetch(self.graph, self.store_key)
-                self._snapshot_source = "mmap" if outcome == "hit" else "heap"
+                if outcome == "hit" and csr._buffer_owner is None:
+                    # sharded-store hit: the coordinator keeps its heap
+                    # arrays (only workers map segment files), so "mmap"
+                    # would misstate where these arrays live
+                    self._snapshot_source = "heap"
+                else:
+                    self._snapshot_source = "mmap" if outcome == "hit" else "heap"
             else:
                 csr = self.graph.snapshot()
                 self._snapshot_source = "heap"
@@ -152,13 +158,26 @@ class GraphHandle:
         returns the file path (None when the session has no store).
 
         Parallel superstep workers mmap this file instead of rebuilding or
-        unpickling the graph.
+        unpickling the graph.  When the store's sharding policy splits this
+        snapshot, the persisted form is the sharded one and the returned path
+        is its *manifest* — each worker then maps only its own partition's
+        segment file.
         """
         store = self.session.store
         if store is None:
             return None
         with self._lock:
-            return str(ensure_saved(self.snapshot(), store.path_for(self.store_key)))
+            snap = self.snapshot()
+            ranges = store.shard_plan(snap)
+            if ranges is not None:
+                from repro.graph.shard_store import ensure_saved_sharded
+
+                return str(
+                    ensure_saved_sharded(
+                        snap, store.manifest_path_for(self.store_key), ranges=ranges
+                    )
+                )
+            return str(ensure_saved(snap, store.path_for(self.store_key)))
 
     # ------------------------------------------------------------------ #
     def analyze(self) -> AnalysisPlan:
@@ -194,13 +213,40 @@ class GraphSession:
         parallelism: int = 1,
         compile_plans: bool = True,
         warm_pool: bool = False,
+        shards: int | None = None,
+        memory_budget_mb: float | None = None,
         options: ExtractionOptions | None = None,
         **option_overrides: Any,
     ) -> None:
         if parallelism < 1:
             raise UsageError(f"parallelism must be at least 1 (got {parallelism})")
+        if shards is not None and shards < 1:
+            raise UsageError(f"shards must be at least 1 (got {shards})")
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise UsageError(
+                f"memory_budget_mb must be positive (got {memory_budget_mb})"
+            )
+        if shards is not None and memory_budget_mb is not None:
+            raise UsageError("pass shards=N or memory_budget_mb=MB, not both")
         self._graphgen = GraphGen(database, options=options, **option_overrides)
-        self._store = SnapshotStore(snapshot_cache) if snapshot_cache is not None else None
+        self._store_tmpdir = None
+        threshold = (
+            int(memory_budget_mb * 1024 * 1024) if memory_budget_mb is not None else None
+        )
+        if snapshot_cache is None and (shards is not None or threshold is not None):
+            # sharded snapshots live in store directories (manifest + segment
+            # files); an out-of-core session without an explicit cache gets a
+            # private one that lives and dies with the session
+            import tempfile
+
+            self._store_tmpdir = tempfile.TemporaryDirectory(prefix="ggshards-")
+            snapshot_cache = self._store_tmpdir.name
+        if snapshot_cache is not None:
+            self._store = SnapshotStore(
+                snapshot_cache, shards=shards, shard_threshold_bytes=threshold
+            )
+        else:
+            self._store = None
         # resolve eagerly: an unknown or unavailable backend name fails here,
         # with a UsageError message, not at the first kernel call
         self._backend = get_backend(backend)
@@ -254,9 +300,23 @@ class GraphSession:
         when constructed with ``warm_pool=True``, else None."""
         return self._pool_manager
 
+    @property
+    def out_of_core(self) -> bool:
+        """Whether this session's store can shard snapshots — i.e. whether
+        plans may run out-of-core (workers mapping per-shard segment files
+        instead of the whole snapshot)."""
+        return self._store is not None and self._store.sharded
+
     # ------------------------------------------------------------------ #
     def acquire_pool(
-        self, num_items: int, snapshot_path: str, content_hash: bytes, backend_name: str
+        self,
+        num_items: int,
+        snapshot_path: str,
+        content_hash: bytes,
+        backend_name: str,
+        *,
+        partitions: "list[tuple[int, int]] | None" = None,
+        sharded: bool = False,
     ):
         """A started :class:`~repro.vertexcentric.parallel.ParallelSuperstepExecutor`
         of :class:`~repro.session.scheduler.PlanWorker` processes over
@@ -272,22 +332,39 @@ class GraphSession:
         """
         from repro.session.scheduler import PlanWorkerFactory
 
+        parallelism = len(partitions) if partitions is not None else self._parallelism
         if self._pool_manager is not None:
             return self._pool_manager.acquire(
-                self._parallelism, num_items, snapshot_path, content_hash, backend_name
+                parallelism,
+                num_items,
+                snapshot_path,
+                content_hash,
+                backend_name,
+                partitions=partitions,
+                sharded=sharded,
             )
         from repro.vertexcentric.parallel import ParallelSuperstepExecutor
 
         pool = ParallelSuperstepExecutor(
-            self._parallelism, num_items, PlanWorkerFactory(snapshot_path, backend_name)
+            parallelism,
+            num_items,
+            PlanWorkerFactory(snapshot_path, backend_name, sharded=sharded),
+            partitions=partitions,
         ).start()
         return pool, pool.close
 
     def close(self) -> None:
-        """Release session-owned process resources (the warm worker pool, if
-        any).  Idempotent; a closed session can still run inline plans."""
+        """Release session-owned process resources (the warm worker pool and
+        the auto-created shard store directory, if any).  Idempotent; a
+        closed session can still run inline plans."""
         if self._pool_manager is not None:
             self._pool_manager.close()
+        if self._store_tmpdir is not None:
+            # the store directory is gone with the tempdir; dropping the store
+            # keeps inline plans on a closed session working (store-less)
+            self._store = None
+            self._store_tmpdir.cleanup()
+            self._store_tmpdir = None
 
     def __enter__(self) -> "GraphSession":
         return self

@@ -1,0 +1,46 @@
+"""Peak-RSS instrumentation for out-of-core workers (stdlib-only).
+
+The sharded-snapshot contract — "no worker process ever maps more than its
+own shard" — is asserted, not eyeballed: every plan worker reports how many
+bytes of snapshot file it actually mapped plus its process-wide peak resident
+set size, and the fig19 benchmark compares both against the configured
+memory budget.  ``resource.getrusage`` is POSIX-only; on platforms without it
+the helpers degrade to ``0`` (peak RSS unknown) rather than failing, since
+the numbers are observability, not control flow.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:  # pragma: no cover - resource is present on every POSIX python
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """The calling process's lifetime peak resident set size, in bytes.
+
+    ``ru_maxrss`` is reported in kilobytes on Linux and in bytes on macOS;
+    0 means the platform cannot report it.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return maxrss if sys.platform == "darwin" else maxrss * 1024
+
+
+def mapped_snapshot_bytes(csr) -> int:
+    """How many bytes of snapshot file ``csr`` keeps memory-mapped.
+
+    Zero-copy loads (monolithic or shard) keep their mapping alive through
+    ``_buffer_owner``; heap-built or copied snapshots map nothing.
+    """
+    owner = getattr(csr, "_buffer_owner", None)
+    if owner is None:
+        return 0
+    try:
+        return len(owner)
+    except TypeError:  # pragma: no cover - exotic buffer providers
+        return 0

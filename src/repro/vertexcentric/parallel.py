@@ -194,10 +194,30 @@ class ParallelSuperstepExecutor:
         parallelism: int,
         num_items: int,
         worker_factory: Callable[[int, int], Any],
+        *,
+        partitions: Sequence[tuple[int, int]] | None = None,
     ) -> None:
         if parallelism < 1:
             raise VertexCentricError("parallelism must be at least 1")
-        self.partitions = partition_range(num_items, parallelism)
+        if partitions is None:
+            self.partitions = partition_range(num_items, parallelism)
+        else:
+            # explicit geometry — the out-of-core path hands the sharded
+            # snapshot's manifest ranges straight in, so worker partitions
+            # and segment files align one-to-one
+            self.partitions = [(int(lo), int(hi)) for lo, hi in partitions]
+            expected_lo = 0
+            for lo, hi in self.partitions:
+                if lo != expected_lo or hi < lo:
+                    raise VertexCentricError(
+                        f"explicit partitions must be contiguous ascending over "
+                        f"[0, {num_items}), got {self.partitions}"
+                    )
+                expected_lo = hi
+            if expected_lo != num_items:
+                raise VertexCentricError(
+                    f"explicit partitions cover [0, {expected_lo}), expected [0, {num_items})"
+                )
         self._worker_factory = worker_factory
         self._procs: list = []
         self._conns: list = []
@@ -476,23 +496,51 @@ class VertexChunkWorker:
     def collect(self):  # pragma: no cover - master merges every superstep
         return None
 
+    def memory_stats(self, _payload=None) -> dict:
+        """This worker's snapshot footprint — the out-of-core assertion data."""
+        from repro.utils.memstats import mapped_snapshot_bytes, peak_rss_bytes
+
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "mapped_bytes": mapped_snapshot_bytes(self._coordinator.csr),
+            "peak_rss_bytes": peak_rss_bytes(),
+        }
+
 
 class VertexChunkWorkerFactory:
     """Builds a :class:`VertexChunkWorker` inside a forked worker process.
 
     Loads the run's snapshot file with ``mmap=True`` so all workers share one
     physical copy of the arrays; the compute ``executor`` object is inherited
-    through the fork.
+    through the fork.  With ``sharded=True`` the path is a shard *manifest*
+    and each worker maps only its own partition's segment file
+    (:func:`repro.graph.shard_store.load_shard` — the partition bounds must
+    equal the manifest's shard ranges), so no single process ever maps the
+    full graph.
     """
 
-    def __init__(self, snapshot_path, executor, mmap: bool = True, backend: str | None = None) -> None:
+    def __init__(
+        self,
+        snapshot_path,
+        executor,
+        mmap: bool = True,
+        backend: str | None = None,
+        sharded: bool = False,
+    ) -> None:
         self.snapshot_path = snapshot_path
         self.executor = executor
         self.mmap = mmap
         #: resolved backend name from the coordinator, so workers run the
         #: same kernels regardless of their inherited environment
         self.backend = backend
+        self.sharded = sharded
 
     def __call__(self, lo: int, hi: int) -> VertexChunkWorker:
-        csr = CSRGraph.load(self.snapshot_path, mmap=self.mmap, verify=False)
+        if self.sharded:
+            from repro.graph.shard_store import load_shard
+
+            csr: CSRGraph = load_shard(self.snapshot_path, (lo, hi), mmap=self.mmap)
+        else:
+            csr = CSRGraph.load(self.snapshot_path, mmap=self.mmap, verify=False)
         return VertexChunkWorker(csr, self.executor, lo, hi, backend=get_backend(self.backend))
