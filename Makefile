@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast test-session test-service bench bench-fig16 bench-fig17 bench-fig18 bench-fig19 smoke serve-smoke all help
+.PHONY: test test-fast test-session test-service bench bench-fig16 bench-fig17 bench-fig18 bench-fig19 bench-fig20 smoke serve-smoke all help
 
 help:
 	@echo "make test         - fast unit/integration suite (tests/)"
@@ -16,6 +16,7 @@ help:
 	@echo "make bench-fig17  - optimizing plan compiler (shared-sweep DAG) vs per-request"
 	@echo "make bench-fig18  - service result cache: cached vs uncached req/s"
 	@echo "make bench-fig19  - sharded snapshots: out-of-core memory ceiling + bit-identity"
+	@echo "make bench-fig20  - incremental maintenance: refresh + repair vs rebuild + recompute"
 	@echo "make smoke        - seconds-fast sanity subset (kernel, parity, algorithms)"
 	@echo "make serve-smoke  - boot 'repro serve' + concurrent HTTP clients end-to-end"
 	@echo "make all          - everything (tier-1 equivalent)"
@@ -46,6 +47,9 @@ bench-fig18:
 
 bench-fig19:
 	$(PYTEST) -q -rA benchmarks/test_bench_fig19_sharding.py
+
+bench-fig20:
+	$(PYTEST) -q -rA benchmarks/test_bench_fig20_incremental.py
 
 test-service:
 	$(PYTEST) -q tests/test_service.py tests/test_service_http.py \

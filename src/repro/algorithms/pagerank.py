@@ -36,13 +36,21 @@ def pagerank_kernel(
     max_iterations: int = 50,
     tolerance: float = 1.0e-9,
     backend: "KernelBackend | None" = None,
+    initial: list[float] | None = None,
 ) -> list[float]:
-    """Kernel-level entry point: per-index PageRank over a built snapshot."""
+    """Kernel-level entry point: per-index PageRank over a built snapshot.
+
+    ``initial`` warm-starts the power iteration from a previous rank vector
+    (the incremental-maintenance path); termination semantics are identical
+    to the cold run.
+    """
     if not 0.0 < damping < 1.0:
         raise ValueError("damping must be in (0, 1)")
     if csr.n == 0:
         return []
-    return (backend or get_backend()).pagerank(csr, damping, max_iterations, tolerance)
+    return (backend or get_backend()).pagerank(
+        csr, damping, max_iterations, tolerance, initial=initial
+    )
 
 
 def pagerank(

@@ -297,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shut down after serving N requests (smoke tests; default: run forever)",
     )
+    serve.add_argument(
+        "--incremental",
+        action="store_true",
+        help="journal mutations instead of rebuilding: POST /edges appends "
+        "to a delta journal, snapshots merge the delta over the mmap'd "
+        "base, and cached results of maintainable algorithms (pagerank, "
+        "components, bfs) are patched in place instead of evicted",
+    )
 
     return parser
 
@@ -626,6 +634,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             cache_size=args.cache_size,
             max_inflight=args.max_inflight,
             max_queue=args.max_queue,
+            incremental=args.incremental,
         )
         server = make_server(service, args.host, args.port, max_requests=args.max_requests)
         host, port = server.server_address[:2]

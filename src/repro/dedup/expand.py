@@ -31,8 +31,10 @@ def expand(condensed: CondensedGraph) -> ExpandedGraph:
         )
     for node in condensed.real_nodes():
         source = condensed.external(node)
+        # neighbor_set targets are unique and every real node is already a
+        # vertex, so the raw append path keeps expansion linear in the output
         for target in condensed.neighbor_set(node):
-            graph.add_edge(source, condensed.external(target))
+            graph._append_edge(source, condensed.external(target))
     for (source, target), properties in condensed.edge_annotations.items():
         external_source = condensed.external(source)
         external_target = condensed.external(target)

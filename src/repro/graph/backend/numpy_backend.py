@@ -231,10 +231,82 @@ class NumpyBackend(KernelBackend):
         return parents.tolist()
 
     # ------------------------------------------------------------------ #
+    # snapshot maintenance
+    # ------------------------------------------------------------------ #
+    def apply_overlay(self, csr: "CSRGraph", overlay, *, source=None) -> "CSRGraph":
+        """Vectorised delta-overlay merge, element-wise identical to the
+        reference :func:`repro.graph.delta.merge_overlay`.
+
+        Strips touched pairs with per-row masks over the flat target array
+        (only rows the overlay touched are visited in Python), scatters the
+        surviving targets to their shifted destinations in one gather, then
+        drops each row's sorted net additions at its end — ``O(n + m)`` array
+        work plus ``O(|delta|)`` loop iterations.
+        """
+        from repro.graph.kernel import CSRGraph
+
+        new_vertices, strip, additions = overlay.plan(csr)
+        offsets_v, targets_v = _views(csr)
+        base_n = csr.n
+        n = base_n + len(new_vertices)
+
+        keep = np.ones(targets_v.size, dtype=bool)
+        for row, dropped in strip.items():
+            if row >= base_n:
+                continue
+            start, end = int(offsets_v[row]), int(offsets_v[row + 1])
+            if start == end:
+                continue
+            keep[start:end] = ~np.isin(
+                targets_v[start:end],
+                np.fromiter(dropped, dtype=np.int64, count=len(dropped)),
+            )
+
+        keep_csum = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(keep, dtype=np.int64))
+        )
+        kept_per_row = np.zeros(n, dtype=np.int64)
+        kept_per_row[:base_n] = keep_csum[offsets_v[1:]] - keep_csum[offsets_v[:-1]]
+        add_per_row = np.zeros(n, dtype=np.int64)
+        for row, extra in additions.items():
+            add_per_row[row] = len(extra)
+
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(kept_per_row + add_per_row, out=offsets[1:])
+        merged = np.empty(int(offsets[-1]), dtype=np.int64)
+
+        kept = targets_v[keep]
+        if kept.size:
+            # destination of each surviving element: its position within the
+            # kept-per-row flat order plus the room additions open up in
+            # earlier rows
+            kept_offsets = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(kept_per_row[:base_n]))
+            )
+            shift = offsets[:base_n] - kept_offsets[:-1]
+            merged[np.arange(kept.size, dtype=np.int64) + np.repeat(shift, kept_per_row[:base_n])] = kept
+        for row, extra in additions.items():
+            end = int(offsets[row + 1])
+            merged[end - len(extra) : end] = extra
+
+        out_offsets = array("q")
+        out_offsets.frombytes(np.ascontiguousarray(offsets).tobytes())
+        out_targets = array("q")
+        out_targets.frombytes(np.ascontiguousarray(merged).tobytes())
+        return CSRGraph(
+            out_offsets, out_targets, list(csr.external_ids) + new_vertices, source=source
+        )
+
+    # ------------------------------------------------------------------ #
     # PageRank
     # ------------------------------------------------------------------ #
     def pagerank(
-        self, csr: "CSRGraph", damping: float, max_iterations: int, tolerance: float
+        self,
+        csr: "CSRGraph",
+        damping: float,
+        max_iterations: int,
+        tolerance: float,
+        initial: Sequence[float] | None = None,
     ) -> list[float]:
         """Vectorised power iteration, **bit-identical** to the reference.
 
@@ -257,7 +329,10 @@ class NumpyBackend(KernelBackend):
         scatter_index = np.concatenate((np.arange(n, dtype=np.int64), targets))
         weights = np.empty(n + targets.size, dtype=np.float64)
         shares = np.zeros(n, dtype=np.float64)
-        ranks = np.full(n, 1.0 / n, dtype=np.float64)
+        if initial is None:
+            ranks = np.full(n, 1.0 / n, dtype=np.float64)
+        else:
+            ranks = np.array(initial, dtype=np.float64)
         for _ in range(max_iterations):
             # sequential left-to-right sums in index order, like the
             # reference (the dangling set is typically tiny)

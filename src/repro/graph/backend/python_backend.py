@@ -178,16 +178,42 @@ class KernelBackend:
         csr.undirected_sets()
 
     # ------------------------------------------------------------------ #
+    # snapshot maintenance
+    # ------------------------------------------------------------------ #
+    def apply_overlay(self, csr: "CSRGraph", overlay, *, source=None) -> "CSRGraph":
+        """Merge a :class:`~repro.graph.delta.DeltaOverlay` over ``csr``.
+
+        Pure array copying — no graph traversal; every backend's merge must
+        be element-wise identical to the reference
+        (:func:`repro.graph.delta.merge_overlay`).
+        """
+        from repro.graph.delta import merge_overlay
+
+        return merge_overlay(csr, overlay, source=source)
+
+    # ------------------------------------------------------------------ #
     # PageRank
     # ------------------------------------------------------------------ #
     def pagerank(
-        self, csr: "CSRGraph", damping: float, max_iterations: int, tolerance: float
+        self,
+        csr: "CSRGraph",
+        damping: float,
+        max_iterations: int,
+        tolerance: float,
+        initial: Sequence[float] | None = None,
     ) -> list[float]:
-        """Dense power iteration; returns the per-index rank list."""
+        """Dense power iteration; returns the per-index rank list.
+
+        ``initial`` seeds the iteration (incremental warm starts) instead of
+        the uniform vector; the termination contract — per-iteration L1
+        change below ``tolerance``, capped at ``max_iterations`` — is
+        unchanged, so a converged warm run lands on the same fixed point as
+        the cold run.
+        """
         n = csr.n
         offsets = csr.offsets_list
         targets = csr.targets_list
-        ranks = [1.0 / n] * n
+        ranks = [1.0 / n] * n if initial is None else list(initial)
         for _ in range(max_iterations):
             dangling_mass = sum(
                 ranks[v] for v in range(n) if offsets[v + 1] == offsets[v]

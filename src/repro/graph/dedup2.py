@@ -179,6 +179,11 @@ class Dedup2Graph(Graph):
         """
         self.add_vertex(source)
         self.add_vertex(target)
+        if source == target:
+            # DEDUP-2 cannot represent self-loops (exists_edge(u, u) is
+            # always False); adding one is a no-op rather than leaving a
+            # junk single-member virtual node behind
+            return
         if self.exists_edge(source, target):
             return
         self.new_virtual_node([source, target])

@@ -55,7 +55,9 @@ class ExpandedGraph(Graph):
                     graph.add_edge(u, v)
         else:
             for u, v in edges:
-                graph.add_edge(u, v)
+                graph.add_vertex(u)
+                graph.add_vertex(v)
+                graph._append_edge(u, v)
         return graph
 
     # ------------------------------------------------------------------ #
@@ -117,6 +119,15 @@ class ExpandedGraph(Graph):
     def add_edge(self, source: VertexId, target: VertexId) -> None:
         self.add_vertex(source)
         self.add_vertex(target)
+        if target in self._out[source]:
+            # duplicate logical edge: a no-op, and crucially *not* a version
+            # bump — re-adding an existing edge must not stale the snapshot
+            return
+        self._append_edge(source, target)
+
+    def _append_edge(self, source: VertexId, target: VertexId) -> None:
+        """Raw adjacency append (no duplicate check) — the multigraph path
+        used by ``from_edges(deduplicate=False)`` and the dedup expander."""
         self._out[source].append(target)
         self._in[target].append(source)
         self._edge_count += 1

@@ -427,6 +427,7 @@ class SnapshotStore:
         *,
         shards: int | None = None,
         shard_threshold_bytes: int | None = None,
+        compact_fraction: float = 0.25,
     ) -> None:
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be at least 1 (got {shards})")
@@ -434,10 +435,18 @@ class SnapshotStore:
             raise ValueError(
                 f"shard_threshold_bytes must be positive (got {shard_threshold_bytes})"
             )
+        if not 0.0 < compact_fraction:
+            raise ValueError(
+                f"compact_fraction must be positive (got {compact_fraction})"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.shards = shards
         self.shard_threshold_bytes = shard_threshold_bytes
+        #: journal compaction threshold: a journaled graph's pending delta
+        #: records are folded into a fresh base snapshot once they exceed
+        #: this fraction of the base edge count
+        self.compact_fraction = compact_fraction
         #: outcome of the most recent :meth:`fetch` in *any* thread — ``"hit"``
         #: (file matched; the mmap load was returned), ``"stale"`` (file
         #: existed but was unreadable or its hash no longer matched;
@@ -449,11 +458,21 @@ class SnapshotStore:
         #: cumulative :meth:`fetch` outcome counts — the provenance
         #: instrumentation the session layer and its tests read; mutated under
         #: a lock, so totals stay exact under concurrent plans
-        self.counters: dict[str, int] = {"hit": 0, "stale": 0, "miss": 0}
+        self.counters: dict[str, int] = {
+            "hit": 0,
+            "stale": 0,
+            "miss": 0,
+            "base+delta": 0,
+            "compact": 0,
+        }
         self._lock = threading.Lock()
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{_slug(key)}.csr"
+
+    def delta_path_for(self, key: str) -> Path:
+        """Where a journaled graph's delta sidecar for ``key`` lives."""
+        return self.directory / f"{_slug(key)}.csrd"
 
     def manifest_path_for(self, key: str) -> Path:
         """Where a *sharded* snapshot's manifest for ``key`` lives."""
@@ -505,7 +524,9 @@ class SnapshotStore:
         self, graph: "Graph", key: str, *, mmap: bool = True
     ) -> "tuple[CSRGraph, str]":
         """The current snapshot of ``graph``, backed by the store, plus this
-        call's outcome: ``(snapshot, "hit" | "stale" | "miss")``.
+        call's outcome: ``(snapshot, "hit" | "stale" | "miss")`` — or, for a
+        :class:`~repro.graph.delta.JournaledGraph` with pending deltas,
+        ``"base+delta"`` / ``"compact"`` (see :meth:`_fetch_journaled`).
 
         Correctness-first caching: this *builds* (or reuses the in-process
         cache of) the graph's snapshot to compare content hashes, so it never
@@ -524,7 +545,15 @@ class SnapshotStore:
         ranges = self.shard_plan(snap)
         if ranges is not None:
             return self._fetch_sharded(graph, snap, key, ranges)
+        from repro.graph.delta import JournaledGraph
+
+        if isinstance(graph, JournaledGraph) and graph.journal.records:
+            return self._fetch_journaled(graph, snap, key, mmap=mmap)
         path = self.path_for(key)
+        if isinstance(graph, JournaledGraph):
+            # no pending deltas: the merged snapshot *is* the base, so the
+            # monolithic logic below applies and any delta sidecar is spent
+            self.delta_path_for(key).unlink(missing_ok=True)
         existed = path.exists()
         if existed:
             try:
@@ -539,6 +568,63 @@ class SnapshotStore:
         outcome = "stale" if existed else "miss"
         self._record(outcome)
         return snap, outcome
+
+    def _fetch_journaled(
+        self, graph, snap: "CSRGraph", key: str, *, mmap: bool = True
+    ) -> "tuple[CSRGraph, str]":
+        """:meth:`fetch` for a :class:`~repro.graph.delta.JournaledGraph`
+        with pending delta records.
+
+        Instead of declaring the persisted base stale and rewriting the whole
+        snapshot, the base file stays put and the pending records are synced
+        to the ``.csrd`` sidecar with ``O(new records)`` I/O — outcome
+        ``"base+delta"`` (the served snapshot is the overlay merge ``graph``
+        already holds; on a valid on-disk base its heap arrays are swapped
+        for the mmap load).  Once the journal outgrows
+        ``compact_fraction × base edges``, the merged snapshot is persisted
+        as a fresh base and the journal rebased onto it — outcome
+        ``"compact"``.  A corrupt sidecar falls back to a full rebuild
+        (outcome ``"stale"``) and leaves a provenance note on the graph.
+        """
+        path = self.path_for(key)
+        delta_path = self.delta_path_for(key)
+        journal = graph.journal
+        base = graph.base_snapshot
+
+        threshold = max(1, int(self.compact_fraction * base.num_edges))
+        if len(journal.records) > threshold:
+            save_snapshot(snap, path)
+            delta_path.unlink(missing_ok=True)
+            graph.rebase_onto(snap)
+            self._record("compact")
+            return snap, "compact"
+
+        base_on_disk = False
+        if path.exists():
+            try:
+                base_on_disk = peek_header(path).content_hash == base.content_hash
+            except SnapshotFormatError:
+                pass  # unreadable base: rewrite it below
+        if not base_on_disk:
+            save_snapshot(base, path)
+        try:
+            journal.sync(delta_path)
+        except SnapshotFormatError:
+            # corrupt sidecar: fall back to a clean full rebuild — persist
+            # the merged snapshot as the new base and rebase onto it
+            delta_path.unlink(missing_ok=True)
+            save_snapshot(snap, path)
+            graph.rebase_onto(snap, compacted=False)
+            graph.add_note(
+                "note: delta journal file was corrupt; rebuilt the base snapshot"
+            )
+            self._record("stale")
+            return snap, "stale"
+        if base_on_disk and mmap and base._buffer_owner is None:
+            loaded = load_snapshot(path, mmap=True, verify=False, source=graph)
+            graph.adopt_snapshot(loaded)
+        self._record("base+delta")
+        return snap, "base+delta"
 
     def _fetch_sharded(
         self, graph: "Graph", snap: "CSRGraph", key: str, ranges: list

@@ -1,0 +1,52 @@
+"""Dynamic algorithms: maintain previous results over a delta stream.
+
+The complement of :mod:`repro.graph.delta`: once mutations are journaled as
+edge deltas instead of invalidating the snapshot, results computed *before*
+the mutation can often be repaired instead of recomputed — the
+Berkholz-style "cheap re-answering after constant-time updates" frame the
+ROADMAP names for the paper's Section 4.4 mutation workloads.
+
+Each maintainer follows one contract::
+
+    maintain(prev_values, csr, delta, params, backend) -> values | None
+
+``prev_values`` is the algorithm's previous decoded result (external-ID
+keyed), ``csr`` the *current* merged snapshot, ``delta`` a
+:class:`~repro.incremental.base.DeltaView` of the records the previous
+result has not absorbed, ``params`` the request's effective parameters and
+``backend`` the resolved kernel backend.  The return value must satisfy the
+same equivalence contract the backends do: integer-valued results
+(components, BFS) **equal** a cold recompute on the current snapshot
+bit-for-bit; float-valued results (PageRank) match within the documented
+tolerance under the same termination contract.  ``None`` means "this delta
+is not cheaply maintainable" (e.g. a deletion that may split a component)
+and the caller falls back to the cold kernel.
+
+Registered maintainers (:data:`MAINTAINERS`) are wired into
+``PLAN_ALGORITHMS`` routing via ``PlanAlgorithm.maintainer``, so both the
+scheduled and compiled plan paths serve incremental nodes whenever a
+previous result plus a replayable journal window are available.
+"""
+
+from __future__ import annotations
+
+from repro.incremental.base import DeltaView, build_delta_view
+from repro.incremental.bfs import maintain_bfs
+from repro.incremental.components import maintain_components
+from repro.incremental.pagerank import maintain_pagerank
+
+#: maintainer name (``PlanAlgorithm.maintainer``) -> maintain callable
+MAINTAINERS = {
+    "components": maintain_components,
+    "pagerank": maintain_pagerank,
+    "bfs": maintain_bfs,
+}
+
+__all__ = [
+    "DeltaView",
+    "build_delta_view",
+    "MAINTAINERS",
+    "maintain_components",
+    "maintain_pagerank",
+    "maintain_bfs",
+]

@@ -1,0 +1,75 @@
+"""Delta-BFS: repair a distance map from the changed frontiers.
+
+With insertions only, exact previous distances are an *over*-estimate
+nowhere and an under-estimate nowhere — a new edge ``u -> v`` can only
+shorten paths through ``v``.  Label-correcting relaxation seeded from the
+added edges' improved endpoints therefore converges to the exact new
+distance map while visiting only the region the delta actually improved.
+
+Fallbacks (return ``None``):
+
+* any net removal whose endpoints look like a shortest-path tree edge
+  (``dist(v) == dist(u) + 1``) — the removal may lengthen or disconnect;
+  removals provably off every shortest path are ignored instead;
+* a depth-limited previous result (``max_depth``): repaired frontiers could
+  not distinguish "beyond the horizon" from "unreached".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.incremental.base import DeltaView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def maintain_bfs(
+    prev_values: dict,
+    csr: "CSRGraph",
+    delta: DeltaView,
+    params: dict,
+    backend: "KernelBackend",
+) -> dict | None:
+    if params.get("max_depth") is not None:
+        return None
+    source = params["source"]
+    if prev_values.get(source) != 0:
+        return None  # previous result is not a full-depth map from source
+    for u, v in delta.removed:
+        du = prev_values.get(u)
+        if du is not None and prev_values.get(v) == du + 1:
+            return None  # possibly a tree edge: repair is not monotone
+        # otherwise the removed edge lay on no shortest path; ignore it
+
+    index = csr._index
+    ids = csr.external_ids
+    n = csr.n
+    distances = [-1] * n
+    for vertex, distance in prev_values.items():
+        dense = index.get(vertex)
+        if dense is not None:
+            distances[dense] = distance
+
+    offsets = csr.offsets_list
+    targets = csr.targets_list
+    queue: deque[int] = deque()
+    for u, v in delta.added:
+        iu, iv = index[u], index[v]
+        du = distances[iu]
+        if du >= 0 and (distances[iv] < 0 or distances[iv] > du + 1):
+            distances[iv] = du + 1
+            queue.append(iv)
+    while queue:
+        current = queue.popleft()
+        next_distance = distances[current] + 1
+        for e in range(offsets[current], offsets[current + 1]):
+            neighbor = targets[e]
+            if distances[neighbor] < 0 or distances[neighbor] > next_distance:
+                distances[neighbor] = next_distance
+                queue.append(neighbor)
+
+    return {ids[v]: d for v, d in enumerate(distances) if d >= 0}

@@ -1,0 +1,77 @@
+"""Dynamic connected components: union-find over the delta stream.
+
+Edge additions only ever *merge* components, so the previous labeling plus a
+union per added pair determines the new partition exactly — no traversal of
+the snapshot at all, ``O(k α)`` for k added edges.  A net edge *removal* may
+split a component, and deciding whether it does costs a reachability query,
+so deletions fall back to the cold kernel (return ``None``).
+
+The cold kernels label components 0-based in order of each component's
+first dense vertex; identical partitions therefore canonicalise to identical
+labelings, which is what makes the maintained result bit-identical to a
+cold recompute.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.incremental.base import DeltaView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.backend.python_backend import KernelBackend
+    from repro.graph.kernel import CSRGraph
+
+
+def maintain_components(
+    prev_values: dict,
+    csr: "CSRGraph",
+    delta: DeltaView,
+    params: dict,
+    backend: "KernelBackend",
+) -> dict | None:
+    if delta.removed:
+        return None  # a removal may split; recompute decides
+
+    ids = csr.external_ids
+    n = csr.n
+    index = csr._index
+    parent = list(range(n))
+
+    def find(item: int) -> int:
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    # seed the forest with the previous partition: vertices sharing a prev
+    # label join one set (vertices the previous result does not know — new
+    # ones — stay singletons)
+    anchor: dict = {}
+    for vertex in ids:
+        label = prev_values.get(vertex)
+        if label is None:
+            continue
+        dense = index[vertex]
+        if label in anchor:
+            union(anchor[label], dense)
+        else:
+            anchor[label] = dense
+    for u, v in delta.added:
+        union(index[u], index[v])
+
+    # canonical relabel: 0-based in first-vertex order, exactly the kernels'
+    labels_of_root: dict[int, int] = {}
+    values: dict = {}
+    for dense, vertex in enumerate(ids):
+        root = find(dense)
+        label = labels_of_root.get(root)
+        if label is None:
+            label = labels_of_root[root] = len(labels_of_root)
+        values[vertex] = label
+    return values

@@ -32,6 +32,14 @@ it does three things:
 Mutations (:meth:`add_edge`) go through the same object: the graph's version
 bump gives the next snapshot a new content hash (all old cache keys
 unmatchable), and entries under the superseded hash are evicted eagerly.
+
+**Incremental mode** (``incremental=True``) wraps the served graph in a
+:class:`~repro.graph.delta.JournaledGraph`: mutations become O(1) journal
+appends, snapshots merge the delta over the mmap'd base instead of
+rebuilding, and a mutation's cache sweep turns from evict-everything into
+patch-what-we-can — superseded entries whose algorithm has a dynamic
+maintainer (:mod:`repro.incremental`) are repaired in place and re-cached
+under the new snapshot hash; only the rest are evicted.
 """
 
 from __future__ import annotations
@@ -120,11 +128,21 @@ class GraphService:
         cache_size: int = 128,
         max_inflight: int = 4,
         max_queue: int = 16,
+        incremental: bool = False,
     ) -> None:
         if max_inflight < 1:
             raise UsageError(f"max_inflight must be at least 1 (got {max_inflight})")
         if max_queue < 0:
             raise UsageError(f"max_queue must be non-negative (got {max_queue})")
+        self.incremental = incremental
+        if incremental:
+            from repro.graph.delta import JournaledGraph
+
+            if not isinstance(handle.graph, JournaledGraph):
+                # re-wrap through the session so the journaled handle gets
+                # its own store key / snapshot cache line; the original
+                # handle (and its graph) stay untouched for the caller
+                handle = session.wrap(JournaledGraph(handle.graph))
         self.session = session
         self.handle = handle
         self.cache = ResultCache(cache_size)
@@ -213,11 +231,22 @@ class GraphService:
                 store.shard_threshold_bytes if store is not None else None
             ),
         }
+        journal = getattr(self.handle.graph, "journal", None)
+        journal_stats = None
+        if journal is not None:
+            journal_stats = {
+                "pending": len(journal.records),
+                "total": journal.total,
+                "compactions": journal.compactions,
+                "patched": self.cache.stats()["patched"],
+                "evicted": self.cache.stats()["invalidations"],
+            }
         return {
             "cache": self.cache.stats(),
             "admission": admission,
             "pool": dict(pool_manager.counters) if pool_manager is not None else None,
             "sharding": sharding,
+            "journal": journal_stats,
         }
 
     # ------------------------------------------------------------------ #
@@ -313,6 +342,7 @@ class GraphService:
                 snapshot_source="result-cache",
                 parallelism=self.session.parallelism,
             )
+        journal = getattr(self.handle.graph, "journal", None)
         return AnalysisReport(
             results=results,
             provenance=provenance,
@@ -324,6 +354,13 @@ class GraphService:
             nodes_reused=fresh_report.nodes_reused if fresh_report else 0,
             worker_memory=fresh_report.worker_memory if fresh_report else [],
             cache={"hits": hits, "misses": misses, "queue_depth": self.queue_depth},
+            journal=None
+            if journal is None
+            else {
+                "pending": len(journal.records),
+                "total": journal.total,
+                "compactions": journal.compactions,
+            },
         )
 
     # ------------------------------------------------------------------ #
@@ -336,8 +373,14 @@ class GraphService:
         Missing endpoints are created.  The mutation bumps the graph's
         version, so the next snapshot carries a new content hash — every
         cached result's key stops matching automatically; entries under the
-        superseded hash are also evicted eagerly, and the response reports
-        both hashes so clients can watch the epoch move.
+        superseded hash are swept eagerly, and the response reports both
+        hashes so clients can watch the epoch move.
+
+        On a plain service the sweep evicts everything.  On an incremental
+        service it patches instead: each superseded entry whose algorithm
+        has a dynamic maintainer is repaired over the delta journal and
+        re-cached under the new hash (reported as ``patched``); only
+        entries no maintainer could repair are evicted.
         """
         if not isinstance(payload, dict):
             raise UsageError("request body must be a JSON object")
@@ -356,9 +399,13 @@ class GraphService:
                     created.append(vertex)
             graph.add_edge(source, target)
             new_hash = self.handle.snapshot().content_hash
-            invalidated = (
-                self.cache.invalidate(old_hash) if new_hash != old_hash else 0
-            )
+            invalidated = 0
+            patched = 0
+            if new_hash != old_hash:
+                if self.incremental:
+                    patched, invalidated = self._patch_cache(old_hash, new_hash)
+                else:
+                    invalidated = self.cache.invalidate(old_hash)
         return {
             "source": encode_value(source),
             "target": encode_value(target),
@@ -366,7 +413,52 @@ class GraphService:
             "old_content_hash": old_hash.hex(),
             "content_hash": new_hash.hex(),
             "invalidated": invalidated,
+            "patched": patched,
         }
+
+    def _patch_cache(self, old_hash: bytes, new_hash: bytes) -> tuple[int, int]:
+        """Sweep superseded cache entries through the dynamic maintainers:
+        repaired entries re-enter under ``new_hash``, the rest are evicted.
+        Returns ``(patched, evicted)``.  Caller holds ``_mutate_lock``."""
+        entries = self.cache.take(old_hash)
+        if not entries:
+            return 0, 0
+        csr = self.handle.snapshot()
+        backend = self.session.backend
+        delta_edges = self.handle._delta_edges
+        patched = 0
+        evicted = 0
+        for key, result in entries:
+            spec = PLAN_ALGORITHMS.get(result.algorithm)
+            served = None
+            if spec is not None and spec.maintainer is not None:
+                served = self.handle._incremental_serve(
+                    result.algorithm, spec.maintainer, result.params, csr, backend
+                )
+            if served is None:
+                self.cache.record_eviction()
+                evicted += 1
+                continue
+            values, seconds, note = served
+            self.cache.put(
+                (new_hash.hex(),) + key[1:],
+                replace(
+                    result,
+                    values=values,
+                    seconds=seconds,
+                    engine="incremental",
+                    provenance=replace(
+                        result.provenance,
+                        snapshot_source="base+delta",
+                        delta_edges=delta_edges,
+                    ),
+                    notes=(note,),
+                    nodes=(),
+                ),
+            )
+            self.cache.record_patch()
+            patched += 1
+        return patched, evicted
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -14,7 +14,11 @@ The **content hash** term is what makes invalidation automatic: a mutation
 and every request computes a key no stale entry can match.  Entries under
 superseded hashes are additionally evicted eagerly (``invalidate``) so a
 long-lived service does not accumulate results for graphs that no longer
-exist.  **Canonicalized parameters** (sorted ``key=repr(value)`` pairs over
+exist.  An *incremental* service does better for maintainable algorithms:
+it ``take()``-s the superseded entries, repairs their values through the
+dynamic maintainers (:mod:`repro.incremental`) and re-inserts them under
+the new hash (``patched`` counts these), evicting only what no maintainer
+could repair.  **Canonicalized parameters** (sorted ``key=repr(value)`` pairs over
 the *effective* params, defaults filled in) make ``pagerank()`` and
 ``pagerank(damping=0.85)`` the same entry — the same normalisation the plan
 compiler uses for its structural node keys.
@@ -60,6 +64,7 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.patched = 0
 
     def get(self, key: tuple) -> AnalysisResult | None:
         """The cached result for ``key`` (refreshing its LRU position), or
@@ -94,6 +99,27 @@ class ResultCache:
             self.invalidations += len(stale)
             return len(stale)
 
+    def take(self, content_hash: bytes | str) -> list[tuple[tuple, AnalysisResult]]:
+        """Remove and return every ``(key, result)`` cached against
+        ``content_hash`` — the incremental service's patch-or-evict walk.
+        Removal is *not* counted as an invalidation; the caller accounts for
+        each entry's fate (``record_patch`` vs ``record_eviction``)."""
+        digest = content_hash.hex() if isinstance(content_hash, bytes) else content_hash
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == digest]
+            return [(key, self._entries.pop(key)) for key in stale]
+
+    def record_patch(self) -> None:
+        """Count one superseded entry repaired in place (re-inserted under
+        the new snapshot hash by a dynamic maintainer)."""
+        with self._lock:
+            self.patched += 1
+
+    def record_eviction(self) -> None:
+        """Count one superseded entry no maintainer could repair."""
+        with self._lock:
+            self.invalidations += 1
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -110,6 +136,7 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "patched": self.patched,
                 "entries": len(self._entries),
                 "capacity": self.capacity,
             }

@@ -86,6 +86,7 @@ def encode_provenance(provenance: Provenance | None) -> dict | None:
         "snapshot_source": provenance.snapshot_source,
         "parallelism": provenance.parallelism,
         "shards": provenance.shards,
+        "delta_edges": provenance.delta_edges,
     }
 
 
@@ -99,6 +100,8 @@ def decode_provenance(data: dict | None) -> Provenance | None:
         parallelism=data["parallelism"],
         # absent in payloads encoded before sharding existed
         shards=data.get("shards", 0),
+        # absent in payloads encoded before the delta journal existed
+        delta_edges=data.get("delta_edges", 0),
     )
 
 
@@ -159,6 +162,7 @@ def encode_report(report: AnalysisReport) -> dict:
         "nodes_computed": report.nodes_computed,
         "nodes_reused": report.nodes_reused,
         "cache": dict(report.cache) if report.cache is not None else None,
+        "journal": dict(report.journal) if report.journal is not None else None,
         "worker_memory": [dict(entry) for entry in report.worker_memory],
     }
 
@@ -174,6 +178,8 @@ def decode_report(data: dict) -> AnalysisReport:
         nodes_computed=data["nodes_computed"],
         nodes_reused=data["nodes_reused"],
         cache=dict(data["cache"]) if data.get("cache") is not None else None,
+        # absent in payloads encoded before the delta journal existed
+        journal=dict(data["journal"]) if data.get("journal") is not None else None,
         # absent in payloads encoded before out-of-core execution existed
         worker_memory=[dict(entry) for entry in data.get("worker_memory", [])],
     )

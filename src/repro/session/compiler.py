@@ -301,6 +301,7 @@ def compile_plan(
     parallelism: int,
     *,
     oc: bool = False,
+    incremental: dict[str, tuple[Any, float, str]] | None = None,
 ) -> CompiledPlan:
     """Lower a request list into a deduplicated node DAG (no execution).
 
@@ -312,6 +313,13 @@ def compile_plan(
     sweep still fuses demands exactly as at ``parallelism == 1`` (stream
     betweenness and bfs coverage included), because the coordinator holds
     the full heap snapshot it built.
+
+    ``incremental`` maps structural algo keys to pre-served
+    ``(values, seconds, note)`` triples from the handle's dynamic
+    maintainers (see :mod:`repro.incremental`): those requests compile to
+    already-``done`` ``"incremental"`` nodes that place no demand on the
+    sweep, the derive views or the pool decision — a plan whose every
+    request was maintained forks no pool and writes no snapshot file.
     """
     from repro.session.plan import _encode_source
 
@@ -328,13 +336,29 @@ def compile_plan(
         key = _algo_key(spec.name, params)
         node = by_key.get(key)
         if node is None:
-            node = by_key[key] = Node(
-                key=key,
-                kind="algo",
-                spec=spec,
-                params=params,
-                est_seconds=cost.request_seconds(spec.name, params, csr),
-            )
+            served = None if incremental is None else incremental.get(key)
+            if served is not None:
+                values, seconds, note = served
+                node = Node(
+                    key=key,
+                    kind="algo",
+                    mode="incremental",
+                    spec=spec,
+                    params=params,
+                    notes=(note,),
+                    done=True,
+                    value=values,
+                    seconds=seconds,
+                )
+            else:
+                node = Node(
+                    key=key,
+                    kind="algo",
+                    spec=spec,
+                    params=params,
+                    est_seconds=cost.request_seconds(spec.name, params, csr),
+                )
+            by_key[key] = node
             algo_nodes.append(node)
         bindings.append(node)
 
@@ -343,6 +367,8 @@ def compile_plan(
     sweep = SweepPlan(node=Node(key="sweep", kind="sweep"))
     demanding: list[Node] = []
     for node in algo_nodes:
+        if node.mode == "incremental":
+            continue
         name = node.spec.name
         params = node.params
         if name == "closeness" and n > 0:
@@ -382,6 +408,7 @@ def compile_plan(
     for node in algo_nodes:
         if (
             node.spec.name == "bfs"
+            and node.mode != "incremental"
             and node.demand is None
             and not pool_sweep
             and sweep.covers_all
@@ -420,6 +447,8 @@ def compile_plan(
     for node in algo_nodes:
         spec, params = node.spec, node.params
         notes: list[str] = []
+        if node.mode == "incremental":
+            continue
         if id(node) in covered:
             node.mode = "sweep"
             continue
@@ -661,6 +690,8 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
     csr = handle.snapshot()
     snapshot_seconds = time.perf_counter() - tick
     snapshot_source = handle.snapshot_source
+    delta_edges = handle._delta_edges
+    snapshot_notes = handle.consume_snapshot_notes()
 
     # out-of-core: the session store's sharding policy decides once per plan;
     # a non-None plan is the exact shard geometry, reused as the worker
@@ -670,7 +701,24 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
         oc_ranges = session.store.shard_plan(csr)
     oc = oc_ranges is not None
 
-    compiled = compile_plan(plan._requests, csr, backend, parallelism, oc=oc)
+    # pre-serve dynamic maintainers over the delta journal before lowering:
+    # served requests compile to already-done "incremental" nodes, so they
+    # never pull a sweep, a derive view or a pool into existence
+    incremental_served: dict[str, tuple[Any, float, str]] = {}
+    for spec, params in plan._requests:
+        if spec.maintainer is None:
+            continue
+        key = _algo_key(spec.name, params)
+        if key in incremental_served:
+            continue
+        served = handle._incremental_serve(spec.name, spec.maintainer, params, csr, backend)
+        if served is not None:
+            incremental_served[key] = served
+            CompilerCounters.nodes_computed += 1
+
+    compiled = compile_plan(
+        plan._requests, csr, backend, parallelism, oc=oc, incremental=incremental_served
+    )
     CompilerCounters.plans_compiled += 1
     snapshot_node = Node(
         key="snapshot", kind="snapshot", seconds=snapshot_seconds, done=True
@@ -801,8 +849,9 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                     "chunks": "chunks",
                     "task": "kernel",
                     "inline": "kernel",
+                    "incremental": "incremental",
                 }[node.mode]
-                scheduled = "inline" if node.mode == "inline" else "pool"
+                scheduled = "inline" if node.mode in ("inline", "incremental") else "pool"
                 result_parallelism = (
                     parallelism if node.mode in ("superstep", "chunks") else 1
                 )
@@ -812,6 +861,12 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                     result_source = "shard-mmap"
                     result_parallelism = len(pool.partitions)
                     result_shards = len(oc_ranges)
+
+            # a freshly computed maintainable result seeds the handle's
+            # incremental store so the *next* run after mutations can serve
+            # it from the journal (idempotent for duplicate bindings)
+            if spec.maintainer is not None and node.mode != "incremental":
+                handle._incremental_record(spec.name, params, node.value)
 
             count = seen_labels.get(spec.name, 0) + 1
             seen_labels[spec.name] = count
@@ -830,8 +885,9 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                         snapshot_source=result_source,
                         parallelism=result_parallelism,
                         shards=result_shards,
+                        delta_edges=delta_edges,
                     ),
-                    notes=node.notes,
+                    notes=node.notes + snapshot_notes,
                     scheduled=scheduled,
                     nodes=tuple(provenance_nodes),
                 )
@@ -857,6 +913,7 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
                 computed_total += 1
             else:
                 reused_total += 1
+    journal = getattr(handle.graph, "journal", None)
     return AnalysisReport(
         results=results,
         provenance=Provenance(
@@ -865,6 +922,7 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
             snapshot_source="shard-mmap" if (oc and worker_memory) else snapshot_source,
             parallelism=parallelism,
             shards=len(oc_ranges) if oc else 0,
+            delta_edges=delta_edges,
         ),
         total_seconds=time.perf_counter() - started,
         snapshot_builds=handle.builds - builds_before,
@@ -872,5 +930,12 @@ def run_compiled(plan: "AnalysisPlan") -> AnalysisReport:
         snapshot_writes=snapshot_store.saves_in_thread() - writes_before,
         nodes_computed=computed_total,
         nodes_reused=reused_total,
+        journal=None
+        if journal is None
+        else {
+            "pending": len(journal.records),
+            "total": journal.total,
+            "compactions": journal.compactions,
+        },
         worker_memory=worker_memory,
     )

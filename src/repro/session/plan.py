@@ -377,6 +377,12 @@ class PlanAlgorithm:
     #: (params, csr) -> whether this request may take the chunk path
     #: (None = always); ineligible requests run the serial kernel
     chunk_ok: Callable[[dict, "CSRGraph"], bool] | None = None
+    #: name of this algorithm's dynamic maintainer in
+    #: :data:`repro.incremental.MAINTAINERS`, or None when no incremental
+    #: path exists.  When the handle's graph is journaled and a previous
+    #: result plus a replayable journal window are available, routing serves
+    #: the request incrementally instead of executing any kernel.
+    maintainer: str | None = None
 
 
 PLAN_ALGORITHMS: dict[str, PlanAlgorithm] = {
@@ -401,6 +407,7 @@ PLAN_ALGORITHMS: dict[str, PlanAlgorithm] = {
                 f"({SUPERSTEP_PAGERANK_ITERATIONS} fixed iterations); "
                 "low-order digits may differ from the serial kernel"
             ),
+            maintainer="pagerank",
         ),
         PlanAlgorithm(
             "components",
@@ -408,6 +415,7 @@ PLAN_ALGORITHMS: dict[str, PlanAlgorithm] = {
             kernel=_kernel_components,
             superstep=_superstep_components,
             requires_symmetric=True,
+            maintainer="components",
         ),
         PlanAlgorithm(
             "bfs",
@@ -417,6 +425,7 @@ PLAN_ALGORITHMS: dict[str, PlanAlgorithm] = {
             superstep=_superstep_bfs,
             requires_symmetric=True,
             superstep_params_ok=_bfs_superstep_params_ok,
+            maintainer="bfs",
         ),
         PlanAlgorithm("kcore", defaults={}, kernel=_kernel_kcore),
         PlanAlgorithm(
@@ -691,6 +700,8 @@ class AnalysisPlan:
         writes_before = snapshot_store.saves_in_thread()
         csr = handle.snapshot()
         snapshot_source = handle.snapshot_source
+        delta_edges = handle._delta_edges
+        snapshot_notes = handle.consume_snapshot_notes()
 
         # out-of-core: the session store's sharding policy decides once per
         # plan; a non-None plan is the exact shard geometry — reused as the
@@ -701,6 +712,20 @@ class AnalysisPlan:
         oc = oc_ranges is not None
 
         routed = self._route(csr, parallelism, oc=oc)
+        # incremental serving: a maintainable request with a remembered
+        # previous result and a replayable journal window never touches a
+        # kernel — the dynamic maintainer repairs the old values instead
+        incremental: dict[int, tuple[Any, float]] = {}
+        for index, (spec, params) in enumerate(self._requests):
+            if spec.maintainer is None:
+                continue
+            served = handle._incremental_serve(
+                spec.name, spec.maintainer, params, csr, backend
+            )
+            if served is not None:
+                values, seconds, note = served
+                incremental[index] = (values, seconds)
+                routed[index] = ("incremental", [note])
         modes = [mode for mode, _ in routed]
         # one concurrent task cannot beat running it inline; require either a
         # pool-parallel request or at least two concurrent tasks before
@@ -781,10 +806,17 @@ class AnalysisPlan:
                     # executed concurrently above; seconds are worker-measured
                     seconds, values = task_results[position]
                     engine = "kernel"
+                elif mode == "incremental":
+                    values, seconds = incremental[position]
+                    engine = "incremental"
                 else:
                     values = spec.kernel(csr, backend, params)
                     seconds = time.perf_counter() - tick
                     engine = "kernel"
+                if spec.maintainer is not None and mode != "incremental":
+                    # remember the fresh result so future plans (and
+                    # handle.refresh()) can maintain it over deltas
+                    handle._incremental_record(spec.name, params, values)
 
                 count = seen_labels.get(spec.name, 0) + 1
                 seen_labels[spec.name] = count
@@ -814,9 +846,10 @@ class AnalysisPlan:
                             snapshot_source=result_source,
                             parallelism=result_parallelism,
                             shards=result_shards,
+                            delta_edges=delta_edges,
                         ),
-                        notes=tuple(notes),
-                        scheduled="inline" if mode == "inline" else "pool",
+                        notes=tuple(notes) + snapshot_notes,
+                        scheduled="inline" if mode in ("inline", "incremental") else "pool",
                     )
                 )
 
@@ -834,6 +867,7 @@ class AnalysisPlan:
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
 
+        journal = getattr(handle.graph, "journal", None)
         return AnalysisReport(
             results=results,
             provenance=Provenance(
@@ -842,10 +876,20 @@ class AnalysisPlan:
                 snapshot_source="shard-mmap" if (oc and worker_memory) else snapshot_source,
                 parallelism=parallelism,
                 shards=len(oc_ranges) if oc else 0,
+                delta_edges=delta_edges,
             ),
             total_seconds=time.perf_counter() - started,
             snapshot_builds=handle.builds - builds_before,
             pool_starts=pool_starts_in_thread() - pool_starts_before,
             snapshot_writes=snapshot_store.saves_in_thread() - writes_before,
+            journal=(
+                None
+                if journal is None
+                else {
+                    "pending": len(journal.records),
+                    "total": journal.total,
+                    "compactions": journal.compactions,
+                }
+            ),
             worker_memory=worker_memory,
         )

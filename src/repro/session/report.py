@@ -65,6 +65,9 @@ class Provenance:
     parallelism: int
     #: shard segment files behind this execution (0 = monolithic snapshot)
     shards: int = 0
+    #: pending edge-delta records merged over the base snapshot when the
+    #: graph is journaled (``snapshot_source="base+delta"``); 0 otherwise
+    delta_edges: int = 0
 
 
 @dataclass
@@ -83,8 +86,10 @@ class AnalysisResult:
     #: worker-measured for pool-dispatched serial kernels, which overlap)
     seconds: float
     #: ``"kernel"`` (serial backend kernel), ``"superstep"`` (parallel
-    #: vertex-centric executor) or ``"chunks"`` (chunk-parallel direct kernel
-    #: merged from per-partition partials)
+    #: vertex-centric executor), ``"chunks"`` (chunk-parallel direct kernel
+    #: merged from per-partition partials) or ``"incremental"`` (a dynamic
+    #: maintainer repaired the previous result over the delta journal — no
+    #: kernel ran)
     engine: str
     provenance: Provenance
     #: human-readable execution notes (e.g. a serial fallback explanation)
@@ -140,6 +145,10 @@ class AnalysisReport:
     #: "queue_depth": 0}``); None for reports produced by a plain
     #: ``AnalysisPlan.run()``
     cache: dict[str, int] | None = None
+    #: delta-journal counters for journaled graphs (e.g. ``{"pending": 3,
+    #: "total": 17, "compactions": 1}``); None when the analyzed graph has no
+    #: journal
+    journal: dict[str, int] | None = None
     #: per-worker snapshot footprints for out-of-core runs, in partition
     #: order: ``{"lo", "hi", "mapped_bytes", "peak_rss_bytes"}`` dicts (see
     #: :meth:`repro.session.scheduler.PlanWorker.memory_stats`).  Empty when
@@ -198,9 +207,10 @@ class AnalysisReport:
         if self.provenance is not None:
             p = self.provenance
             sharding = f" shards={p.shards}" if p.shards else ""
+            deltas = f" delta_edges={p.delta_edges}" if p.delta_edges else ""
             lines.append(
                 f"analysis of {p.representation} snapshot ({p.snapshot_source}) "
-                f"on backend={p.backend} parallelism={p.parallelism}{sharding}: "
+                f"on backend={p.backend} parallelism={p.parallelism}{sharding}{deltas}: "
                 f"{len(self.results)} algorithm(s), "
                 f"{self.snapshot_builds} snapshot build(s), "
                 f"{self.total_seconds:.3f}s total"
@@ -209,6 +219,13 @@ class AnalysisReport:
             lines.append(
                 "  result cache: "
                 + " ".join(f"{key}={value}" for key, value in sorted(self.cache.items()))
+            )
+        if self.journal is not None:
+            lines.append(
+                "  delta journal: "
+                + " ".join(
+                    f"{key}={value}" for key, value in sorted(self.journal.items())
+                )
             )
         for result in self.results:
             lines.append(

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.config import ExtractionOptions
@@ -41,7 +43,7 @@ from repro.core.graphgen import ExtractionResult, GraphGen
 from repro.exceptions import UsageError
 from repro.graph.backend import get_backend
 from repro.graph.snapshot_store import SnapshotStore, ensure_saved
-from repro.session.plan import AnalysisPlan
+from repro.session.plan import PLAN_ALGORITHMS, AnalysisPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dsl.ast import GraphSpec
@@ -50,6 +52,42 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.backend.python_backend import KernelBackend
     from repro.graph.kernel import CSRGraph
     from repro.relational.database import Database
+
+
+@dataclass
+class RefreshReport:
+    """Outcome of :meth:`GraphHandle.refresh` — what applying the journal
+    cost, and which previous results were maintained vs. dropped."""
+
+    #: pending edge-delta records the refresh merged over the base snapshot
+    delta_edges: int
+    #: provenance of the refreshed snapshot (``"base+delta"`` when the
+    #: journal was applied; ``"heap"``/``"cache-hit"`` etc. otherwise)
+    snapshot_source: str | None
+    #: labels of previous results the dynamic maintainers carried forward
+    maintained: list[str] = field(default_factory=list)
+    #: labels of previous results that could not be maintained (recomputed
+    #: cold on their next request)
+    dropped: list[str] = field(default_factory=list)
+    #: wall-clock seconds for the whole refresh
+    seconds: float = 0.0
+
+
+@dataclass
+class _IncrementalEntry:
+    """A previous result a dynamic maintainer can carry over deltas."""
+
+    #: algorithm registry name
+    algorithm: str
+    #: effective parameters of the remembered run
+    params: dict[str, Any]
+    #: journal position (``journal.total``) the values are exact at
+    position: int
+    #: private copy of the decoded values
+    values: dict
+    #: journal generation the position is valid for (a rebaseline that could
+    #: not be expressed as edge records bumps it, invalidating the entry)
+    generation: int
 
 
 class GraphHandle:
@@ -83,6 +121,12 @@ class GraphHandle:
         self.extraction = extraction
         self._builds = 0
         self._snapshot_source: str | None = None
+        #: pending edge-delta records behind the most recent snapshot (0 for
+        #: non-journaled graphs) — surfaced as ``Provenance.delta_edges``
+        self._delta_edges = 0
+        # previous results the dynamic maintainers can carry over deltas,
+        # keyed (algorithm, canonical params); journaled graphs only
+        self._incremental: dict[tuple[str, str], _IncrementalEntry] = {}
         # serialises snapshot builds/persists across service request threads:
         # concurrent analyses of one dataset share one build instead of
         # racing to produce two (RLock: persist() calls snapshot())
@@ -133,6 +177,7 @@ class GraphHandle:
             cached = self.graph.cached_snapshot()
             if cached is not None:
                 self._snapshot_source = "cache-hit"
+                self._delta_edges = getattr(self.graph, "delta_edges", 0)
                 return cached
             store = self.session.store
             if store is not None:
@@ -140,7 +185,12 @@ class GraphHandle:
                 # another thread's fetch on the same store could land between
                 # the two (see SnapshotStore.fetch)
                 csr, outcome = store.fetch(self.graph, self.store_key)
-                if outcome == "hit" and csr._buffer_owner is None:
+                if outcome == "base+delta":
+                    # journaled graph: the base file stayed put, pending
+                    # deltas went to the .csrd sidecar, and the served
+                    # snapshot is the overlay merge
+                    self._snapshot_source = "base+delta"
+                elif outcome == "hit" and csr._buffer_owner is None:
                     # sharded-store hit: the coordinator keeps its heap
                     # arrays (only workers map segment files), so "mmap"
                     # would misstate where these arrays live
@@ -149,7 +199,11 @@ class GraphHandle:
                     self._snapshot_source = "mmap" if outcome == "hit" else "heap"
             else:
                 csr = self.graph.snapshot()
-                self._snapshot_source = "heap"
+                journal = getattr(self.graph, "journal", None)
+                self._snapshot_source = (
+                    "base+delta" if journal is not None and journal.records else "heap"
+                )
+            self._delta_edges = getattr(self.graph, "delta_edges", 0)
             self._builds += 1
             return csr
 
@@ -178,6 +232,129 @@ class GraphHandle:
                     )
                 )
             return str(ensure_saved(snap, store.path_for(self.store_key)))
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance (journaled graphs)
+    # ------------------------------------------------------------------ #
+    def consume_snapshot_notes(self) -> tuple[str, ...]:
+        """Drain any provenance notes the journaled graph queued for the
+        next snapshot consumer (corrupt-sidecar rebuilds, out-of-band
+        mutation detection); empty for non-journaled graphs."""
+        consume = getattr(self.graph, "consume_notes", None)
+        return consume() if consume is not None else ()
+
+    @staticmethod
+    def _incremental_key(name: str, params: dict) -> tuple[str, str]:
+        return name, repr(sorted(params.items(), key=lambda item: item[0]))
+
+    def _incremental_record(self, name: str, params: dict, values: Any) -> None:
+        """Remember a freshly computed result so the dynamic maintainers can
+        carry it over future deltas.  No-op for non-journaled graphs and for
+        non-dict result shapes."""
+        journal = getattr(self.graph, "journal", None)
+        if journal is None or not isinstance(values, dict):
+            return
+        with self._lock:
+            self._incremental[self._incremental_key(name, params)] = _IncrementalEntry(
+                algorithm=name,
+                params=dict(params),
+                position=journal.total,
+                values=dict(values),
+                generation=self.graph.generation,
+            )
+
+    def _incremental_serve(
+        self, name: str, maintainer_name: str, params: dict, csr: "CSRGraph", backend
+    ) -> "tuple[Any, float, str] | None":
+        """Serve ``name(params)`` by maintaining the remembered previous
+        result over the journal window, or ``None`` to fall back cold.
+
+        ``csr`` must be the handle's *current* snapshot (the caller just
+        fetched it, pinning ``journal.total``).  On success the remembered
+        entry advances to the current position and a fresh copy of the
+        values is returned with the maintenance seconds and a provenance
+        note; unmaintainable entries are dropped so they do not retry on
+        every plan.
+        """
+        from repro.incremental import MAINTAINERS, build_delta_view
+
+        journal = getattr(self.graph, "journal", None)
+        if journal is None:
+            return None
+        key = self._incremental_key(name, params)
+        with self._lock:
+            entry = self._incremental.get(key)
+            if entry is None:
+                return None
+            if entry.generation != self.graph.generation:
+                # a rebaseline (vertex deletion, out-of-band mutation) broke
+                # the delta stream the entry is keyed to
+                del self._incremental[key]
+                return None
+            records = journal.records_since(entry.position)
+            if records is None:
+                # the entry predates the current base (compacted away before
+                # it could be maintained)
+                del self._incremental[key]
+                return None
+            started = time.perf_counter()
+            if not records:
+                return (
+                    dict(entry.values),
+                    time.perf_counter() - started,
+                    "incremental: no new deltas since the previous result",
+                )
+            delta = build_delta_view(records)
+            values = MAINTAINERS[maintainer_name](
+                entry.values, csr, delta, params, backend
+            )
+            if values is None:
+                del self._incremental[key]
+                return None
+            entry.values = dict(values)
+            entry.position = journal.total
+            return (
+                values,
+                time.perf_counter() - started,
+                f"incremental: maintained over {len(records)} delta record(s)",
+            )
+
+    def refresh(self) -> RefreshReport:
+        """Apply the pending journal: rebuild the snapshot as base ⊕ deltas
+        and carry every remembered result forward through its dynamic
+        maintainer (components / PageRank / BFS).
+
+        Cheap by construction — the snapshot is an array merge, and each
+        maintained result costs ``O(delta)``-ish instead of a cold
+        recompute.  Entries no maintainer can repair (e.g. a component
+        split) are dropped and recompute cold on their next request.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            csr = self.snapshot()
+            backend = self.session.backend
+            maintained: list[str] = []
+            dropped: list[str] = []
+            for key in list(self._incremental):
+                entry = self._incremental.get(key)
+                if entry is None:  # pragma: no cover - defensive
+                    continue
+                spec = PLAN_ALGORITHMS.get(entry.algorithm)
+                if spec is None or spec.maintainer is None:
+                    del self._incremental[key]
+                    dropped.append(entry.algorithm)
+                    continue
+                served = self._incremental_serve(
+                    entry.algorithm, spec.maintainer, entry.params, csr, backend
+                )
+                (maintained if served is not None else dropped).append(entry.algorithm)
+            return RefreshReport(
+                delta_edges=self._delta_edges,
+                snapshot_source=self._snapshot_source,
+                maintained=maintained,
+                dropped=dropped,
+                seconds=time.perf_counter() - started,
+            )
 
     # ------------------------------------------------------------------ #
     def analyze(self) -> AnalysisPlan:

@@ -1,0 +1,438 @@
+"""Tests for the dynamic-algorithm subsystem (repro.incremental) and its
+session / service wiring.
+
+The contract under test:
+
+* after k edge mutations, ``handle.refresh()`` (and a re-run plan) serve
+  components and BFS **bit-identically** to a cold rebuild + recompute, and
+  PageRank within L∞ 1e-9, on both kernel backends through BOTH execution
+  paths (the PR-5 scheduler and the PR-6 compiler), with
+  ``engine="incremental"`` and ``snapshot_source="base+delta"`` provenance;
+* each maintainer falls back (returns ``None``) exactly where its repair
+  is not provably exact: components on any net removal, delta-BFS on a
+  possible shortest-path-tree edge removal or a depth-limited previous
+  result — and the session then recomputes cold and resumes maintaining;
+* compaction and generation bumps invalidate stored positions (entries are
+  dropped, not served stale);
+* the incremental service patches cached results of maintainable
+  algorithms in place on mutation and evicts only the rest, with counters
+  in ``/stats``;
+* the wire codec round-trips the new provenance (``delta_edges``, report
+  ``journal``) and decodes legacy payloads to defaults.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import ExpandedGraph
+from repro.graph.backend import get_backend, numpy_available
+from repro.graph.delta import JournaledGraph
+from repro.incremental import MAINTAINERS, build_delta_view
+from repro.relational.database import Database
+from repro.service import GraphService, decode_report, encode_report
+from repro.service.codec import dumps, loads
+from repro.session import GraphSession
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+#: converging PageRank parameters: warm-vs-cold L∞ <= 1e-9 is only
+#: guaranteed when both runs actually reach the tolerance
+PAGERANK_PARAMS = {"tolerance": 1e-12, "max_iterations": 500}
+
+
+def _random_symmetric_edges(n: int, m: int, seed: int) -> set[tuple[int, int]]:
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < 2 * m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((u, v))
+            edges.add((v, u))
+    return edges
+
+
+def _build(edges: set[tuple[int, int]]) -> ExpandedGraph:
+    graph = ExpandedGraph()
+    for u, v in sorted(edges):
+        graph.add_edge(u, v)
+    return graph
+
+
+def _mutate(graph, k: int, vertex_ceiling: int, seed: int) -> int:
+    """Add ``k`` fresh symmetric edges (some touching new vertices)."""
+    rng = random.Random(seed)
+    added = 0
+    while added < k:
+        u, v = rng.randrange(vertex_ceiling), rng.randrange(vertex_ceiling)
+        if u != v and not graph.exists_edge(u, v):
+            graph.add_edge(u, v)
+            graph.add_edge(v, u)
+            added += 1
+    return added
+
+
+def _source_vertex(edges) -> int:
+    return min(u for u, _ in edges)
+
+
+def _linf(a: dict, b: dict) -> float:
+    assert set(a) == set(b)
+    return max(abs(a[k] - b[k]) for k in a) if a else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# maintainer kernels, straight against the registry contract
+# --------------------------------------------------------------------------- #
+class TestMaintainers:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_equivalence_after_insertions(self, backend_name):
+        backend = get_backend(backend_name)
+        edges = _random_symmetric_edges(40, 60, seed=3)
+        graph = JournaledGraph(_build(edges))
+        graph.snapshot()
+        source = _source_vertex(edges)
+
+        from repro.algorithms import bfs_distances, connected_components, pagerank
+
+        prev = {
+            "components": connected_components(graph),
+            "bfs": bfs_distances(graph, source),
+            "pagerank": pagerank(graph, **PAGERANK_PARAMS),
+        }
+        position = graph.journal.total
+        _mutate(graph, 12, 46, seed=17)
+        csr = graph.snapshot()
+        delta = build_delta_view(graph.journal.records_since(position))
+
+        cold = {
+            "components": connected_components(graph.inner),
+            "bfs": bfs_distances(graph.inner, source),
+            "pagerank": pagerank(graph.inner, **PAGERANK_PARAMS),
+        }
+        params = {
+            "components": {},
+            "bfs": {"source": source, "max_depth": None},
+            "pagerank": dict(PAGERANK_PARAMS, damping=0.85),
+        }
+        for name in ("components", "bfs"):
+            maintained = MAINTAINERS[name](prev[name], csr, delta, params[name], backend)
+            assert maintained == cold[name], name
+        warm = MAINTAINERS["pagerank"](
+            prev["pagerank"], csr, delta, params["pagerank"], backend
+        )
+        assert _linf(warm, cold["pagerank"]) <= 1e-9
+
+    def test_components_falls_back_on_removal(self):
+        backend = get_backend("python")
+        graph = JournaledGraph(_build(_random_symmetric_edges(20, 30, seed=5)))
+        graph.snapshot()
+        from repro.algorithms import connected_components
+
+        prev = connected_components(graph)
+        position = graph.journal.total
+        u, v = next(iter(_random_symmetric_edges(20, 30, seed=5)))
+        graph.delete_edge(u, v)
+        delta = build_delta_view(graph.journal.records_since(position))
+        assert (
+            MAINTAINERS["components"](prev, graph.snapshot(), delta, {}, backend) is None
+        )
+
+    def test_bfs_falls_back_where_repair_is_not_exact(self):
+        backend = get_backend("python")
+        # path 0-1-2-3: every edge is a tree edge from source 0
+        graph = JournaledGraph(
+            ExpandedGraph.from_edges(
+                [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]
+            )
+        )
+        graph.snapshot()
+        prev = {0: 0, 1: 1, 2: 2, 3: 3}
+        position = graph.journal.total
+        graph.delete_edge(1, 2)  # dist(2) == dist(1) + 1: possible tree edge
+        delta = build_delta_view(graph.journal.records_since(position))
+        params = {"source": 0, "max_depth": None}
+        assert MAINTAINERS["bfs"](prev, graph.snapshot(), delta, params, backend) is None
+        # a depth-limited previous result can never be repaired
+        assert (
+            MAINTAINERS["bfs"](
+                prev, graph.snapshot(), delta, {"source": 0, "max_depth": 2}, backend
+            )
+            is None
+        )
+
+    def test_bfs_ignores_non_tight_removals(self):
+        backend = get_backend("python")
+        # triangle 0-1-2 plus chord 0-2: the direct edge 0->2 makes the
+        # two-hop path 0->1->2 non-tight... actually dist(2)=1 via the
+        # chord, so removing 1->2 (dist(1)=1, dist(2)=1 != 2) is provably
+        # off every shortest path
+        graph = JournaledGraph(
+            ExpandedGraph.from_edges(
+                [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]
+            )
+        )
+        graph.snapshot()
+        prev = {0: 0, 1: 1, 2: 1}
+        position = graph.journal.total
+        graph.delete_edge(1, 2)
+        graph.delete_edge(2, 1)
+        delta = build_delta_view(graph.journal.records_since(position))
+        params = {"source": 0, "max_depth": None}
+        maintained = MAINTAINERS["bfs"](prev, graph.snapshot(), delta, params, backend)
+        from repro.algorithms import bfs_distances
+
+        assert maintained == bfs_distances(graph.inner, 0)
+
+
+# --------------------------------------------------------------------------- #
+# session wiring: scheduler path and compiler path, both backends
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("compiled", [False, True], ids=["scheduler", "compiler"])
+class TestSessionEquivalence:
+    def test_refresh_then_serve_matches_cold_rebuild(self, backend_name, compiled):
+        edges = _random_symmetric_edges(40, 60, seed=7)
+        source = _source_vertex(edges)
+        graph = JournaledGraph(_build(edges))
+        session = GraphSession(
+            Database("inc"), backend=backend_name, compile_plans=compiled
+        )
+        handle = session.wrap(graph)
+
+        def plan():
+            return (
+                handle.analyze()
+                .components()
+                .pagerank(**PAGERANK_PARAMS)
+                .bfs(source=source)
+            )
+
+        cold = plan().run()
+        assert [r.engine for r in cold] != ["incremental"] * 3
+        assert cold.journal == {"pending": 0, "total": 0, "compactions": 0}
+
+        k = _mutate(graph, 10, 46, seed=23)
+        report = handle.refresh()
+        assert report.snapshot_source == "base+delta"
+        assert report.delta_edges == 2 * k
+        assert sorted(report.maintained) == ["bfs", "components", "pagerank"]
+        assert report.dropped == []
+
+        warm = plan().run()
+        assert [r.engine for r in warm] == ["incremental"] * 3
+        assert all(r.scheduled == "inline" for r in warm)
+        assert all(r.provenance.delta_edges == 2 * k for r in warm)
+        assert warm.pool_starts == 0 and warm.snapshot_writes == 0
+        assert warm.journal["pending"] == warm.journal["total"] > 0
+
+        # equivalence against a cold rebuild + recompute of the mutated graph
+        cold_session = GraphSession(
+            Database("inc-cold"), backend=backend_name, compile_plans=compiled
+        )
+        cold_handle = cold_session.wrap(graph.inner)
+        reference = (
+            cold_handle.analyze()
+            .components()
+            .pagerank(**PAGERANK_PARAMS)
+            .bfs(source=source)
+        ).run()
+        assert warm["components"].values == reference["components"].values
+        assert warm["bfs"].values == reference["bfs"].values
+        assert _linf(warm["pagerank"].values, reference["pagerank"].values) <= 1e-9
+
+    def test_serve_without_refresh(self, backend_name, compiled):
+        # a plan run straight after mutations serves incrementally too:
+        # refresh() is a convenience, not a prerequisite
+        edges = _random_symmetric_edges(30, 45, seed=9)
+        graph = JournaledGraph(_build(edges))
+        session = GraphSession(
+            Database("inc2"), backend=backend_name, compile_plans=compiled
+        )
+        handle = session.wrap(graph)
+        handle.analyze().components().run()
+        _mutate(graph, 5, 36, seed=31)
+        warm = handle.analyze().components().run()
+        assert warm["components"].engine == "incremental"
+        assert warm["components"].provenance.snapshot_source == "base+delta"
+        assert any("incremental" in note for note in warm["components"].notes)
+        from repro.algorithms import connected_components
+
+        assert warm["components"].values == connected_components(graph.inner)
+
+
+class TestFallbackAndInvalidation:
+    def test_deletion_falls_back_to_kernel_then_resumes(self):
+        edges = _random_symmetric_edges(30, 45, seed=13)
+        graph = JournaledGraph(_build(edges))
+        session = GraphSession(Database("inc3"), backend="python")
+        handle = session.wrap(graph)
+        handle.analyze().components().run()
+
+        u, v = next(iter(edges))
+        graph.delete_edge(u, v)
+        report = handle.refresh()
+        assert "components" in report.dropped
+        assert report.maintained == []
+
+        # the next run recomputes cold and re-seeds the incremental store
+        cold = handle.analyze().components().run()
+        assert cold["components"].engine != "incremental"
+        _mutate(graph, 3, 36, seed=37)
+        warm = handle.analyze().components().run()
+        assert warm["components"].engine == "incremental"
+        from repro.algorithms import connected_components
+
+        assert warm["components"].values == connected_components(graph.inner)
+
+    def test_depth_limited_bfs_is_never_maintained(self):
+        edges = _random_symmetric_edges(20, 30, seed=15)
+        source = _source_vertex(edges)
+        graph = JournaledGraph(_build(edges))
+        session = GraphSession(Database("inc4"), backend="python")
+        handle = session.wrap(graph)
+        handle.analyze().bfs(source=source, max_depth=2).run()
+        _mutate(graph, 3, 26, seed=41)
+        warm = handle.analyze().bfs(source=source, max_depth=2).run()
+        assert warm["bfs"].engine != "incremental"
+
+    def test_compaction_drops_stored_positions(self, tmp_path):
+        edges = _random_symmetric_edges(10, 12, seed=19)
+        graph = JournaledGraph(_build(edges))
+        session = GraphSession(
+            Database("inc5"),
+            backend="python",
+            snapshot_cache=str(tmp_path / "snaps"),
+        )
+        # a tiny compact_fraction forces compaction on the very next fetch
+        session.store.compact_fraction = 1e-9
+        handle = session.wrap(graph)
+        handle.analyze().components().run()
+        _mutate(graph, 2, 12, seed=43)
+        # the fetch compacts: positions recorded before the rebase predate
+        # the new base, so the stored entry cannot be served
+        report = handle.refresh()
+        assert graph.journal.compactions == 1
+        assert report.maintained == [] and "components" in report.dropped
+
+    def test_generation_bump_drops_entries(self):
+        edges = _random_symmetric_edges(12, 14, seed=21)
+        graph = JournaledGraph(_build(edges))
+        session = GraphSession(Database("inc6"), backend="python")
+        handle = session.wrap(graph)
+        handle.analyze().components().run()
+        victim = next(iter(graph.get_vertices()))
+        graph.delete_vertex(victim)  # rebaselines: generation bump
+        warm = handle.analyze().components().run()
+        assert warm["components"].engine != "incremental"
+        from repro.algorithms import connected_components
+
+        assert warm["components"].values == connected_components(graph.inner)
+
+
+# --------------------------------------------------------------------------- #
+# the incremental service: patch-instead-of-evict
+# --------------------------------------------------------------------------- #
+def _coauthor_service(**kwargs) -> GraphService:
+    from tests.conftest import COAUTHOR_QUERY
+    from tests.test_session import make_db
+
+    session = GraphSession(make_db(), backend="python")
+    return GraphService(session, session.graph(COAUTHOR_QUERY), **kwargs)
+
+
+class TestIncrementalService:
+    def test_mutation_patches_maintainable_entries(self):
+        service = _coauthor_service(incremental=True)
+        assert isinstance(service.handle.graph, JournaledGraph)
+        payload = {
+            "algorithms": [
+                {"name": "pagerank", "params": dict(PAGERANK_PARAMS)},
+                {"name": "components"},
+                {"name": "degree"},  # no maintainer: must be evicted
+            ]
+        }
+        cold = service.analyze(payload)
+        assert cold.cache == {"hits": 0, "misses": 3, "queue_depth": 0}
+
+        response = service.add_edge({"source": 1, "target": 4242})
+        assert response["patched"] == 2
+        assert response["invalidated"] == 1
+
+        warm = service.analyze(payload)
+        assert warm.cache["hits"] == 2 and warm.cache["misses"] == 1
+        patched = {r.algorithm: r for r in warm if r.algorithm != "degree"}
+        for result in patched.values():
+            assert result.engine == "incremental"
+            assert result.provenance.delta_edges >= 1
+
+        stats = service.stats()["journal"]
+        assert stats["patched"] == 2 and stats["evicted"] == 1
+        assert stats["pending"] >= 1 and stats["total"] >= 1
+
+        # patched values equal a cold recompute of the mutated graph
+        from repro.algorithms import connected_components, pagerank
+
+        inner = service.handle.graph.inner
+        assert patched["components"].values == connected_components(inner)
+        assert (
+            _linf(patched["pagerank"].values, pagerank(inner, **PAGERANK_PARAMS))
+            <= 1e-9
+        )
+
+    def test_plain_service_still_evicts_everything(self):
+        service = _coauthor_service()
+        assert service.stats()["journal"] is None
+        service.analyze({"algorithm": "components"})
+        response = service.add_edge({"source": 1, "target": 4242})
+        assert response["invalidated"] == 1
+        assert response["patched"] == 0
+        warm = service.analyze({"algorithm": "components"})
+        assert warm.cache["misses"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# wire codec: new provenance fields round-trip, legacy payloads default
+# --------------------------------------------------------------------------- #
+class TestCodecCompatibility:
+    def _incremental_report(self):
+        edges = _random_symmetric_edges(15, 20, seed=29)
+        graph = JournaledGraph(_build(edges))
+        session = GraphSession(Database("codec"), backend="python")
+        handle = session.wrap(graph)
+        handle.analyze().components().run()
+        _mutate(graph, 3, 18, seed=47)
+        return handle.analyze().components().run()
+
+    def test_round_trip(self):
+        report = self._incremental_report()
+        assert report.journal is not None
+        decoded = decode_report(loads(dumps(encode_report(report))))
+        assert decoded.journal == report.journal
+        assert decoded.provenance.delta_edges == report.provenance.delta_edges
+        assert [r.provenance.delta_edges for r in decoded] == [
+            r.provenance.delta_edges for r in report
+        ]
+        assert decoded["components"].values == report["components"].values
+
+    def test_summary_surfaces_journal_counters(self):
+        report = self._incremental_report()
+        summary = report.summary()
+        assert "delta journal:" in summary
+        assert f"pending={report.journal['pending']}" in summary
+        assert "delta_edges=" in summary
+        assert "engine=incremental" in summary
+
+    def test_legacy_payload_decodes_to_defaults(self):
+        report = self._incremental_report()
+        payload = encode_report(report)
+        payload.pop("journal")
+        payload["provenance"].pop("delta_edges")
+        for result in payload["results"]:
+            result["provenance"].pop("delta_edges")
+        decoded = decode_report(payload)
+        assert decoded.journal is None
+        assert decoded.provenance.delta_edges == 0
+        assert all(r.provenance.delta_edges == 0 for r in decoded)
