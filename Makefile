@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast test-session test-service bench bench-fig16 bench-fig17 bench-fig18 bench-fig19 bench-fig20 smoke serve-smoke all help
+.PHONY: test test-fast test-session test-service bench bench-table1 bench-fig16 bench-fig17 bench-fig18 bench-fig19 bench-fig20 smoke serve-smoke all help
 
 help:
 	@echo "make test         - fast unit/integration suite (tests/)"
@@ -12,6 +12,7 @@ help:
 	@echo "make test-service - service layer: JSON codec, result cache, HTTP"
 	@echo "                    front-end, session concurrency regressions"
 	@echo "make bench        - paper benchmark reproductions (benchmarks/, slow)"
+	@echo "make bench-table1 - condensed vs full extraction + python vs pushdown engine race"
 	@echo "make bench-fig16  - plan-level scheduling vs per-request parallel path"
 	@echo "make bench-fig17  - optimizing plan compiler (shared-sweep DAG) vs per-request"
 	@echo "make bench-fig18  - service result cache: cached vs uncached req/s"
@@ -35,6 +36,9 @@ test-session:
 
 bench:
 	$(PYTEST) -q benchmarks/
+
+bench-table1:
+	$(PYTEST) -q -rA benchmarks/test_bench_table1_extraction.py
 
 bench-fig16:
 	$(PYTEST) -q -rA benchmarks/test_bench_fig16_plan_scheduling.py

@@ -31,6 +31,7 @@ import sys
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.core.config import EXTRACT_ENGINES
 from repro.core.graphgen import GraphGen, REPRESENTATIONS
 from repro.graph.backend import BACKEND_ENV_VAR, get_backend
 from repro.datasets import (
@@ -323,6 +324,15 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--query", help="extraction query as a literal DSL string")
     group.add_argument("--query-file", help="file containing the extraction query")
+    parser.add_argument(
+        "--extract-engine",
+        choices=EXTRACT_ENGINES,
+        default=None,
+        help="extraction engine: 'python' row-at-a-time reference, 'sqlite' "
+        "row-at-a-time over the sqlite mirror, 'pushdown' compiles the whole "
+        "plan into set-based SQL emitting sorted edge arrays, 'auto' tries "
+        "pushdown and falls back (default: derived from the query backend)",
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -333,6 +343,13 @@ def _resolve_database(args: argparse.Namespace) -> Database:
         return read_database(args.data)
     generator, _ = BUILTIN_DATASETS[args.dataset]
     return generator(args.scale, args.seed)
+
+
+def _engine_overrides(args: argparse.Namespace) -> dict[str, str]:
+    """ExtractionOptions overrides implied by --extract-engine (if given)."""
+    if getattr(args, "extract_engine", None) is None:
+        return {}
+    return {"extract_engine": args.extract_engine}
 
 
 def _resolve_query(args: argparse.Namespace) -> str:
@@ -370,7 +387,7 @@ def _cmd_datasets(_: argparse.Namespace, out) -> int:
 def _cmd_extract(args: argparse.Namespace, out) -> int:
     db = _resolve_database(args)
     query = _resolve_query(args)
-    result = GraphGenPy(db).execute_query(
+    result = GraphGenPy(db, **_engine_overrides(args)).execute_query(
         query, args.output, fmt=args.format, representation=args.representation
     )
     for key, value in result.as_dict().items():
@@ -381,7 +398,7 @@ def _cmd_extract(args: argparse.Namespace, out) -> int:
 def _cmd_explain(args: argparse.Namespace, out) -> int:
     db = _resolve_database(args)
     query = _resolve_query(args)
-    print(GraphGen(db).explain(query), file=out)
+    print(GraphGen(db, **_engine_overrides(args)).explain(query), file=out)
     return 0
 
 
@@ -557,6 +574,7 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
         parallelism=args.parallel,
         shards=args.shards,
         memory_budget_mb=args.memory_budget,
+        **_engine_overrides(args),
     )
     handle = session.graph(
         query, representation=args.representation, key=_snapshot_cache_key(args, query)
@@ -623,6 +641,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         warm_pool=True,
         shards=args.shards,
         memory_budget_mb=args.memory_budget,
+        **_engine_overrides(args),
     )
     try:
         handle = session.graph(

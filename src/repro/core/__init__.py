@@ -1,6 +1,13 @@
 """GraphGen's core: planning, extraction and the user-facing facade."""
 
-from repro.core.config import ExtractionOptions
+from repro.core.config import (
+    ENGINE_AUTO,
+    ENGINE_PUSHDOWN,
+    ENGINE_PYTHON,
+    ENGINE_SQLITE,
+    EXTRACT_ENGINES,
+    ExtractionOptions,
+)
 from repro.core.planner import (
     EdgePlan,
     ExtractionPlan,
@@ -13,6 +20,11 @@ from repro.core.extractor import ExtractionReport, Extractor, QueryExecutor, may
 from repro.core.graphgen import ExtractionResult, GraphGen, REPRESENTATIONS
 
 __all__ = [
+    "ENGINE_AUTO",
+    "ENGINE_PUSHDOWN",
+    "ENGINE_PYTHON",
+    "ENGINE_SQLITE",
+    "EXTRACT_ENGINES",
     "ExtractionOptions",
     "EdgePlan",
     "ExtractionPlan",

@@ -12,6 +12,13 @@ ESTIMATOR_EXACT = "exact"
 BACKEND_PYTHON = "python"
 BACKEND_SQLITE = "sqlite"
 
+#: extraction engines (the seam introduced for SQL pushdown)
+ENGINE_PYTHON = "python"
+ENGINE_SQLITE = "sqlite"
+ENGINE_PUSHDOWN = "pushdown"
+ENGINE_AUTO = "auto"
+EXTRACT_ENGINES = (ENGINE_PYTHON, ENGINE_SQLITE, ENGINE_PUSHDOWN, ENGINE_AUTO)
+
 
 @dataclass
 class ExtractionOptions:
@@ -42,6 +49,18 @@ class ExtractionOptions:
     skip_unknown_endpoints:
         Edge tuples whose endpoints were not produced by any Nodes statement
         are skipped (and counted) rather than silently adding vertices.
+    extract_engine:
+        Which extraction engine runs the plan.  ``"python"`` and ``"sqlite"``
+        are the row-at-a-time reference engines (per-row ``add_edge`` over the
+        Python hash-join executor / generated per-segment SQL respectively);
+        ``"pushdown"`` compiles the whole plan into set-based SQL
+        (:mod:`repro.relational.pushdown`) whose sorted result arrays bulk-load
+        the condensed graph, falling back to the reference engine with a note
+        when the plan or data cannot be pushed down; ``"auto"`` is pushdown
+        with a silent-by-report fallback too (the two differ only in intent:
+        ``pushdown`` is an explicit request, ``auto`` a hint).  ``None``
+        (default) derives the engine from ``backend`` so existing
+        configurations behave exactly as before.
     """
 
     threshold_factor: float = 2.0
@@ -50,6 +69,7 @@ class ExtractionOptions:
     preprocess: bool = True
     auto_expand_growth: float | None = None
     skip_unknown_endpoints: bool = True
+    extract_engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.threshold_factor <= 0:
@@ -58,3 +78,19 @@ class ExtractionOptions:
             raise ValueError(f"unknown estimator {self.estimator!r}")
         if self.backend not in (BACKEND_PYTHON, BACKEND_SQLITE):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.extract_engine is not None and self.extract_engine not in EXTRACT_ENGINES:
+            raise ValueError(
+                f"unknown extract_engine {self.extract_engine!r}; "
+                f"expected one of {EXTRACT_ENGINES}"
+            )
+
+    def resolved_engine(self) -> str:
+        """The engine that will run: ``extract_engine``, or derived from
+        ``backend`` when unset (preserving pre-seam behaviour)."""
+        if self.extract_engine is not None:
+            return self.extract_engine
+        return ENGINE_SQLITE if self.backend == BACKEND_SQLITE else ENGINE_PYTHON
+
+    def fallback_engine(self) -> str:
+        """The row-at-a-time engine pushdown falls back to."""
+        return ENGINE_SQLITE if self.backend == BACKEND_SQLITE else ENGINE_PYTHON

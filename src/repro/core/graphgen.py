@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.config import ExtractionOptions
+from repro.core.config import ENGINE_AUTO, ENGINE_PUSHDOWN, ExtractionOptions
+from repro.relational.pushdown import PushdownUnsupported
 from repro.core.extractor import ExtractionReport, Extractor, maybe_auto_expand
 from repro.core.planner import ExtractionPlan, Planner
 from repro.dedup import deduplicate_dedup1, deduplicate_dedup2, preprocess_bitmap
@@ -81,10 +82,24 @@ class GraphGen:
         return self._planner.plan(self.parse(query))
 
     def explain(self, query: str | GraphSpec) -> str:
-        """Human-readable plan description plus the SQL that would be issued."""
+        """Human-readable plan description plus the SQL that would be issued.
+
+        When a pushdown-capable engine is selected, the set-based SQL program
+        (temp-table materialisation, window-function virtual-node numbering,
+        sorted edge emission) is printed after the per-segment SQL.
+        """
         plan = self.plan(query)
         lines = [plan.describe(), "sql:"]
         lines.extend(f"  {statement}" for statement in plan.sql(self._db))
+        if self._options.resolved_engine() in (ENGINE_AUTO, ENGINE_PUSHDOWN):
+            lines.append("pushdown sql:")
+            try:
+                lines.extend(f"  {statement}" for statement in plan.pushdown_sql(self._db))
+            except PushdownUnsupported as exc:
+                lines.append(
+                    f"  (not pushable: {exc}; "
+                    f"the {self._options.fallback_engine()} engine would run)"
+                )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ #

@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 from repro.dsl.ast import Anonymous, Atom, Constant, GraphSpec, Rule, Variable
 from repro.dsl.validator import EdgeChain, derive_chain, is_acyclic
 from repro.exceptions import DSLValidationError, ExtractionError
-from repro.core.config import ESTIMATOR_EXACT, ExtractionOptions
+from repro.core.config import (
+    ENGINE_AUTO,
+    ENGINE_PUSHDOWN,
+    ENGINE_SQLITE,
+    ESTIMATOR_EXACT,
+    ExtractionOptions,
+)
 from repro.relational.aggregates import (
     AggregateQuery,
     AggregateSpec,
@@ -128,6 +134,17 @@ class ExtractionPlan:
                 statements.append(to_sql(db, plan.full_query))
         return statements
 
+    def pushdown_sql(self, db: Database) -> list[str]:
+        """The set-based SQL program the pushdown engine would run.
+
+        Lowers the plan through :mod:`repro.relational.pushdown`; raises
+        :class:`~repro.relational.pushdown.PushdownUnsupported` when the plan
+        cannot be pushed down (callers show the fallback instead).
+        """
+        from repro.relational.pushdown import compile_plan
+
+        return compile_plan(db, self).display
+
     def describe(self) -> str:
         """Human-readable plan summary (used by ``GraphGen.explain``)."""
         lines = [f"extraction plan (case {self.case})"]
@@ -205,6 +222,53 @@ class Planner:
     def __init__(self, db: Database, options: ExtractionOptions | None = None) -> None:
         self._db = db
         self._options = options or ExtractionOptions()
+        self._probe_cache: dict[tuple[Any, ...], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # catalog probes
+    #
+    # When a SQLite-backed engine will run the plan, the planner probes
+    # row_count / n_distinct / exact join sizes through the database's cached
+    # SQLite mirror (one shared mirror per Database) instead of the Python
+    # catalog.  The SQL is written to return exactly the catalog's numbers
+    # (DISTINCT counts NULL as one value; joins use NULL-safe IS equality),
+    # so plans are identical across engines.
+    # ------------------------------------------------------------------ #
+    def _sqlite_probe_backend(self):
+        if self._options.resolved_engine() not in (ENGINE_SQLITE, ENGINE_PUSHDOWN, ENGINE_AUTO):
+            return None
+        try:
+            return self._db.sqlite_backend()
+        except Exception:
+            return None
+
+    def _probe(self, key: tuple[Any, ...], sql: str) -> int | None:
+        if key in self._probe_cache:
+            return self._probe_cache[key]
+        backend = self._sqlite_probe_backend()
+        if backend is None:
+            return None
+        try:
+            value = int(backend.execute_sql(sql)[0][0])
+        except Exception:
+            return None
+        self._probe_cache[key] = value
+        return value
+
+    def _row_count(self, table: str) -> int:
+        probed = self._probe(("rows", table), f"SELECT COUNT(*) FROM {table}")
+        if probed is not None:
+            return probed
+        return self._db.catalog.row_count(table)
+
+    def _n_distinct(self, table: str, column: str) -> int:
+        probed = self._probe(
+            ("distinct", table, column),
+            f"SELECT COUNT(*) FROM (SELECT DISTINCT {column} FROM {table})",
+        )
+        if probed is not None:
+            return probed
+        return self._db.catalog.column_stats(table, column).n_distinct
 
     # ------------------------------------------------------------------ #
     def plan(self, spec: GraphSpec) -> ExtractionPlan:
@@ -317,22 +381,23 @@ class Planner:
     # ------------------------------------------------------------------ #
     def _classify_joins(self, chain: EdgeChain) -> list[JoinDecision]:
         decisions: list[JoinDecision] = []
-        catalog = self._db.catalog
         for left_link, right_link in zip(chain.links, chain.links[1:]):
             variable = left_link.out_variable
             assert variable is not None  # guaranteed by derive_chain
             left_atom, right_atom = left_link.atom, right_link.atom
             left_column = _column_for_variable(self._db, left_atom, variable)
             right_column = _column_for_variable(self._db, right_atom, variable)
-            left_rows = catalog.row_count(left_atom.predicate)
-            right_rows = catalog.row_count(right_atom.predicate)
+            left_rows = self._row_count(left_atom.predicate)
+            right_rows = self._row_count(right_atom.predicate)
 
             if self._options.estimator == ESTIMATOR_EXACT:
                 estimate = float(self._exact_join_size(left_atom, left_column, right_atom, right_column))
             else:
-                estimate = catalog.estimated_join_output(
-                    left_atom.predicate, left_column, right_atom.predicate, right_column
+                d = max(
+                    self._n_distinct(left_atom.predicate, left_column),
+                    self._n_distinct(right_atom.predicate, right_column),
                 )
+                estimate = 0.0 if d == 0 else left_rows * right_rows / d
             threshold = self._options.threshold_factor * (left_rows + right_rows)
             decisions.append(
                 JoinDecision(
@@ -354,6 +419,19 @@ class Planner:
         self, left_atom: Atom, left_column: str, right_atom: Atom, right_column: str
     ) -> int:
         """True equi-join output size computed from per-value counts."""
+        # sum of per-value count products: a grouped join over the (small)
+        # distinct value sets — a direct COUNT(*) over L JOIN R would nested-
+        # loop on the unindexed mirror tables (IS joins get no automatic index)
+        probed = self._probe(
+            ("join", left_atom.predicate, left_column, right_atom.predicate, right_column),
+            f"SELECT COALESCE(SUM(L.n * R.n), 0) FROM "
+            f"(SELECT {left_column} AS v, COUNT(*) AS n "
+            f"FROM {left_atom.predicate} GROUP BY {left_column}) L "
+            f"JOIN (SELECT {right_column} AS v, COUNT(*) AS n "
+            f"FROM {right_atom.predicate} GROUP BY {right_column}) R ON L.v IS R.v",
+        )
+        if probed is not None:
+            return probed
         left_index = self._db.table(left_atom.predicate).index_on(left_column)
         right_index = self._db.table(right_atom.predicate).index_on(right_column)
         smaller, larger = (

@@ -26,7 +26,9 @@ target side.  External (database) node IDs are preserved and exposed through
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Hashable, Iterable, Iterator
+from itertools import groupby
+from operator import itemgetter
+from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 from repro.exceptions import RepresentationError
 
@@ -87,6 +89,117 @@ class CondensedGraph:
         self.succ[node] = []
         self.pred[node] = []
         return node
+
+    def bulk_add_real_nodes(self, external_ids: Iterable[Hashable]) -> int:
+        """Add many real nodes at once (add-or-fetch); returns the number of
+        nodes actually created."""
+        created = 0
+        for external_id in external_ids:
+            if external_id in self._internal_of:
+                continue
+            node = self._next_real
+            self._next_real += 1
+            self._internal_of[external_id] = node
+            self._external_of[node] = external_id
+            self.succ[node] = []
+            self.pred[node] = []
+            created += 1
+        if created:
+            self.version += 1
+        return created
+
+    def bulk_add_virtual_nodes(self, labels: Sequence[tuple[str, Any] | None]) -> int:
+        """Allocate one virtual node per label, in order.
+
+        Returns the internal ID of the first allocated node; the node for
+        ``labels[r]`` is ``first - r`` (virtual IDs decrease), which lets a
+        bulk edge loader compute virtual endpoints with integer arithmetic.
+        """
+        first = self._next_virtual
+        virtual_labels = self.virtual_labels
+        succ, pred = self.succ, self.pred
+        for label in labels:
+            node = self._next_virtual
+            self._next_virtual -= 1
+            virtual_labels[node] = label
+            succ[node] = []
+            pred[node] = []
+        if labels:
+            self.version += 1
+        return first
+
+    def bulk_add_edges(
+        self,
+        edges_by_source: Sequence[tuple[int, int]],
+        edges_by_target: Sequence[tuple[int, int]] | None = None,
+        allow_duplicate: bool = True,
+    ) -> int:
+        """Bulk-load condensed edges from pre-sorted arrays.
+
+        ``edges_by_source`` holds ``(source, target)`` internal-ID pairs
+        grouped by source (e.g. the result of an ``ORDER BY source, target``
+        SQL query); ``edges_by_target`` is the same edge multiset grouped by
+        target (derived by sorting when omitted).  Each adjacency list is then
+        built with one ``extend`` per node instead of per-edge dict lookups —
+        the arrays arrive exactly in the layout ``snapshot_edges()``'s CSR
+        construction wants.
+
+        ``allow_duplicate=False`` falls back to the per-edge checked path
+        (needed only for direct real→real edges that may repeat across
+        rules).  Returns the number of edges added.
+        """
+        if not allow_duplicate:
+            added = 0
+            for source, target in edges_by_source:
+                if self.add_edge(source, target, allow_duplicate=False):
+                    added += 1
+            return added
+
+        succ, pred = self.succ, self.pred
+        count = 0
+        for source, group in groupby(edges_by_source, key=itemgetter(0)):
+            if source not in succ:
+                raise RepresentationError(f"cannot add edges from unknown node {source}")
+            targets = [t for _, t in group]
+            succ[source].extend(targets)
+            count += len(targets)
+        if edges_by_target is None:
+            edges_by_target = sorted(edges_by_source, key=itemgetter(1, 0))
+        target_count = 0
+        for target, group in groupby(edges_by_target, key=itemgetter(1)):
+            if target not in pred:
+                raise RepresentationError(f"cannot add edges into unknown node {target}")
+            sources = [s for s, _ in group]
+            pred[target].extend(sources)
+            target_count += len(sources)
+        if target_count != count:  # pragma: no cover - defensive
+            raise RepresentationError(
+                f"bulk edge arrays disagree: {count} by source, {target_count} by target"
+            )
+        if count:
+            self.version += 1
+        return count
+
+    @classmethod
+    def from_arrays(
+        cls,
+        real_ids: Sequence[Hashable],
+        virtual_labels: Sequence[tuple[str, Any] | None] = (),
+        edges_by_source: Sequence[tuple[int, int]] = (),
+        edges_by_target: Sequence[tuple[int, int]] | None = None,
+    ) -> "CondensedGraph":
+        """Build a condensed graph directly from arrays.
+
+        ``real_ids[i]`` becomes internal node ``i``; ``virtual_labels[r]``
+        becomes internal node ``-(r + 1)``; edges are internal-ID pairs sorted
+        by source (and, optionally, the same pairs sorted by target).  This is
+        the bulk-construction entry point the SQL pushdown engine uses.
+        """
+        graph = cls()
+        graph.bulk_add_real_nodes(real_ids)
+        graph.bulk_add_virtual_nodes(virtual_labels)
+        graph.bulk_add_edges(edges_by_source, edges_by_target)
+        return graph
 
     def remove_virtual_node(self, virtual: int) -> None:
         """Remove a virtual node and all its incident edges."""

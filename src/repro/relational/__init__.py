@@ -17,8 +17,15 @@ from repro.relational.query import (
     evaluate,
     evaluate_bruteforce,
 )
-from repro.relational.sql import to_sql, create_table_sql
+from repro.relational.sql import render_value, to_sql, create_table_sql
 from repro.relational.sqlite_backend import SQLiteBackend
+from repro.relational.pushdown import (
+    CompiledEdgeRule,
+    PushdownExecutor,
+    PushdownProgram,
+    PushdownUnsupported,
+    compile_plan,
+)
 from repro.relational.aggregates import (
     AGGREGATE_FUNCTIONS,
     AggregateQuery,
@@ -51,9 +58,15 @@ __all__ = [
     "QueryAtom",
     "evaluate",
     "evaluate_bruteforce",
+    "render_value",
     "to_sql",
     "create_table_sql",
     "SQLiteBackend",
+    "CompiledEdgeRule",
+    "PushdownExecutor",
+    "PushdownProgram",
+    "PushdownUnsupported",
+    "compile_plan",
     "AGGREGATE_FUNCTIONS",
     "AggregateQuery",
     "AggregateSpec",

@@ -209,16 +209,26 @@ def evaluate_aggregate(db: Database, aggregate_query: AggregateQuery) -> list[Ro
     return results
 
 
-def aggregate_to_sql(db: Database, aggregate_query: AggregateQuery) -> str:
+def aggregate_to_sql(
+    db: Database,
+    aggregate_query: AggregateQuery,
+    parameters: list[Any] | None = None,
+) -> str:
     """SQL text for an aggregate query (GROUP BY / HAVING form).
 
     Built on top of :func:`repro.relational.sql.to_sql` applied to the inner
     query, wrapped in an outer aggregation; this keeps the inner translation
-    logic in one place.
+    logic in one place.  With a ``parameters`` list, inner constants and
+    HAVING values become bound ``?`` placeholders (the execution path);
+    without it they are inlined for display.
     """
-    from repro.relational.sql import to_sql
+    from repro.relational.sql import render_value, to_sql
 
-    inner_sql = to_sql(db, aggregate_query.query, use_distinct=False).rstrip().rstrip(";")
+    inner_sql = (
+        to_sql(db, aggregate_query.query, use_distinct=False, parameters=parameters)
+        .rstrip()
+        .rstrip(";")
+    )
     select_parts = list(aggregate_query.group_by)
     for spec in aggregate_query.aggregates:
         function = "count" if spec.function == "count" else spec.function
@@ -233,8 +243,8 @@ def aggregate_to_sql(db: Database, aggregate_query: AggregateQuery) -> str:
     if aggregate_query.having:
         having_parts = []
         for clause in aggregate_query.having:
-            value = clause.value
-            rendered = repr(value) if isinstance(value, (int, float)) else f"'{value}'"
-            having_parts.append(f"{clause.aggregate.output_name} {clause.op} {rendered}")
+            op = "=" if clause.op == "==" else clause.op
+            rendered = render_value(clause.value, parameters)
+            having_parts.append(f"{clause.aggregate.output_name} {op} {rendered}")
         sql += f" HAVING {' AND '.join(having_parts)}"
     return sql

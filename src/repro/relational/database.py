@@ -9,12 +9,15 @@ attached for executing generated SQL against stdlib ``sqlite3`` instead.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.exceptions import SchemaError
 from repro.relational.catalog import Catalog
 from repro.relational.schema import TableSchema, make_schema
 from repro.relational.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.sqlite_backend import SQLiteBackend
 
 
 class Database:
@@ -24,6 +27,12 @@ class Database:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._catalog = Catalog(self)
+        # structural version, bumped when tables are added/dropped; combined
+        # with the per-table data versions it identifies the database state
+        # the cached SQLite mirror was loaded from
+        self._structure_version = 0
+        self._sqlite_cache: "SQLiteBackend | None" = None
+        self._sqlite_cache_version: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------ #
     # table management
@@ -43,6 +52,7 @@ class Database:
         if table.name in self._tables:
             raise SchemaError(f"table {table.name!r} already exists in database {self.name!r}")
         self._tables[table.name] = table
+        self._structure_version += 1
         self._catalog.refresh()
         return table
 
@@ -50,6 +60,7 @@ class Database:
         if name not in self._tables:
             raise SchemaError(f"no table {name!r} in database {self.name!r}")
         del self._tables[name]
+        self._structure_version += 1
         self._catalog.refresh()
 
     def table(self, name: str) -> Table:
@@ -89,6 +100,41 @@ class Database:
     def analyze(self) -> None:
         """Recompute catalog statistics (the equivalent of ``ANALYZE``)."""
         self._catalog.refresh()
+
+    # ------------------------------------------------------------------ #
+    # shared SQLite mirror
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> tuple[int, ...]:
+        """A token identifying the current data state of the database.
+
+        Changes whenever a table is added, dropped or mutated; used to decide
+        when the cached SQLite mirror must be reloaded.
+        """
+        return (self._structure_version,) + tuple(
+            self._tables[name].data_version for name in self.table_names()
+        )
+
+    def sqlite_backend(self) -> "SQLiteBackend":
+        """One loaded :class:`SQLiteBackend` mirror, cached per database.
+
+        The mirror is loaded lazily on first use and invalidated (reloaded)
+        whenever :attr:`version` changes, so repeated extractions and planner
+        catalog probes share a single copy instead of re-mirroring every
+        table into ``:memory:`` per extraction.  Callers must not close the
+        returned backend; its lifetime is tied to this database.
+        """
+        from repro.relational.sqlite_backend import SQLiteBackend
+
+        version = self.version
+        if self._sqlite_cache is None or self._sqlite_cache_version != version:
+            if self._sqlite_cache is not None:
+                self._sqlite_cache.close()
+                self._sqlite_cache = None
+            backend = SQLiteBackend(self).load()
+            self._sqlite_cache = backend
+            self._sqlite_cache_version = version
+        return self._sqlite_cache
 
     # ------------------------------------------------------------------ #
     def total_rows(self) -> int:

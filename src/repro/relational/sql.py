@@ -9,11 +9,16 @@ SQLiteBackend` can execute segments on a real SQL engine.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.exceptions import QueryError
 from repro.relational.database import Database
 from repro.relational.query import ConjunctiveQuery, Const
+
+#: the only Python types to_sql accepts as SQL values; anything else (lists,
+#: tuples, arbitrary objects) is rejected with a QueryError rather than
+#: round-tripped through repr()
+SCALAR_TYPES = (str, int, float, bool, type(None))
 
 
 def _alias(i: int) -> str:
@@ -23,25 +28,59 @@ def _alias(i: int) -> str:
     return letters[i % 26] + (str(suffix) if suffix else "")
 
 
+def _check_scalar(value: Any) -> Any:
+    if not isinstance(value, SCALAR_TYPES):
+        raise QueryError(f"unsupported SQL value {value!r} (expected str/int/float/bool/None)")
+    return value
+
+
 def _literal(value: Any) -> str:
-    """Render a Python value as a SQL literal."""
+    """Render a scalar as inline SQL text (display/explain path only).
+
+    Execution paths bind values with ``sqlite3`` parameters instead — see
+    :func:`render_value` — so this rendering is never handed to the engine.
+    """
+    _check_scalar(value)
     if value is None:
         return "NULL"
     if isinstance(value, bool):
         return "1" if value else "0"
     if isinstance(value, (int, float)):
         return repr(value)
-    escaped = str(value).replace("'", "''")
+    escaped = value.replace("'", "''")
     return f"'{escaped}'"
 
 
-def to_sql(db: Database, query: ConjunctiveQuery, use_distinct: bool = True) -> str:
+def render_value(value: Any, parameters: list[Any] | None) -> str:
+    """Render one SQL value: a bound ``?`` placeholder when ``parameters`` is
+    a list (execution path — quotes, NUL bytes and floats round-trip exactly),
+    inline text otherwise (display path)."""
+    if parameters is None:
+        return _literal(value)
+    _check_scalar(value)
+    parameters.append(value)
+    return "?"
+
+
+def to_sql(
+    db: Database,
+    query: ConjunctiveQuery,
+    use_distinct: bool = True,
+    parameters: list[Any] | None = None,
+    column_aliases: Sequence[str] | None = None,
+) -> str:
     """Translate a conjunctive query into a SQL SELECT statement.
 
     Each atom becomes an aliased table in the FROM clause; shared variables
     become equality predicates; constants and comparisons become additional
     WHERE predicates; head variables become the select list (aliased to the
-    variable name).
+    variable name, or to ``column_aliases`` when given — needed when the same
+    variable appears twice in the head, e.g. a filter segment ``P -> P``).
+
+    When ``parameters`` is a list, constant and comparison values are emitted
+    as ``?`` placeholders and appended to it for ``sqlite3`` binding; without
+    it they are inlined for display.  Either way, non-scalar values raise
+    :class:`~repro.exceptions.QueryError`.
     """
     aliases = [_alias(i) for i in range(len(query.atoms))]
 
@@ -60,7 +99,7 @@ def to_sql(db: Database, query: ConjunctiveQuery, use_distinct: bool = True) -> 
             column = schema.column_names[position]
             qualified = f"{alias}.{column}"
             if isinstance(arg, Const):
-                where.append(f"{qualified} = {_literal(arg.value)}")
+                where.append(f"{qualified} = {render_value(arg.value, parameters)}")
             elif isinstance(arg, str):
                 if arg in first_occurrence:
                     where.append(f"{first_occurrence[arg]} = {qualified}")
@@ -71,13 +110,22 @@ def to_sql(db: Database, query: ConjunctiveQuery, use_distinct: bool = True) -> 
         if comparison.variable not in first_occurrence:
             raise QueryError(f"comparison on unknown variable {comparison.variable!r}")
         op = "=" if comparison.op == "==" else comparison.op
-        where.append(f"{first_occurrence[comparison.variable]} {op} {_literal(comparison.value)}")
+        where.append(
+            f"{first_occurrence[comparison.variable]} {op} "
+            f"{render_value(comparison.value, parameters)}"
+        )
 
+    if column_aliases is not None and len(column_aliases) != len(query.head_vars):
+        raise QueryError(
+            f"query {query.name!r} has {len(query.head_vars)} head variables "
+            f"but {len(column_aliases)} column aliases were given"
+        )
     select_items = []
-    for var in query.head_vars:
+    for position, var in enumerate(query.head_vars):
         if var not in first_occurrence:
             raise QueryError(f"head variable {var!r} not bound by any atom")
-        select_items.append(f"{first_occurrence[var]} AS {var}")
+        output = var if column_aliases is None else column_aliases[position]
+        select_items.append(f"{first_occurrence[var]} AS {output}")
 
     from_items = [f"{atom.table} {alias}" for atom, alias in zip(query.atoms, aliases)]
 

@@ -12,7 +12,8 @@ the pure-Python executor.
 from __future__ import annotations
 
 import sqlite3
-from typing import Any, Iterable
+import threading
+from typing import Any, Iterable, Sequence
 
 from repro.exceptions import QueryError
 from repro.relational.database import Database
@@ -27,24 +28,32 @@ class SQLiteBackend:
 
     def __init__(self, database: Database) -> None:
         self._db = database
-        self._conn = sqlite3.connect(":memory:")
+        # the backend may be cached on the Database and shared by extractions
+        # running on different threads (e.g. the analysis service); statements
+        # are serialised through a lock instead of per-thread connections
+        self._conn = sqlite3.connect(":memory:", check_same_thread=False)
+        self._lock = threading.RLock()
         self._loaded = False
 
     # ------------------------------------------------------------------ #
     def load(self) -> "SQLiteBackend":
         """(Re)create and populate every table.  Idempotent."""
-        cursor = self._conn.cursor()
-        for name in self._db.table_names():
-            cursor.execute(f"DROP TABLE IF EXISTS {name}")
-            cursor.execute(create_table_sql(self._db, name))
-            table = self._db.table(name)
-            if table.num_rows:
-                placeholders = ", ".join("?" for _ in range(table.schema.arity))
-                cursor.executemany(
-                    f"INSERT INTO {name} VALUES ({placeholders})", table.rows()
-                )
-        self._conn.commit()
-        self._loaded = True
+        with self._lock:
+            cursor = self._conn.cursor()
+            try:
+                for name in self._db.table_names():
+                    cursor.execute(f"DROP TABLE IF EXISTS {name}")
+                    cursor.execute(create_table_sql(self._db, name))
+                    table = self._db.table(name)
+                    if table.num_rows:
+                        placeholders = ", ".join("?" for _ in range(table.schema.arity))
+                        cursor.executemany(
+                            f"INSERT INTO {name} VALUES ({placeholders})", table.rows()
+                        )
+            except sqlite3.Error as exc:
+                raise QueryError(f"cannot mirror table {name!r} into sqlite: {exc}") from exc
+            self._conn.commit()
+            self._loaded = True
         return self
 
     def close(self) -> None:
@@ -61,16 +70,32 @@ class SQLiteBackend:
         """Run raw SQL and return all rows."""
         if not self._loaded:
             self.load()
-        try:
-            cursor = self._conn.execute(sql, tuple(parameters))
-        except sqlite3.Error as exc:
-            raise QueryError(f"sqlite error for {sql!r}: {exc}") from exc
-        return [tuple(row) for row in cursor.fetchall()]
+        with self._lock:
+            try:
+                cursor = self._conn.execute(sql, tuple(parameters))
+            except sqlite3.Error as exc:
+                raise QueryError(f"sqlite error for {sql!r}: {exc}") from exc
+            return [tuple(row) for row in cursor.fetchall()]
+
+    def executemany(self, sql: str, rows: Sequence[Sequence[Any]]) -> None:
+        """Run one statement for every parameter row (bulk temp-table fills)."""
+        if not self._loaded:
+            self.load()
+        with self._lock:
+            try:
+                self._conn.executemany(sql, rows)
+            except sqlite3.Error as exc:
+                raise QueryError(f"sqlite error for {sql!r}: {exc}") from exc
 
     def evaluate(self, query: ConjunctiveQuery, use_distinct: bool = True) -> list[Row]:
-        """Evaluate a conjunctive query by generating SQL and executing it."""
-        sql = to_sql(self._db, query, use_distinct=use_distinct)
-        return self.execute_sql(sql)
+        """Evaluate a conjunctive query by generating SQL and executing it.
+
+        Constant and comparison values are passed via ``sqlite3`` parameter
+        binding, never inlined, so quotes, NUL bytes and floats round-trip.
+        """
+        parameters: list[Any] = []
+        sql = to_sql(self._db, query, use_distinct=use_distinct, parameters=parameters)
+        return self.execute_sql(sql, parameters)
 
     def row_count(self, table: str) -> int:
         rows = self.execute_sql(f"SELECT COUNT(*) FROM {table}")

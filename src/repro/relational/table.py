@@ -20,6 +20,9 @@ class Table:
         self.schema = schema
         self._rows: list[tuple[Any, ...]] = []
         self._indexes: dict[str, dict[Any, list[int]]] = {}
+        #: bumped on every mutation so callers (e.g. the Database's cached
+        #: SQLite mirror) can detect staleness without hashing rows
+        self._version = 0
         if rows is not None:
             self.insert_many(rows)
 
@@ -54,17 +57,25 @@ class Table:
         """Insert a single row after validating it against the schema."""
         self._rows.append(self.schema.validate_row(row))
         self._indexes.clear()
+        self._version += 1
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Insert many rows; returns the number inserted."""
         validated = [self.schema.validate_row(r) for r in rows]
         self._rows.extend(validated)
         self._indexes.clear()
+        self._version += 1
         return len(validated)
 
     def clear(self) -> None:
         self._rows.clear()
         self._indexes.clear()
+        self._version += 1
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter incremented by every mutation of this table."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     # column access & statistics support

@@ -1,0 +1,300 @@
+"""Parity matrix for the SQL pushdown extraction engine.
+
+The contract under test: for every bundled dataset and every rule shape, the
+``pushdown`` engine must produce a graph *logically equivalent* to the
+``python`` reference engine — same real nodes with the same properties, same
+virtual-node label multiset, same condensed-edge multiset (compared via
+external IDs, so internal numbering is free to differ), same edge
+annotations, and the same Table-1 counters.  ``queries_executed`` and
+``seconds`` are engine-specific by design and excluded.
+
+Malformed plans and non-SQL-bindable data must *fall back* to a row engine
+with a note on the report — never raise, never emit a wrong graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import ENGINE_PUSHDOWN, ENGINE_PYTHON, ENGINE_SQLITE, ExtractionOptions
+from repro.core.graphgen import GraphGen
+from repro.core.planner import EdgePlan
+from repro.datasets import (
+    COACTOR_QUERY,
+    COAUTHOR_QUERY,
+    COENROLLMENT_QUERY,
+    COPURCHASE_QUERY,
+    generate_dblp,
+    generate_imdb,
+    generate_tpch,
+    generate_univ,
+)
+from repro.datasets.dblp import (
+    AUTHOR_PUBLICATION_BIPARTITE_QUERY,
+    RECENT_COAUTHOR_QUERY_TEMPLATE,
+    SAME_CONFERENCE_QUERY,
+)
+from repro.exceptions import GraphGenError
+from repro.graph.condensed import CondensedGraph
+from repro.relational.database import Database
+from repro.relational.pushdown import PushdownUnsupported, compile_plan
+
+WEIGHTED_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2, count(PubID)) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+"""
+
+STRONG_COLLAB_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID), count(PubID) >= 2.
+"""
+
+CYCLIC_QUERY = """
+Nodes(ID, Name) :- Author(ID, Name).
+Edges(ID1, ID2) :- AuthorPub(ID1, A), AuthorPub(A, B), AuthorPub(B, ID1), AuthorPub(ID1, ID2).
+"""
+
+#: Table-1 counters that must agree between engines (queries_executed and
+#: seconds are engine-specific by design)
+REPORT_FIELDS = (
+    "real_nodes",
+    "virtual_nodes",
+    "condensed_edges",
+    "skipped_edge_tuples",
+    "preprocessing_expanded_virtual_nodes",
+    "per_rule_edges",
+)
+
+
+def signature(graph: CondensedGraph):
+    """Everything about a condensed graph that is observable through
+    external IDs — internal numbering is an engine implementation detail."""
+    real = {
+        graph.external(node): dict(graph.node_properties.get(node, {}))
+        for node in graph.real_nodes()
+    }
+    virtual = Counter(repr(label) for label in graph.virtual_labels.values())
+    edges: Counter = Counter()
+    for node in graph.real_nodes():
+        source = graph.external(node)
+        for target in graph.reachable_real_targets(node):
+            edges[(source, graph.external(target))] += 1
+    annotations = {
+        (graph.external(s), graph.external(t)): props
+        for (s, t), props in graph.edge_annotations.items()
+    }
+    return real, virtual, edges, annotations
+
+
+def assert_parity(db: Database, query: str, **options):
+    reference = GraphGen(db, extract_engine=ENGINE_PYTHON, **options)
+    pushdown = GraphGen(db, extract_engine=ENGINE_PUSHDOWN, **options)
+    ref_graph, ref_report = reference.extract_condensed(query)
+    pd_graph, pd_report = pushdown.extract_condensed(query)
+    assert ref_report.engine == ENGINE_PYTHON
+    assert pd_report.engine == ENGINE_PUSHDOWN, pd_report.notes
+    assert pd_report.notes == []
+    assert signature(pd_graph) == signature(ref_graph)
+    for name in REPORT_FIELDS:
+        assert getattr(pd_report, name) == getattr(ref_report, name), name
+    return pd_graph, pd_report
+
+
+# --------------------------------------------------------------------------- #
+# the dataset x rule-shape matrix
+# --------------------------------------------------------------------------- #
+def _dblp():
+    return generate_dblp(num_authors=120, num_publications=200, seed=3)
+
+
+DATASET_QUERIES = [
+    pytest.param(_dblp, COAUTHOR_QUERY, id="dblp-coauthor"),
+    pytest.param(_dblp, SAME_CONFERENCE_QUERY, id="dblp-same-conference"),
+    pytest.param(_dblp, AUTHOR_PUBLICATION_BIPARTITE_QUERY, id="dblp-bipartite"),
+    pytest.param(
+        lambda: generate_imdb(num_people=80, num_movies=25, seed=3),
+        COACTOR_QUERY,
+        id="imdb-coactor",
+    ),
+    pytest.param(
+        lambda: generate_tpch(num_customers=60, num_parts=25, seed=3),
+        COPURCHASE_QUERY,
+        id="tpch-copurchase",
+    ),
+    pytest.param(
+        lambda: generate_univ(num_students=70, num_instructors=8, num_courses=15, seed=3),
+        COENROLLMENT_QUERY,
+        id="univ-coenrollment",
+    ),
+]
+
+
+@pytest.mark.parametrize("make_db, query", DATASET_QUERIES)
+def test_parity_on_bundled_datasets(make_db, query):
+    assert_parity(make_db(), query)
+
+
+@pytest.mark.parametrize("make_db, query", DATASET_QUERIES)
+def test_parity_forced_condensed(make_db, query):
+    """A tiny threshold forces virtual nodes at every join boundary."""
+    db = make_db()
+    graph, _ = assert_parity(db, query, threshold_factor=1e-9)
+    plan = GraphGen(db, threshold_factor=1e-9).plan(query)
+    if any(ep.condensed and len(ep.segments) > 1 for ep in plan.edge_plans):
+        assert graph.num_virtual_nodes > 0
+
+
+def test_parity_forced_full_expansion():
+    """A huge threshold keeps every rule in Case 2 (direct real-real edges)."""
+    graph, _ = assert_parity(_dblp(), COAUTHOR_QUERY, threshold_factor=1e9)
+    assert graph.num_virtual_nodes == 0
+
+
+def test_parity_filter_segment(toy_dblp):
+    """RECENT_COAUTHOR has a middle segment projecting PubID -> PubID: the
+    boundary attribute repeats, so virtual identity must key on the boundary
+    *index*, not the attribute name."""
+    db = _dblp()
+    query = RECENT_COAUTHOR_QUERY_TEMPLATE.format(year=2005)
+    for preprocess in (False, True):
+        assert_parity(db, query, threshold_factor=0.01, preprocess=preprocess)
+
+
+def test_parity_aggregate_annotations():
+    graph, _ = assert_parity(_dblp(), WEIGHTED_QUERY)
+    assert graph.edge_annotations  # the count(PubID) property landed
+    assert all("count_PubID" in props for props in graph.edge_annotations.values())
+
+
+def test_parity_aggregate_having():
+    assert_parity(_dblp(), STRONG_COLLAB_QUERY)
+
+
+def test_parity_cyclic_full_rule(toy_dblp):
+    assert_parity(toy_dblp, CYCLIC_QUERY)
+
+
+def test_parity_toy_fixtures(toy_dblp, toy_univ, coauthor_query, bipartite_query):
+    assert_parity(toy_dblp, coauthor_query)
+    assert_parity(toy_univ, bipartite_query)
+
+
+# --------------------------------------------------------------------------- #
+# unknown endpoints: skip on / off, with dangling foreign keys
+# --------------------------------------------------------------------------- #
+def _dblp_with_dangling():
+    db = _dblp()
+    db.insert("AuthorPub", [(9001, 1), (9002, 1), (9001, 2)])
+    return db
+
+
+@pytest.mark.parametrize("skip", [True, False], ids=["skip", "add-unknown"])
+@pytest.mark.parametrize(
+    "query, options",
+    [
+        pytest.param(COAUTHOR_QUERY, {"threshold_factor": 0.01}, id="condensed"),
+        pytest.param(COAUTHOR_QUERY, {"threshold_factor": 1e9}, id="full"),
+        pytest.param(WEIGHTED_QUERY, {}, id="aggregate"),
+        pytest.param(SAME_CONFERENCE_QUERY, {"threshold_factor": 0.01}, id="multi-segment"),
+    ],
+)
+def test_parity_unknown_endpoints(skip, query, options):
+    db = _dblp_with_dangling()
+    graph, report = assert_parity(db, query, skip_unknown_endpoints=skip, **options)
+    if skip:
+        assert report.skipped_edge_tuples > 0
+    else:
+        assert report.skipped_edge_tuples == 0
+        assert graph.has_external(9001) and graph.has_external(9002)
+
+
+# --------------------------------------------------------------------------- #
+# fallback: never raise, never a wrong graph
+# --------------------------------------------------------------------------- #
+def test_fallback_on_unbindable_data():
+    """Tuple-valued cells cannot be mirrored into sqlite; the pushdown engine
+    must fall back to the python engine with a note, not fail."""
+    db = Database("weird")
+    db.create_table("Node", [("id", "any"), ("name", "str")])
+    db.create_table("Link", [("a", "any"), ("b", "any")])
+    db.insert("Node", [((1, "x"), "n1"), ((2, "y"), "n2")])
+    db.insert("Link", [((1, "x"), (2, "y")), ((2, "y"), (1, "x"))])
+    query = """
+    Nodes(ID, Name) :- Node(ID, Name).
+    Edges(A, B) :- Link(A, B).
+    """
+    gg = GraphGen(db, extract_engine=ENGINE_PUSHDOWN)
+    graph, report = gg.extract_condensed(query)
+    assert report.engine == ENGINE_PYTHON
+    assert len(report.notes) == 1 and "pushdown unavailable" in report.notes[0]
+    assert graph.num_real_nodes == 2 and graph.num_condensed_edges == 2
+
+
+def test_fallback_prefers_sqlite_when_backend_is_sqlite():
+    db = Database("weird")
+    db.create_table("Node", [("id", "any")])
+    db.insert("Node", [((1,),), ((2,),)])
+    gg = GraphGen(db, extract_engine=ENGINE_PUSHDOWN, backend="sqlite")
+    with pytest.raises(GraphGenError):
+        # the sqlite row engine cannot bind tuples either: surfacing that
+        # error (rather than silently degrading twice) keeps backend="sqlite"
+        # meaningful -- but the fallback *choice* must be sqlite
+        gg.extract_condensed("Nodes(ID) :- Node(ID). Edges(A, A) :- Node(A).")
+    assert ExtractionOptions(backend="sqlite").fallback_engine() == ENGINE_SQLITE
+
+
+def test_malformed_plan_is_not_pushable(toy_dblp):
+    """compile_plan rejects a condensed rule with no segments outright."""
+    gg = GraphGen(toy_dblp, extract_engine=ENGINE_PUSHDOWN)
+    plan = gg.plan(COAUTHOR_QUERY)
+    plan.edge_plans = [
+        EdgePlan(rule=ep.rule, condensed=True, segments=[]) for ep in plan.edge_plans
+    ]
+    with pytest.raises(PushdownUnsupported):
+        compile_plan(toy_dblp, plan)
+
+
+def test_auto_engine_runs_pushdown(toy_dblp, coauthor_query):
+    gg = GraphGen(toy_dblp, extract_engine="auto")
+    _, report = gg.extract_condensed(coauthor_query)
+    assert report.engine == ENGINE_PUSHDOWN
+    assert report.notes == []
+
+
+def test_default_engine_unchanged(toy_dblp, coauthor_query):
+    """No extract_engine -> derived from the query backend, as before."""
+    _, report = GraphGen(toy_dblp).extract_condensed(coauthor_query)
+    assert report.engine == ENGINE_PYTHON
+    _, report = GraphGen(toy_dblp, backend="sqlite").extract_condensed(coauthor_query)
+    assert report.engine == ENGINE_SQLITE
+
+
+# --------------------------------------------------------------------------- #
+# provenance surfaces
+# --------------------------------------------------------------------------- #
+def test_explain_prints_pushdown_sql(toy_dblp, coauthor_query):
+    text = GraphGen(toy_dblp, extract_engine=ENGINE_PUSHDOWN).explain(coauthor_query)
+    assert "pushdown sql:" in text
+    # plain engines do not advertise a program they will not run
+    assert "pushdown sql:" not in GraphGen(toy_dblp).explain(coauthor_query)
+
+
+def test_explain_reports_unpushable_plans():
+    db = Database("empty")
+    db.create_table("Node", [("id", "int")])
+    gg = GraphGen(db, extract_engine=ENGINE_PUSHDOWN)
+    plan = gg.plan("Nodes(ID) :- Node(ID). Edges(A, B) :- Node(A), Node(B).")
+    # sabotage one rule so pushdown_sql raises
+    plan.edge_plans[0].condensed = False
+    plan.edge_plans[0].full_query = None
+    with pytest.raises(PushdownUnsupported):
+        plan.pushdown_sql(db)
+
+
+def test_pushdown_counts_sql_statements(toy_dblp, coauthor_query):
+    _, report = GraphGen(toy_dblp, extract_engine=ENGINE_PUSHDOWN).extract_condensed(
+        coauthor_query
+    )
+    assert report.queries_executed > 0

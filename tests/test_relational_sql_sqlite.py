@@ -95,3 +95,113 @@ class TestSQLiteBackend:
         backend.load()
         assert backend.row_count("Author") == 3
         backend.close()
+
+
+class TestValueBinding:
+    """Literal rendering is hardened via sqlite3 parameter binding: hostile
+    strings, NUL bytes and floats must round-trip exactly, and non-scalar
+    values must be rejected with a one-line QueryError — on both the display
+    path (to_sql without parameters) and the execution path (evaluate)."""
+
+    def _parity(self, db, value, column="name", table="Author"):
+        query = ConjunctiveQuery(
+            ["ID"],
+            [QueryAtom(table, ("ID", "V"))],
+            [Comparison("V", "=", value)],
+        )
+        with SQLiteBackend(db) as backend:
+            assert set(backend.evaluate(query)) == set(evaluate(db, query))
+
+    def test_embedded_quote(self, db):
+        query = ConjunctiveQuery(
+            ["ID"],
+            [QueryAtom("Author", ("ID", "Name"))],
+            [Comparison("Name", "=", "o'malley")],
+        )
+        with SQLiteBackend(db) as backend:
+            assert backend.evaluate(query) == [(3,)]
+
+    def test_injection_shaped_string(self, db):
+        self._parity(db, "'; DROP TABLE Author; --")
+        with SQLiteBackend(db) as backend:
+            backend.evaluate(
+                ConjunctiveQuery(
+                    ["ID"],
+                    [QueryAtom("Author", ("ID", "Name"))],
+                    [Comparison("Name", "=", "'; DROP TABLE Author; --")],
+                )
+            )
+            # the table survived the hostile literal
+            assert backend.row_count("Author") == 3
+
+    def test_nul_byte_round_trip(self):
+        db = Database("nul")
+        db.create_table("T", [("id", "int"), ("s", "str")])
+        db.insert("T", [(1, "a\x00b"), (2, "plain")])
+        query = ConjunctiveQuery(
+            ["ID"], [QueryAtom("T", ("ID", "S"))], [Comparison("S", "=", "a\x00b")]
+        )
+        with SQLiteBackend(db) as backend:
+            assert backend.evaluate(query) == [(1,)]
+        assert evaluate(db, query) == [(1,)]
+
+    def test_float_round_trip(self):
+        db = Database("floats")
+        db.create_table("T", [("id", "int"), ("x", "float")])
+        value = 0.1 + 0.2  # 0.30000000000000004: repr-exact binding required
+        db.insert("T", [(1, value), (2, 0.3)])
+        query = ConjunctiveQuery(
+            ["ID"], [QueryAtom("T", ("ID", "X"))], [Comparison("X", "=", value)]
+        )
+        with SQLiteBackend(db) as backend:
+            assert backend.evaluate(query) == [(1,)]
+        assert evaluate(db, query) == [(1,)]
+
+    def test_const_atom_binding(self, db):
+        query = ConjunctiveQuery(
+            ["ID"], [QueryAtom("Author", ("ID", Const("o'malley")))]
+        )
+        with SQLiteBackend(db) as backend:
+            rows = backend.evaluate(query)
+        assert rows == [(3,)]
+        assert rows == evaluate(db, query)
+
+    def test_non_scalar_const_rejected(self, db):
+        query = ConjunctiveQuery(
+            ["ID"], [QueryAtom("Author", ("ID", Const((1, 2))))]
+        )
+        with pytest.raises(QueryError, match="unsupported SQL value"):
+            to_sql(db, query)
+
+    def test_non_scalar_comparison_rejected(self, db):
+        query = ConjunctiveQuery(
+            ["ID"],
+            [QueryAtom("Author", ("ID", "Name"))],
+            [Comparison("Name", "=", ["not", "scalar"])],
+        )
+        with pytest.raises(QueryError, match="unsupported SQL value"):
+            to_sql(db, query)
+
+    def test_display_path_unchanged(self, db):
+        """Without a parameters list, to_sql still inlines literals (the
+        explain/debug path) with the historical quoting."""
+        query = ConjunctiveQuery(
+            ["ID"],
+            [QueryAtom("Author", ("ID", "Name"))],
+            [Comparison("Name", "=", "o'malley")],
+        )
+        assert "'o''malley'" in to_sql(db, query)
+
+    def test_parameter_collection(self, db):
+        parameters = []
+        sql = to_sql(
+            db,
+            ConjunctiveQuery(
+                ["ID"],
+                [QueryAtom("Author", ("ID", "Name"))],
+                [Comparison("Name", "=", "o'malley")],
+            ),
+            parameters=parameters,
+        )
+        assert "?" in sql and "o''malley" not in sql
+        assert parameters == ["o'malley"]
